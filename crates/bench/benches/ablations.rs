@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! exact vs Gaussian pairwise model, random vs periodic sampling, top-k flow
+//! memories fed with sampled traffic, the TCP sequence-number estimator, and
+//! the adaptive-rate sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_core::{misranking_probability_exact, misranking_probability_gaussian};
+use flowrank_net::{FiveTuple, FlowKey, FlowTable, Timestamp};
+use flowrank_sampling::seqno::SeqnoSizeEstimator;
+use flowrank_sampling::{
+    sample_and_classify, AdaptiveRateSampler, PacketSampler, PeriodicSampler, RandomSampler,
+};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_topk::{ExactTopK, SampleAndHold, SortedListMemory, SpaceSaving, TopKTracker};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+
+fn trace() -> Vec<flowrank_net::PacketRecord> {
+    let flows = SprintModel::small(60.0, 80.0).generate_flows(9);
+    synthesize_packets(&flows, &SynthesisConfig::default(), 9)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    group.bench_function("ablation_exact_vs_gaussian_pairwise", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in (100u64..1000).step_by(100) {
+                acc += misranking_probability_exact(s, s + 50, 0.05);
+                acc += misranking_probability_gaussian(s as f64, s as f64 + 50.0, 0.05);
+            }
+            black_box(acc)
+        })
+    });
+
+    let packets = trace();
+
+    group.bench_function("ablation_random_vs_periodic", |b| {
+        b.iter(|| {
+            let mut rng = Pcg64::seed_from_u64(1);
+            let mut random = RandomSampler::new(0.01);
+            let mut periodic = PeriodicSampler::with_rate(0.01).with_random_phase();
+            let a: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut random, &mut rng);
+            let b_ = sample_and_classify::<FiveTuple, _>(&packets, &mut periodic, &mut rng);
+            black_box((a.flow_count(), b_.flow_count()))
+        })
+    });
+
+    group.bench_function("ablation_topk_under_sampling", |b| {
+        b.iter(|| {
+            let mut rng = Pcg64::seed_from_u64(2);
+            let mut sampler = RandomSampler::new(0.1);
+            let mut exact = ExactTopK::new();
+            let mut sorted = SortedListMemory::new(256);
+            let mut sah = SampleAndHold::new(0.01, 256);
+            let mut space = SpaceSaving::new(256);
+            for packet in &packets {
+                if sampler.keep(packet, &mut rng) {
+                    let key = FiveTuple::from_packet(packet);
+                    exact.observe(&key, &mut rng);
+                    sorted.observe(&key, &mut rng);
+                    sah.observe(&key, &mut rng);
+                    space.observe(&key, &mut rng);
+                }
+            }
+            black_box((exact.top(10).len(), sorted.top(10).len(), sah.top(10).len(), space.top(10).len()))
+        })
+    });
+
+    group.bench_function("ablation_seqno_estimator", |b| {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut sampler = RandomSampler::new(0.02);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
+        let estimator = SeqnoSizeEstimator::new(0.02, 500.0);
+        b.iter(|| {
+            let total: f64 = sampled.iter().map(|(_, s)| estimator.estimate(s).packets).sum();
+            black_box(total)
+        })
+    });
+
+    group.bench_function("ablation_adaptive_rate", |b| {
+        b.iter(|| {
+            let mut rng = Pcg64::seed_from_u64(4);
+            let mut sampler =
+                AdaptiveRateSampler::new(0.1, 500, Timestamp::from_secs_f64(10.0));
+            let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
+            black_box(kept)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

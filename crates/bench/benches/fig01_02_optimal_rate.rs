@@ -1,0 +1,44 @@
+//! Figures 1–2: optimal sampling rate surface for a target misranking
+//! probability of 0.1% over a grid of flow-size pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_bench::size_grid_log;
+use flowrank_core::{optimal_sampling_rate, PairwiseModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_02_optimal_rate");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fig01_log_grid_gaussian", |b| {
+        let sizes = size_grid_log(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s1 in &sizes {
+                for &s2 in &sizes {
+                    acc += optimal_sampling_rate(s1, s2, 1e-3, PairwiseModel::Gaussian, 1e-4);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("fig02_linear_grid_exact", |b| {
+        let sizes: Vec<u64> = (1..=5).map(|i| i * 200).collect();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s1 in &sizes {
+                for &s2 in &sizes {
+                    acc += optimal_sampling_rate(s1, s2, 1e-3, PairwiseModel::Exact, 1e-3);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

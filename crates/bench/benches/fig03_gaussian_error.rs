@@ -1,0 +1,30 @@
+//! Figure 3: absolute error of the Gaussian approximation at p = 1% over a
+//! log grid of flow-size pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_bench::size_grid_log;
+use flowrank_core::gaussian::gaussian_absolute_error;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_gaussian_error");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("error_surface_13x13", |b| {
+        let sizes = size_grid_log(13);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s1 in &sizes {
+                for &s2 in &sizes {
+                    acc += gaussian_absolute_error(s1, s2, 0.01);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

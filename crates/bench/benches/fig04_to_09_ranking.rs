@@ -1,0 +1,86 @@
+//! Figures 4–9: the general ranking metric versus sampling rate, sweeping the
+//! number of top flows (Figs. 4–5), the Pareto shape (Figs. 6–7) and the
+//! total number of flows (Figs. 8–9), for both flow definitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_bench::{BETA_VALUES, N_FACTORS, TOP_T_VALUES};
+use flowrank_core::Scenario;
+
+const BENCH_RATES: [f64; 3] = [0.001, 0.01, 0.1];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_to_09_ranking");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("fig04_top_t_sweep_5tuple", |b| {
+        let scenario = Scenario::sprint_five_tuple(1.5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &TOP_T_VALUES {
+                for &p in &BENCH_RATES {
+                    acc += scenario.ranking_model(t).mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("fig05_top_t_sweep_prefix24", |b| {
+        let scenario = Scenario::sprint_prefix24(1.5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &TOP_T_VALUES {
+                for &p in &BENCH_RATES {
+                    acc += scenario.ranking_model(t).mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("fig06_07_beta_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &beta in &BETA_VALUES {
+                for &p in &BENCH_RATES {
+                    acc += Scenario::sprint_five_tuple(beta)
+                        .ranking_model(10)
+                        .mean_swapped_pairs(p);
+                    acc += Scenario::sprint_prefix24(beta)
+                        .ranking_model(10)
+                        .mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("fig08_09_nflows_sweep", |b| {
+        let five = Scenario::sprint_five_tuple(1.5);
+        let prefix = Scenario::sprint_prefix24(1.5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &factor in &N_FACTORS {
+                for &p in &BENCH_RATES {
+                    acc += five
+                        .with_flow_count_factor(factor)
+                        .ranking_model(10)
+                        .mean_swapped_pairs(p);
+                    acc += prefix
+                        .with_flow_count_factor(factor)
+                        .ranking_model(10)
+                        .mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figures 10–11: the detection metric versus sampling rate for both flow
+//! definitions, sweeping the number of top flows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_bench::TOP_T_VALUES;
+use flowrank_core::Scenario;
+
+const BENCH_RATES: [f64; 3] = [0.001, 0.01, 0.1];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_11_detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("fig10_detection_5tuple", |b| {
+        let scenario = Scenario::sprint_five_tuple(1.5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &TOP_T_VALUES {
+                for &p in &BENCH_RATES {
+                    acc += scenario.detection_model(t).mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("fig11_detection_prefix24", |b| {
+        let scenario = Scenario::sprint_prefix24(1.5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &TOP_T_VALUES {
+                for &p in &BENCH_RATES {
+                    acc += scenario.detection_model(t).mean_swapped_pairs(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figures 12–16: trace-driven sampling simulations (Sprint-like ranking and
+//! detection, Abilene-like ranking), at a reduced trace scale so the bench
+//! finishes quickly; the `reproduce` binary runs the larger versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_net::FlowDefinition;
+use flowrank_sim::{abilene_experiment, sprint_experiment};
+
+const SCALE: f64 = 0.002;
+const RUNS: usize = 2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_to_16_trace_driven");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    group.bench_function("fig12_14_sprint_5tuple", |b| {
+        b.iter(|| {
+            let result = sprint_experiment(FlowDefinition::FiveTuple, 60.0, SCALE, RUNS, 1).run();
+            black_box(result.series.len())
+        })
+    });
+
+    group.bench_function("fig13_15_sprint_prefix24", |b| {
+        b.iter(|| {
+            let result = sprint_experiment(FlowDefinition::PREFIX24, 60.0, SCALE, RUNS, 2).run();
+            black_box(result.series.len())
+        })
+    });
+
+    group.bench_function("fig16_abilene", |b| {
+        b.iter(|| {
+            let result = abilene_experiment(SCALE, RUNS, 3).run();
+            black_box(result.series.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

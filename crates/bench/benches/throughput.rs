@@ -1,0 +1,58 @@
+//! Component throughput benches: packet classification, sampling, pcap
+//! encode/decode and the heavy-hitter trackers, on a Sprint-like packet
+//! stream. These are the "is the substrate fast enough" numbers rather than
+//! figure reproductions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
+use flowrank_net::{FiveTuple, FlowTable};
+use flowrank_sampling::{PacketSampler, RandomSampler};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+
+fn bench(c: &mut Criterion) {
+    let flows = SprintModel::small(30.0, 100.0).generate_flows(21);
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 21);
+
+    let mut group = c.benchmark_group("throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .throughput(Throughput::Elements(packets.len() as u64));
+
+    group.bench_function("classify_5tuple", |b| {
+        b.iter(|| {
+            let mut table: FlowTable<FiveTuple> = FlowTable::with_capacity(4096);
+            for p in &packets {
+                table.observe(p);
+            }
+            black_box(table.flow_count())
+        })
+    });
+
+    group.bench_function("random_sampling_1pct", |b| {
+        b.iter(|| {
+            let mut rng = Pcg64::seed_from_u64(5);
+            let mut sampler = RandomSampler::new(0.01);
+            let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
+            black_box(kept)
+        })
+    });
+
+    group.bench_function("pcap_encode", |b| {
+        b.iter(|| black_box(records_to_pcap_bytes(&packets).unwrap().len()))
+    });
+
+    let pcap = records_to_pcap_bytes(&packets).unwrap();
+    group.bench_function("pcap_decode", |b| {
+        b.iter(|| black_box(pcap_bytes_to_records(&pcap).unwrap().len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Regenerates the data series behind every figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flowrank-bench --bin reproduce             # all figures, quick settings
+//! cargo run --release -p flowrank-bench --bin reproduce -- --fig 4  # a single figure
+//! cargo run --release -p flowrank-bench --bin reproduce -- --scale 1.0 --runs 30
+//! ```
+//!
+//! Output is CSV on stdout, one block per figure and line, directly
+//! plottable. The `--scale` flag controls the flow-arrival-rate scale of the
+//! trace-driven figures (12–16); the analytical figures (1–11) always use the
+//! paper's full parameters. EXPERIMENTS.md records the settings used for the
+//! committed results.
+
+use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
+use flowrank_core::{
+    gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
+};
+use flowrank_net::FlowDefinition;
+use flowrank_sim::report::result_to_csv;
+use flowrank_sim::{abilene_experiment, sprint_experiment};
+
+#[derive(Debug, Clone)]
+struct Options {
+    figure: Option<u32>,
+    scale: f64,
+    runs: usize,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        figure: None,
+        scale: 0.02,
+        runs: 10,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                options.figure = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--scale" => {
+                options.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(options.scale);
+                i += 2;
+            }
+            "--runs" => {
+                options.runs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(options.runs);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    options
+}
+
+fn wanted(options: &Options, figure: u32) -> bool {
+    options.figure.map_or(true, |f| f == figure)
+}
+
+fn fig_optimal_rate(figure: u32, log_grid: bool) {
+    println!("# Figure {figure}: optimal sampling rate, Pm,d = 0.1%");
+    println!("s1_packets,s2_packets,optimal_rate_percent");
+    let sizes: Vec<u64> = if log_grid {
+        size_grid_log(13)
+    } else {
+        (1..=10).map(|i| i * 100).collect()
+    };
+    for &s1 in &sizes {
+        for &s2 in &sizes {
+            let rate = optimal_sampling_rate(s1, s2, 1e-3, PairwiseModel::Gaussian, 1e-4);
+            println!("{s1},{s2},{:.4}", rate * 100.0);
+        }
+    }
+    println!();
+}
+
+fn fig3_gaussian_error() {
+    println!("# Figure 3: Gaussian approximation absolute error, p = 1%");
+    println!("s1_packets,s2_packets,absolute_error");
+    for &s1 in &size_grid_log(13) {
+        for &s2 in &size_grid_log(13) {
+            println!("{s1},{s2},{:.6}", gaussian_absolute_error(s1, s2, 0.01));
+        }
+    }
+    println!();
+}
+
+fn fig_ranking_top_t(figure: u32, scenario: &Scenario) {
+    println!("# Figure {figure}: ranking metric vs sampling rate, {}", scenario.label);
+    println!("top_t,rate_percent,mean_swapped_pairs");
+    for &t in &TOP_T_VALUES {
+        let model = scenario.ranking_model(t);
+        for &p in &rate_grid() {
+            println!("{t},{:.3},{:.6e}", p * 100.0, model.mean_swapped_pairs(p));
+        }
+    }
+    println!();
+}
+
+fn fig_ranking_beta(figure: u32, prefix: bool) {
+    let label = if prefix { "/24 prefix" } else { "5-tuple" };
+    println!("# Figure {figure}: ranking metric vs sampling rate, varying beta, {label}, t = 10");
+    println!("beta,rate_percent,mean_swapped_pairs");
+    for &beta in &BETA_VALUES {
+        let scenario = if prefix {
+            Scenario::sprint_prefix24(beta)
+        } else {
+            Scenario::sprint_five_tuple(beta)
+        };
+        let model = scenario.ranking_model(10);
+        for &p in &rate_grid() {
+            println!("{beta},{:.3},{:.6e}", p * 100.0, model.mean_swapped_pairs(p));
+        }
+    }
+    println!();
+}
+
+fn fig_ranking_nflows(figure: u32, prefix: bool) {
+    let label = if prefix { "/24 prefix" } else { "5-tuple" };
+    println!("# Figure {figure}: ranking metric vs sampling rate, varying N, {label}, t = 10, beta = 1.5");
+    println!("n_flows,rate_percent,mean_swapped_pairs");
+    let base = if prefix {
+        Scenario::sprint_prefix24(1.5)
+    } else {
+        Scenario::sprint_five_tuple(1.5)
+    };
+    for &factor in &N_FACTORS {
+        let scenario = base.with_flow_count_factor(factor);
+        let model = scenario.ranking_model(10);
+        for &p in &rate_grid() {
+            println!(
+                "{},{:.3},{:.6e}",
+                scenario.n_flows,
+                p * 100.0,
+                model.mean_swapped_pairs(p)
+            );
+        }
+    }
+    println!();
+}
+
+fn fig_detection(figure: u32, scenario: &Scenario) {
+    println!("# Figure {figure}: detection metric vs sampling rate, {}", scenario.label);
+    println!("top_t,rate_percent,mean_swapped_pairs");
+    for &t in &TOP_T_VALUES {
+        let model = scenario.detection_model(t);
+        for &p in &rate_grid() {
+            println!("{t},{:.3},{:.6e}", p * 100.0, model.mean_swapped_pairs(p));
+        }
+    }
+    println!();
+}
+
+fn fig_trace(figure: u32, definition: FlowDefinition, detection: bool, options: &Options) {
+    let kind = if detection { "detection" } else { "ranking" };
+    for &bin_seconds in &[60.0, 300.0] {
+        println!(
+            "# Figure {figure}: trace-driven {kind} vs time, {definition}, top 10, {bin_seconds}-second bins, scale {}, {} runs",
+            options.scale, options.runs
+        );
+        let experiment =
+            sprint_experiment(definition, bin_seconds, options.scale, options.runs, 2026);
+        let result = experiment.run();
+        println!("{}", result_to_csv(&result, bin_seconds, detection));
+    }
+}
+
+fn fig16_abilene(options: &Options) {
+    println!(
+        "# Figure 16: trace-driven ranking vs time, Abilene-like trace, top 10, 60-second bins, scale {}, {} runs",
+        options.scale, options.runs
+    );
+    let result = abilene_experiment(options.scale, options.runs, 16).run();
+    println!("{}", result_to_csv(&result, 60.0, false));
+}
+
+fn main() {
+    let options = parse_args();
+    let five_tuple = Scenario::sprint_five_tuple(1.5);
+    let prefix = Scenario::sprint_prefix24(1.5);
+
+    if wanted(&options, 1) {
+        fig_optimal_rate(1, true);
+    }
+    if wanted(&options, 2) {
+        fig_optimal_rate(2, false);
+    }
+    if wanted(&options, 3) {
+        fig3_gaussian_error();
+    }
+    if wanted(&options, 4) {
+        fig_ranking_top_t(4, &five_tuple);
+    }
+    if wanted(&options, 5) {
+        fig_ranking_top_t(5, &prefix);
+    }
+    if wanted(&options, 6) {
+        fig_ranking_beta(6, false);
+    }
+    if wanted(&options, 7) {
+        fig_ranking_beta(7, true);
+    }
+    if wanted(&options, 8) {
+        fig_ranking_nflows(8, false);
+    }
+    if wanted(&options, 9) {
+        fig_ranking_nflows(9, true);
+    }
+    if wanted(&options, 10) {
+        fig_detection(10, &five_tuple);
+    }
+    if wanted(&options, 11) {
+        fig_detection(11, &prefix);
+    }
+    if wanted(&options, 12) {
+        fig_trace(12, FlowDefinition::FiveTuple, false, &options);
+    }
+    if wanted(&options, 13) {
+        fig_trace(13, FlowDefinition::PREFIX24, false, &options);
+    }
+    if wanted(&options, 14) {
+        fig_trace(14, FlowDefinition::FiveTuple, true, &options);
+    }
+    if wanted(&options, 15) {
+        fig_trace(15, FlowDefinition::PREFIX24, true, &options);
+    }
+    if wanted(&options, 16) {
+        fig16_abilene(&options);
+    }
+}

@@ -1,0 +1,298 @@
+//! The detection model (Sec. 7): identifying the top-`t` flows without
+//! caring about their relative order.
+//!
+//! The metric only counts swapped pairs that cross the top-`t` boundary: the
+//! first element of a pair is one of the true top-`t` flows, the second is a
+//! flow *outside* the top `t`. The expected count is `t(N − t) · P̄*mt(p)`
+//! with (Sec. 7.1)
+//!
+//! ```text
+//! P̄*mt = (1/P̄*t) Σ_i Σ_{j<i} p_i p_j P*t(j, i, t, N) Pm(j, i)
+//! P̄*t  = t(N − t) / (N(N − 1))
+//! ```
+//!
+//! where `P*t(j, i, t, N)` is the joint probability that a flow of size `i`
+//! is in the top `t` while a flow of size `j < i` is not. As with the ranking
+//! model, the paper evaluates this with the Gaussian pairwise probability and
+//! continuous Pareto flow sizes; the double sum becomes a double integral
+//! concentrated near the top boundary and near the diagonal. The headline
+//! result of Sec. 7.2 is that detection needs roughly an order of magnitude
+//! less sampling than ranking.
+
+use flowrank_stats::quadrature::gauss_legendre_composite;
+
+use crate::flowdist::FlowSizeModel;
+use crate::gaussian::misranking_probability_gaussian;
+use crate::ranking::{poisson_pmf, prob_at_most};
+
+/// Number of Gauss–Legendre panels for the inner (y) integral.
+const INNER_PANELS: usize = 6;
+/// Number of standard deviations of the sampled-size difference covered by
+/// the inner integration window.
+const INNER_WIDTH_SIGMAS: f64 = 12.0;
+/// Safety factor on the top-`t` boundary when choosing the outer range.
+const OUTER_BOUNDARY_FACTOR: f64 = 40.0;
+/// Number of geometric panels for the outer (x) tail integration.
+const OUTER_PANELS: usize = 48;
+/// Relative tolerance at which the outer tail integration stops.
+const OUTER_REL_TOL: f64 = 1e-7;
+
+/// The detection model: `N` flows with a given size law, detection of the
+/// top-`t` set.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionModel<'a, D: FlowSizeModel + ?Sized> {
+    dist: &'a D,
+    n_flows: f64,
+    top_t: u32,
+}
+
+impl<'a, D: FlowSizeModel + ?Sized> DetectionModel<'a, D> {
+    /// Creates a detection model for `n_flows` flows drawn from `dist`,
+    /// evaluating the detection of the top `top_t` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `top_t` is zero or the population is smaller than `top_t`.
+    pub fn new(dist: &'a D, n_flows: u64, top_t: u32) -> Self {
+        assert!(top_t >= 1, "top_t must be at least 1");
+        assert!(
+            n_flows as f64 > top_t as f64,
+            "the population must contain more than top_t flows"
+        );
+        DetectionModel {
+            dist,
+            n_flows: n_flows as f64,
+            top_t,
+        }
+    }
+
+    /// Number of (top-`t` flow, non-top flow) pairs, `t(N − t)`.
+    pub fn pair_count(&self) -> f64 {
+        self.top_t as f64 * (self.n_flows - self.top_t as f64)
+    }
+
+    fn outer_lower_bound(&self) -> f64 {
+        let boundary_sf = (OUTER_BOUNDARY_FACTOR * self.top_t as f64 / self.n_flows).min(1.0);
+        if boundary_sf >= 1.0 {
+            self.dist.lower_bound()
+        } else {
+            self.dist
+                .quantile(1.0 - boundary_sf)
+                .max(self.dist.lower_bound())
+        }
+    }
+
+    fn inner_half_width(&self, x: f64, p: f64) -> f64 {
+        let sigma = (2.0 * (1.0 / p - 1.0) * 2.0 * x).sqrt();
+        (INNER_WIDTH_SIGMAS * sigma).max(2.0)
+    }
+
+    /// Joint probability that a flow of size `x` is in the top `t` while a
+    /// (smaller) flow of size `y < x` is not — `P*t(y, x, t, N)` of Sec. 7.1,
+    /// evaluated in the Poisson limit appropriate for large `N`.
+    pub fn joint_boundary_probability(&self, y: f64, x: f64) -> f64 {
+        let n = self.n_flows;
+        let t = self.top_t;
+        let sfx = self.dist.sf(x);
+        let sfy = self.dist.sf(y);
+        // Number of flows larger than x (other than the two singled out).
+        let lambda_above = (n - 2.0) * sfx;
+        // Number of flows between y and x.
+        let lambda_between = ((n - 2.0) * (sfy - sfx)).max(0.0);
+        let mut total = 0.0;
+        for k in 0..t {
+            let p_k = poisson_pmf(k, lambda_above);
+            if p_k < 1e-16 {
+                continue;
+            }
+            // y is outside the top t when the flows above y — the k flows
+            // above x, x itself, and the flows between y and x — number at
+            // least t, i.e. at least t − k − 1 flows fall between y and x.
+            let needed = t as i64 - k as i64 - 1;
+            let p_enough_between = if needed <= 0 {
+                1.0
+            } else {
+                1.0 - prob_at_most(needed as u32, n - 2.0, (sfy - sfx).max(0.0))
+            };
+            total += p_k * p_enough_between;
+        }
+        let _ = lambda_between; // documented above; folded into prob_at_most
+        total.clamp(0.0, 1.0)
+    }
+
+    /// Probability `P̄*mt(p)` that a top-`t` flow is swapped with a flow
+    /// outside the top `t` after sampling at rate `p`.
+    pub fn average_misclassification_probability(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 1.0;
+        }
+        if p >= 1.0 {
+            return 0.0;
+        }
+        let n = self.n_flows;
+        let lower = self.dist.lower_bound();
+        let x_start = self.outer_lower_bound();
+
+        let outer = |x: f64| {
+            let fx = self.dist.pdf(x);
+            if fx <= 0.0 {
+                return 0.0;
+            }
+            // Flows with essentially no chance of being in the top t
+            // contribute nothing.
+            if prob_at_most(self.top_t, n - 2.0, self.dist.sf(x)) < 1e-14 {
+                return 0.0;
+            }
+            let w = self.inner_half_width(x, p);
+            let lo = (x - w).max(lower);
+            let inner = gauss_legendre_composite(
+                |y| {
+                    self.dist.pdf(y)
+                        * self.joint_boundary_probability(y, x)
+                        * misranking_probability_gaussian(y, x, p)
+                },
+                lo,
+                x,
+                INNER_PANELS,
+            );
+            fx * inner
+        };
+
+        let mut total = 0.0;
+        let mut lo = x_start;
+        let mut width = x_start.abs().max(1.0);
+        for _ in 0..OUTER_PANELS {
+            let hi = lo + width;
+            let piece = gauss_legendre_composite(outer, lo, hi, 2);
+            total += piece;
+            if piece.abs() <= OUTER_REL_TOL * total.abs().max(f64::MIN_POSITIVE) && total > 0.0 {
+                break;
+            }
+            lo = hi;
+            width *= 2.0;
+        }
+        // P̄*mt = total / P̄*t with P̄*t = t(N−t)/(N(N−1)).
+        let p_star_t = self.pair_count() / (n * (n - 1.0));
+        (total / p_star_t).clamp(0.0, 1.0)
+    }
+
+    /// The paper's detection metric: expected number of swapped pairs across
+    /// the top-`t` boundary, `t(N − t) · P̄*mt(p)`.
+    pub fn mean_swapped_pairs(&self, p: f64) -> f64 {
+        self.pair_count() * self.average_misclassification_probability(p)
+    }
+
+    /// Smallest sampling rate (within `[min_rate, 1]`) for which the
+    /// detection metric drops below `threshold`.
+    pub fn required_sampling_rate(&self, threshold: f64, min_rate: f64) -> f64 {
+        let lo = min_rate.clamp(1e-6, 1.0);
+        flowrank_stats::roots::monotone_threshold(
+            |p| self.mean_swapped_pairs(p),
+            lo,
+            1.0,
+            threshold,
+            1e-4,
+            60,
+        )
+        .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowdist::ParetoFlowModel;
+    use crate::ranking::RankingModel;
+
+    fn five_tuple_model() -> ParetoFlowModel {
+        ParetoFlowModel::with_mean(9.6, 1.5).unwrap()
+    }
+
+    #[test]
+    fn joint_probability_behaviour() {
+        let dist = five_tuple_model();
+        let model = DetectionModel::new(&dist, 100_000, 10);
+        // x at the top boundary, y well below it: the joint event is likely.
+        let x_top = dist.quantile(1.0 - 2.0 / 100_000.0);
+        let y_low = dist.quantile(0.5);
+        let high = model.joint_boundary_probability(y_low, x_top);
+        assert!(high > 0.9, "joint probability {high}");
+        // y just below x near the boundary: much less certain.
+        let y_close = x_top * 0.98;
+        let close = model.joint_boundary_probability(y_close, x_top);
+        assert!(close < high);
+        // x far below the boundary: essentially impossible to be in the top.
+        let x_low = dist.quantile(0.2);
+        assert!(model.joint_boundary_probability(dist.quantile(0.1), x_low) < 1e-3);
+    }
+
+    #[test]
+    fn metric_monotone_in_rate() {
+        let dist = five_tuple_model();
+        let model = DetectionModel::new(&dist, 700_000, 10);
+        let values: Vec<f64> = [0.001, 0.01, 0.1]
+            .iter()
+            .map(|&p| model.mean_swapped_pairs(p))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[1] < w[0], "{values:?}");
+        }
+        assert_eq!(model.average_misclassification_probability(0.0), 1.0);
+        assert_eq!(model.average_misclassification_probability(1.0), 0.0);
+    }
+
+    #[test]
+    fn detection_is_easier_than_ranking() {
+        // The headline of Sec. 7: at the same sampling rate the detection
+        // metric is far below the ranking metric, and the required rate drops
+        // by roughly an order of magnitude.
+        let dist = five_tuple_model();
+        let n = 700_000;
+        let t = 10;
+        let p = 0.05;
+        let ranking = RankingModel::new(&dist, n, t).mean_swapped_pairs(p);
+        let detection = DetectionModel::new(&dist, n, t).mean_swapped_pairs(p);
+        assert!(
+            detection < ranking,
+            "detection {detection} should be below ranking {ranking}"
+        );
+
+        let rate_ranking = RankingModel::new(&dist, n, t).required_sampling_rate(1.0, 1e-3);
+        let rate_detection = DetectionModel::new(&dist, n, t).required_sampling_rate(1.0, 1e-3);
+        assert!(
+            rate_detection < rate_ranking / 2.0,
+            "detection rate {rate_detection} vs ranking rate {rate_ranking}"
+        );
+    }
+
+    #[test]
+    fn detection_equals_ranking_for_top_one() {
+        // For t = 1 the two problems coincide (Sec. 7.1).
+        let dist = five_tuple_model();
+        let n = 100_000;
+        let p = 0.01;
+        let ranking = RankingModel::new(&dist, n, 1).mean_swapped_pairs(p);
+        let detection = DetectionModel::new(&dist, n, 1).mean_swapped_pairs(p);
+        let ratio = detection / ranking;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "t=1: detection {detection} vs ranking {ranking}"
+        );
+    }
+
+    #[test]
+    fn larger_t_is_harder_to_detect() {
+        let dist = five_tuple_model();
+        let p = 0.01;
+        let m2 = DetectionModel::new(&dist, 700_000, 2).mean_swapped_pairs(p);
+        let m25 = DetectionModel::new(&dist, 700_000, 25).mean_swapped_pairs(p);
+        assert!(m2 < m25);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than top_t")]
+    fn population_must_exceed_top_t() {
+        let dist = five_tuple_model();
+        let _ = DetectionModel::new(&dist, 10, 10);
+    }
+}

@@ -1,0 +1,248 @@
+//! Empirical ranking / detection metrics on concrete flow tables.
+//!
+//! The trace-driven simulations of Sec. 8 compute, for every measurement bin,
+//! the same swapped-pair counts the analytical models predict — but on the
+//! actual flow tables built before and after sampling. These functions do
+//! that counting. They are generic over the flow key so both flow
+//! definitions (5-tuple and /24 prefix) use the same code.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A flow with its true (unsampled) size, as produced by ranking the original
+/// flow table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizedFlow<K> {
+    /// Flow identity.
+    pub key: K,
+    /// True size in packets.
+    pub packets: u64,
+}
+
+/// Result of comparing a sampled ranking against the true ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparisonOutcome {
+    /// The paper's ranking metric: swapped pairs whose first element is a
+    /// true top-`t` flow and whose second element is any other flow.
+    pub ranking_swaps: u64,
+    /// The paper's detection metric: swapped pairs whose first element is a
+    /// true top-`t` flow and whose second element is outside the top `t`.
+    pub detection_swaps: u64,
+    /// Number of true top-`t` flows that do not appear in the sampled table
+    /// at all (sampled size zero).
+    pub missed_top_flows: u64,
+    /// Number of pairs considered for the ranking metric.
+    pub ranking_pairs: u64,
+    /// Number of pairs considered for the detection metric.
+    pub detection_pairs: u64,
+}
+
+/// Compares the true ranking of a flow population against its sampled sizes.
+///
+/// * `original` — every flow of the bin with its true size, in any order.
+/// * `sampled_sizes` — sampled size per flow key; flows absent from the map
+///   have sampled size zero.
+/// * `top_t` — how many top flows the monitor reports.
+///
+/// A pair `(a, b)` with true sizes `S_a > S_b` is *swapped* when the sampled
+/// sizes satisfy `s_b ≥ s_a` — this mirrors the paper's pairwise definition
+/// `P{s_small ≥ s_large}`, and in particular a pair in which neither flow was
+/// sampled counts as swapped. Pairs of equal true size are skipped (their
+/// order is arbitrary even without sampling).
+pub fn compare_rankings<K: Eq + Hash + Clone>(
+    original: &[SizedFlow<K>],
+    sampled_sizes: &HashMap<K, u64>,
+    top_t: usize,
+) -> ComparisonOutcome {
+    // Sort the original flows by decreasing true size to find the top t.
+    let mut ranked: Vec<&SizedFlow<K>> = original.iter().collect();
+    ranked.sort_by(|a, b| b.packets.cmp(&a.packets));
+    let t = top_t.min(ranked.len());
+
+    let sampled_of = |key: &K| sampled_sizes.get(key).copied().unwrap_or(0);
+
+    let mut ranking_swaps = 0u64;
+    let mut detection_swaps = 0u64;
+    let mut ranking_pairs = 0u64;
+    let mut detection_pairs = 0u64;
+    let mut missed_top_flows = 0u64;
+
+    for (rank_a, top_flow) in ranked.iter().take(t).enumerate() {
+        let s_a = sampled_of(&top_flow.key);
+        if s_a == 0 {
+            missed_top_flows += 1;
+        }
+        for (rank_b, other) in ranked.iter().enumerate() {
+            if rank_b <= rank_a {
+                // Pairs are unordered: every pair is counted once, with the
+                // higher-ranked flow as its first element. Pairs of two top
+                // flows are therefore counted by the smaller rank only.
+                continue;
+            }
+            if top_flow.packets == other.packets {
+                continue;
+            }
+            let s_b = sampled_of(&other.key);
+            // top_flow.packets > other.packets by construction of the sort.
+            let swapped = s_b >= s_a;
+            ranking_pairs += 1;
+            if swapped {
+                ranking_swaps += 1;
+            }
+            if rank_b >= t {
+                detection_pairs += 1;
+                if swapped {
+                    detection_swaps += 1;
+                }
+            }
+        }
+    }
+
+    ComparisonOutcome {
+        ranking_swaps,
+        detection_swaps,
+        missed_top_flows,
+        ranking_pairs,
+        detection_pairs,
+    }
+}
+
+/// Convenience: whether the sampled top-`t` *set* matches the true top-`t`
+/// set (order ignored) — the "detection succeeded" criterion.
+pub fn top_set_matches<K: Eq + Hash + Clone + Ord>(
+    original: &[SizedFlow<K>],
+    sampled_sizes: &HashMap<K, u64>,
+    top_t: usize,
+) -> bool {
+    let mut true_ranked: Vec<&SizedFlow<K>> = original.iter().collect();
+    true_ranked.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.key.cmp(&b.key)));
+    let mut true_top: Vec<K> = true_ranked
+        .iter()
+        .take(top_t)
+        .map(|f| f.key.clone())
+        .collect();
+    true_top.sort();
+
+    let mut sampled_ranked: Vec<(&K, u64)> = original
+        .iter()
+        .map(|f| (&f.key, sampled_sizes.get(&f.key).copied().unwrap_or(0)))
+        .collect();
+    sampled_ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut sampled_top: Vec<K> = sampled_ranked
+        .iter()
+        .take(top_t)
+        .map(|(k, _)| (*k).clone())
+        .collect();
+    sampled_top.sort();
+
+    true_top == sampled_top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(sizes: &[u64]) -> Vec<SizedFlow<u32>> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &packets)| SizedFlow {
+                key: i as u32,
+                packets,
+            })
+            .collect()
+    }
+
+    fn sampled(pairs: &[(u32, u64)]) -> HashMap<u32, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_sampling_has_no_swaps() {
+        let original = flows(&[100, 80, 60, 40, 20]);
+        let exact = sampled(&[(0, 100), (1, 80), (2, 60), (3, 40), (4, 20)]);
+        let outcome = compare_rankings(&original, &exact, 3);
+        assert_eq!(outcome.ranking_swaps, 0);
+        assert_eq!(outcome.detection_swaps, 0);
+        assert_eq!(outcome.missed_top_flows, 0);
+        // Pairs: top-3 against everyone below them: 4 + 3 + 2 = 9.
+        assert_eq!(outcome.ranking_pairs, 9);
+        // Detection pairs: top-3 × the 2 non-top flows = 6.
+        assert_eq!(outcome.detection_pairs, 6);
+        assert!(top_set_matches(&original, &exact, 3));
+    }
+
+    #[test]
+    fn single_adjacent_swap_counts_once_for_ranking_only() {
+        let original = flows(&[100, 80, 60, 40, 20]);
+        // Flows 1 and 2 (both in the top 3) swap after sampling.
+        let swapped = sampled(&[(0, 50), (1, 20), (2, 30), (3, 10), (4, 5)]);
+        let outcome = compare_rankings(&original, &swapped, 3);
+        assert_eq!(outcome.ranking_swaps, 1);
+        // The swap is inside the top-3 set, so detection is unaffected.
+        assert_eq!(outcome.detection_swaps, 0);
+        assert!(top_set_matches(&original, &swapped, 3));
+    }
+
+    #[test]
+    fn swap_across_the_boundary_counts_for_both_metrics() {
+        let original = flows(&[100, 80, 60, 40, 20]);
+        // Flow 3 (outside the top 3) out-samples flow 2 (inside).
+        let swapped = sampled(&[(0, 50), (1, 40), (2, 5), (3, 30), (4, 1)]);
+        let outcome = compare_rankings(&original, &swapped, 3);
+        assert!(outcome.ranking_swaps >= 1);
+        assert_eq!(outcome.detection_swaps, 1);
+        assert!(!top_set_matches(&original, &swapped, 3));
+    }
+
+    #[test]
+    fn unsampled_top_flow_counts_as_swapped_with_everything() {
+        let original = flows(&[100, 80, 60, 40, 20]);
+        // Flow 0 disappears entirely: every one of its 4 pairs is swapped
+        // (sampled sizes of the others are ≥ 0 = its sampled size).
+        let missing = sampled(&[(1, 40), (2, 30), (3, 20), (4, 10)]);
+        let outcome = compare_rankings(&original, &missing, 1);
+        assert_eq!(outcome.missed_top_flows, 1);
+        assert_eq!(outcome.ranking_swaps, 4);
+        assert_eq!(outcome.detection_swaps, 4);
+    }
+
+    #[test]
+    fn both_flows_unsampled_is_a_swap() {
+        let original = flows(&[100, 10]);
+        let nothing: HashMap<u32, u64> = HashMap::new();
+        let outcome = compare_rankings(&original, &nothing, 1);
+        assert_eq!(outcome.ranking_swaps, 1);
+        assert_eq!(outcome.detection_swaps, 1);
+        assert_eq!(outcome.missed_top_flows, 1);
+    }
+
+    #[test]
+    fn equal_true_sizes_are_skipped() {
+        let original = flows(&[50, 50, 10]);
+        let exact = sampled(&[(0, 5), (1, 9), (2, 1)]);
+        let outcome = compare_rankings(&original, &exact, 2);
+        // The (0,1) pair is skipped; only (0,2) and (1,2) are counted.
+        assert_eq!(outcome.ranking_pairs, 2);
+        assert_eq!(outcome.ranking_swaps, 0);
+    }
+
+    #[test]
+    fn top_t_larger_than_population_is_clamped() {
+        let original = flows(&[30, 20, 10]);
+        let exact = sampled(&[(0, 3), (1, 2), (2, 1)]);
+        let outcome = compare_rankings(&original, &exact, 10);
+        assert_eq!(outcome.ranking_swaps, 0);
+        assert_eq!(outcome.detection_pairs, 0);
+        assert!(top_set_matches(&original, &exact, 10));
+    }
+
+    #[test]
+    fn empty_population() {
+        let original: Vec<SizedFlow<u32>> = Vec::new();
+        let outcome = compare_rankings(&original, &HashMap::new(), 5);
+        assert_eq!(outcome.ranking_pairs, 0);
+        assert_eq!(outcome.ranking_swaps, 0);
+        assert!(top_set_matches(&original, &HashMap::new(), 5));
+    }
+}

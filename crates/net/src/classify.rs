@@ -1,0 +1,343 @@
+//! Flow classification and ranking.
+//!
+//! [`FlowTable`] is the monitor's flow cache: it is driven packet-by-packet,
+//! aggregates per-flow counters, and produces ranked top-`t` lists. Both the
+//! unsampled ("ground truth") and sampled streams of the trace-driven
+//! experiments are classified with the same table, after which the two
+//! rankings are compared by the metrics in `flowrank-core`.
+
+use std::collections::HashMap;
+
+use crate::flowkey::FlowKey;
+use crate::packet::{PacketRecord, Timestamp};
+
+/// Per-flow counters maintained by the flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Number of packets observed.
+    pub packets: u64,
+    /// Number of bytes observed.
+    pub bytes: u64,
+    /// Timestamp of the first observed packet.
+    pub first_seen: Timestamp,
+    /// Timestamp of the last observed packet.
+    pub last_seen: Timestamp,
+    /// Smallest TCP sequence number seen (when the flow carries TCP).
+    pub min_tcp_seq: Option<u32>,
+    /// Largest TCP sequence number seen (when the flow carries TCP).
+    pub max_tcp_seq: Option<u32>,
+}
+
+impl FlowStats {
+    fn new(packet: &PacketRecord) -> Self {
+        FlowStats {
+            packets: 1,
+            bytes: packet.length as u64,
+            first_seen: packet.timestamp,
+            last_seen: packet.timestamp,
+            min_tcp_seq: packet.tcp_seq,
+            max_tcp_seq: packet.tcp_seq,
+        }
+    }
+
+    fn update(&mut self, packet: &PacketRecord) {
+        self.packets += 1;
+        self.bytes += packet.length as u64;
+        if packet.timestamp < self.first_seen {
+            self.first_seen = packet.timestamp;
+        }
+        if packet.timestamp > self.last_seen {
+            self.last_seen = packet.timestamp;
+        }
+        if let Some(seq) = packet.tcp_seq {
+            self.min_tcp_seq = Some(self.min_tcp_seq.map_or(seq, |m| m.min(seq)));
+            self.max_tcp_seq = Some(self.max_tcp_seq.map_or(seq, |m| m.max(seq)));
+        }
+    }
+
+    /// Flow duration (last minus first packet timestamp).
+    pub fn duration(&self) -> Timestamp {
+        self.last_seen.saturating_sub(self.first_seen)
+    }
+
+    /// Span of observed TCP sequence numbers, in bytes, if the flow carried
+    /// at least two distinct sequence numbers.
+    ///
+    /// This is the raw ingredient of the sequence-number size estimator
+    /// (paper Sec. 9, second future direction).
+    pub fn tcp_seq_span(&self) -> Option<u64> {
+        match (self.min_tcp_seq, self.max_tcp_seq) {
+            (Some(lo), Some(hi)) if hi > lo => Some((hi - lo) as u64),
+            _ => None,
+        }
+    }
+}
+
+/// A flow together with its rank-relevant size, as returned by the ranking
+/// accessors of [`FlowTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedFlow<K> {
+    /// Flow identity.
+    pub key: K,
+    /// Size in packets (the paper ranks flows by packet count).
+    pub packets: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// A flow cache keyed by an arbitrary [`FlowKey`].
+#[derive(Debug, Clone)]
+pub struct FlowTable<K: FlowKey> {
+    flows: HashMap<K, FlowStats>,
+    total_packets: u64,
+    total_bytes: u64,
+}
+
+impl<K: FlowKey> Default for FlowTable<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: FlowKey> FlowTable<K> {
+    /// Creates an empty flow table.
+    pub fn new() -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            total_packets: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Creates an empty flow table with capacity for `n` flows.
+    pub fn with_capacity(n: usize) -> Self {
+        FlowTable {
+            flows: HashMap::with_capacity(n),
+            total_packets: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Observes one packet: classifies it and updates its flow's counters.
+    pub fn observe(&mut self, packet: &PacketRecord) {
+        self.observe_keyed(K::from_packet(packet), packet);
+    }
+
+    /// Observes a packet whose key has already been computed (avoids
+    /// re-deriving the key when the caller classifies under several
+    /// definitions at once).
+    pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) {
+        self.total_packets += 1;
+        self.total_bytes += packet.length as u64;
+        self.flows
+            .entry(key)
+            .and_modify(|s| s.update(packet))
+            .or_insert_with(|| FlowStats::new(packet));
+    }
+
+    /// Number of distinct flows seen.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total number of packets observed.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Total number of bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Returns the counters of a specific flow, if present.
+    pub fn get(&self, key: &K) -> Option<&FlowStats> {
+        self.flows.get(key)
+    }
+
+    /// Iterates over all flows and their counters.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Returns all flows ranked by decreasing packet count.
+    ///
+    /// Ties are broken deterministically by byte count and then by key order
+    /// where available through hashing — callers that need a fully stable
+    /// order across runs should sort on their own key ordering; the
+    /// simulator uses packet count then bytes, which is stable for the
+    /// synthetic traces because keys with identical (packets, bytes) pairs
+    /// are interchangeable for the swapped-pair metric.
+    pub fn ranked_by_packets(&self) -> Vec<RankedFlow<K>> {
+        let mut flows: Vec<RankedFlow<K>> = self
+            .flows
+            .iter()
+            .map(|(k, s)| RankedFlow {
+                key: k.clone(),
+                packets: s.packets,
+                bytes: s.bytes,
+            })
+            .collect();
+        flows.sort_by(|a, b| b.packets.cmp(&a.packets).then(b.bytes.cmp(&a.bytes)));
+        flows
+    }
+
+    /// Returns the top `t` flows by packet count.
+    pub fn top_by_packets(&self, t: usize) -> Vec<RankedFlow<K>> {
+        let mut ranked = self.ranked_by_packets();
+        ranked.truncate(t);
+        ranked
+    }
+
+    /// Returns the sizes (in packets) of all flows, unordered.
+    pub fn packet_counts(&self) -> Vec<u64> {
+        self.flows.values().map(|s| s.packets).collect()
+    }
+
+    /// Removes all flows and resets the totals (start of a new measurement
+    /// bin in the paper's "binning" methodology).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.total_packets = 0;
+        self.total_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowkey::{DstPrefix, FiveTuple};
+    use std::net::Ipv4Addr;
+
+    fn packet(src_last: u8, dst_last: u8, dport: u16, len: u16, t: f64) -> PacketRecord {
+        PacketRecord::tcp(
+            Timestamp::from_secs_f64(t),
+            Ipv4Addr::new(10, 0, 0, src_last),
+            1000 + src_last as u16,
+            Ipv4Addr::new(192, 168, 1, dst_last),
+            dport,
+            len,
+            (t * 1000.0) as u32,
+        )
+    }
+
+    #[test]
+    fn empty_table() {
+        let table: FlowTable<FiveTuple> = FlowTable::new();
+        assert_eq!(table.flow_count(), 0);
+        assert_eq!(table.total_packets(), 0);
+        assert!(table.ranked_by_packets().is_empty());
+        assert!(table.top_by_packets(5).is_empty());
+    }
+
+    #[test]
+    fn aggregates_packets_into_flows() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::with_capacity(4);
+        for i in 0..5 {
+            table.observe(&packet(1, 1, 80, 500, i as f64));
+        }
+        for i in 0..3 {
+            table.observe(&packet(2, 1, 80, 1500, i as f64));
+        }
+        assert_eq!(table.flow_count(), 2);
+        assert_eq!(table.total_packets(), 8);
+        assert_eq!(table.total_bytes(), 5 * 500 + 3 * 1500);
+
+        let key = FiveTuple::from_packet(&packet(1, 1, 80, 500, 0.0));
+        let stats = table.get(&key).unwrap();
+        assert_eq!(stats.packets, 5);
+        assert_eq!(stats.bytes, 2500);
+        assert_eq!(stats.first_seen, Timestamp::from_secs_f64(0.0));
+        assert_eq!(stats.last_seen, Timestamp::from_secs_f64(4.0));
+        assert_eq!(stats.duration(), Timestamp::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn ranking_orders_by_packet_count() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        for (host, count) in [(1u8, 10usize), (2, 3), (3, 7), (4, 1)] {
+            for i in 0..count {
+                table.observe(&packet(host, host, 80, 500, i as f64));
+            }
+        }
+        let ranked = table.ranked_by_packets();
+        let counts: Vec<u64> = ranked.iter().map(|f| f.packets).collect();
+        assert_eq!(counts, vec![10, 7, 3, 1]);
+        let top2 = table.top_by_packets(2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].packets, 10);
+        assert_eq!(top2[1].packets, 7);
+        // Asking for more than available returns everything.
+        assert_eq!(table.top_by_packets(100).len(), 4);
+    }
+
+    #[test]
+    fn prefix_table_aggregates_subnets() {
+        let mut table: FlowTable<DstPrefix> = FlowTable::new();
+        // Two different 5-tuples to the same /24 destination.
+        table.observe(&packet(1, 10, 80, 500, 0.0));
+        table.observe(&packet(2, 20, 443, 500, 1.0));
+        // One packet to a different /24.
+        let mut other = packet(3, 1, 80, 500, 2.0);
+        other.dst_ip = Ipv4Addr::new(172, 16, 0, 1);
+        table.observe(&other);
+        assert_eq!(table.flow_count(), 2);
+        let ranked = table.ranked_by_packets();
+        assert_eq!(ranked[0].packets, 2);
+        assert_eq!(ranked[1].packets, 1);
+    }
+
+    #[test]
+    fn tcp_seq_span_tracking() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        let mut p1 = packet(1, 1, 80, 500, 0.0);
+        p1.tcp_seq = Some(1_000);
+        let mut p2 = p1;
+        p2.tcp_seq = Some(51_000);
+        p2.timestamp = Timestamp::from_secs_f64(3.0);
+        table.observe(&p1);
+        table.observe(&p2);
+        let key = FiveTuple::from_packet(&p1);
+        let stats = table.get(&key).unwrap();
+        assert_eq!(stats.tcp_seq_span(), Some(50_000));
+        // A single sequence number yields no span.
+        let mut single: FlowTable<FiveTuple> = FlowTable::new();
+        single.observe(&p1);
+        assert_eq!(single.get(&key).unwrap().tcp_seq_span(), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        table.observe(&packet(1, 1, 80, 500, 0.0));
+        assert_eq!(table.flow_count(), 1);
+        table.clear();
+        assert_eq!(table.flow_count(), 0);
+        assert_eq!(table.total_packets(), 0);
+        assert_eq!(table.total_bytes(), 0);
+    }
+
+    #[test]
+    fn packet_counts_unordered_contents() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        for (host, count) in [(1u8, 4usize), (2, 2)] {
+            for i in 0..count {
+                table.observe(&packet(host, host, 80, 500, i as f64));
+            }
+        }
+        let mut counts = table.packet_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 4]);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_tracked() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        table.observe(&packet(1, 1, 80, 500, 5.0));
+        table.observe(&packet(1, 1, 80, 500, 2.0));
+        let key = FiveTuple::from_packet(&packet(1, 1, 80, 500, 0.0));
+        let stats = table.get(&key).unwrap();
+        assert_eq!(stats.first_seen, Timestamp::from_secs_f64(2.0));
+        assert_eq!(stats.last_seen, Timestamp::from_secs_f64(5.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the packet/flow substrate.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results returned by `flowrank-net`.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors produced by the packet/flow substrate.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying I/O failure while reading or writing a capture file.
+    Io(io::Error),
+    /// The capture file does not start with a recognised libpcap magic number.
+    BadPcapMagic {
+        /// The magic value that was found.
+        found: u32,
+    },
+    /// The capture file declares an unsupported link type.
+    UnsupportedLinkType {
+        /// The link-layer type declared in the pcap header.
+        link_type: u32,
+    },
+    /// A packet record is truncated or structurally invalid.
+    MalformedPacket {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+    /// A header field was given a value that cannot be encoded.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Reason the value is not encodable.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::BadPcapMagic { found } => {
+                write!(f, "not a libpcap capture file (magic {found:#010x})")
+            }
+            NetError::UnsupportedLinkType { link_type } => {
+                write!(f, "unsupported pcap link type {link_type} (only Ethernet is supported)")
+            }
+            NetError::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            NetError::InvalidField { field, reason } => {
+                write!(f, "invalid value for {field}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::BadPcapMagic { found: 0xdeadbeef }
+            .to_string()
+            .contains("0xdeadbeef"));
+        assert!(NetError::UnsupportedLinkType { link_type: 101 }
+            .to_string()
+            .contains("101"));
+        assert!(NetError::MalformedPacket { reason: "short IPv4 header" }
+            .to_string()
+            .contains("short IPv4 header"));
+        assert!(NetError::InvalidField { field: "payload", reason: "too large" }
+            .to_string()
+            .contains("payload"));
+        let io_err = NetError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(io_err.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let err = NetError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(err.source().is_some());
+        assert!(NetError::MalformedPacket { reason: "x" }.source().is_none());
+    }
+}

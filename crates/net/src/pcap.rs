@@ -1,0 +1,333 @@
+//! Classic libpcap capture-file reader and writer, implemented from scratch.
+//!
+//! The paper's monitors (NetFlow-style line cards, passive taps) produce
+//! packet captures; to keep the reproduction self-contained we implement the
+//! classic libpcap file format (the 24-byte global header followed by
+//! 16-byte per-packet record headers) rather than depending on an external
+//! crate. Only the microsecond-resolution, Ethernet link-type variant is
+//! supported — exactly what the synthetic trace exporter produces.
+
+use std::io::{Read, Write};
+
+use crate::error::{NetError, NetResult};
+use crate::headers::{decode_frame, encode_frame};
+use crate::packet::{PacketRecord, Timestamp};
+
+/// Standard libpcap magic (microsecond timestamps, native byte order).
+pub const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
+/// libpcap magic written by machines of the opposite endianness.
+pub const PCAP_MAGIC_SWAPPED: u32 = 0xD4C3_B2A1;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Snapshot length written into generated captures (no truncation).
+pub const DEFAULT_SNAPLEN: u32 = 65_535;
+
+/// Writer that streams packets into a classic pcap capture.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global pcap header.
+    pub fn new(mut out: W) -> NetResult<Self> {
+        out.write_all(&PCAP_MAGIC.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&DEFAULT_SNAPLEN.to_le_bytes())?;
+        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter {
+            out,
+            packets_written: 0,
+        })
+    }
+
+    /// Writes one raw frame with the given timestamp.
+    pub fn write_frame(&mut self, timestamp: Timestamp, frame: &[u8]) -> NetResult<()> {
+        let micros = timestamp.as_micros();
+        let ts_sec = (micros / 1_000_000) as u32;
+        let ts_usec = (micros % 1_000_000) as u32;
+        let len = frame.len() as u32;
+        self.out.write_all(&ts_sec.to_le_bytes())?;
+        self.out.write_all(&ts_usec.to_le_bytes())?;
+        self.out.write_all(&len.to_le_bytes())?; // incl_len (no truncation)
+        self.out.write_all(&len.to_le_bytes())?; // orig_len
+        self.out.write_all(frame)?;
+        self.packets_written += 1;
+        Ok(())
+    }
+
+    /// Encodes a [`PacketRecord`] as an Ethernet/IPv4 frame and writes it.
+    pub fn write_record(&mut self, record: &PacketRecord) -> NetResult<()> {
+        let frame = encode_frame(record)?;
+        self.write_frame(record.timestamp, &frame)
+    }
+
+    /// Number of packets written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets_written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> NetResult<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reader that iterates over the packets of a classic pcap capture.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    input: R,
+    swapped: bool,
+    link_type: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Opens a capture: reads and validates the global header.
+    pub fn new(mut input: R) -> NetResult<Self> {
+        let mut header = [0u8; 24];
+        input.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let swapped = match magic {
+            PCAP_MAGIC => false,
+            PCAP_MAGIC_SWAPPED => true,
+            other => return Err(NetError::BadPcapMagic { found: other }),
+        };
+        let read_u32 = |bytes: [u8; 4]| {
+            if swapped {
+                u32::from_be_bytes(bytes)
+            } else {
+                u32::from_le_bytes(bytes)
+            }
+        };
+        let link_type = read_u32([header[20], header[21], header[22], header[23]]);
+        if link_type != LINKTYPE_ETHERNET {
+            return Err(NetError::UnsupportedLinkType { link_type });
+        }
+        Ok(PcapReader {
+            input,
+            swapped,
+            link_type,
+        })
+    }
+
+    /// Link-layer type declared in the capture header.
+    pub fn link_type(&self) -> u32 {
+        self.link_type
+    }
+
+    fn read_u32(&mut self) -> NetResult<Option<u32>> {
+        let mut buf = [0u8; 4];
+        match self.input.read_exact(&mut buf) {
+            Ok(()) => Ok(Some(if self.swapped {
+                u32::from_be_bytes(buf)
+            } else {
+                u32::from_le_bytes(buf)
+            })),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reads the next raw frame, or `None` at end of file.
+    pub fn next_frame(&mut self) -> NetResult<Option<(Timestamp, Vec<u8>)>> {
+        let ts_sec = match self.read_u32()? {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        let ts_usec = self.read_u32()?.ok_or(NetError::MalformedPacket {
+            reason: "truncated pcap record header",
+        })?;
+        let incl_len = self.read_u32()?.ok_or(NetError::MalformedPacket {
+            reason: "truncated pcap record header",
+        })?;
+        let _orig_len = self.read_u32()?.ok_or(NetError::MalformedPacket {
+            reason: "truncated pcap record header",
+        })?;
+        if incl_len > 10 * 1024 * 1024 {
+            return Err(NetError::MalformedPacket {
+                reason: "pcap record longer than 10 MiB",
+            });
+        }
+        let mut frame = vec![0u8; incl_len as usize];
+        self.input.read_exact(&mut frame)?;
+        let micros = ts_sec as u64 * 1_000_000 + ts_usec as u64;
+        Ok(Some((Timestamp::from_micros(micros), frame)))
+    }
+
+    /// Reads the next packet and decodes it into a [`PacketRecord`].
+    ///
+    /// Frames that cannot be decoded (non-IPv4, truncated) are skipped, which
+    /// mirrors how a flow monitor ignores traffic it cannot classify.
+    pub fn next_record(&mut self) -> NetResult<Option<PacketRecord>> {
+        loop {
+            match self.next_frame()? {
+                None => return Ok(None),
+                Some((ts, frame)) => match decode_frame(ts, &frame) {
+                    Ok(record) => return Ok(Some(record)),
+                    Err(_) => continue,
+                },
+            }
+        }
+    }
+
+    /// Reads all remaining packets into a vector.
+    pub fn read_all_records(&mut self) -> NetResult<Vec<PacketRecord>> {
+        let mut out = Vec::new();
+        while let Some(record) = self.next_record()? {
+            out.push(record);
+        }
+        Ok(out)
+    }
+}
+
+/// Writes a slice of packet records to a pcap byte buffer (in memory).
+pub fn records_to_pcap_bytes(records: &[PacketRecord]) -> NetResult<Vec<u8>> {
+    let mut writer = PcapWriter::new(Vec::new())?;
+    for record in records {
+        writer.write_record(record)?;
+    }
+    writer.finish()
+}
+
+/// Parses every packet record out of a pcap byte buffer.
+pub fn pcap_bytes_to_records(bytes: &[u8]) -> NetResult<Vec<PacketRecord>> {
+    let mut reader = PcapReader::new(bytes)?;
+    reader.read_all_records()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowkey::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn sample_records(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| {
+                PacketRecord::tcp(
+                    Timestamp::from_secs_f64(i as f64 * 0.001),
+                    Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8),
+                    1024 + (i % 1000) as u16,
+                    Ipv4Addr::new(192, 168, 1, (i % 200) as u8),
+                    80,
+                    500,
+                    i as u32 * 500,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = sample_records(50);
+        let bytes = records_to_pcap_bytes(&records).unwrap();
+        let decoded = pcap_bytes_to_records(&bytes).unwrap();
+        assert_eq!(decoded.len(), records.len());
+        for (a, b) in records.iter().zip(decoded.iter()) {
+            // Timestamps are stored with microsecond resolution in pcap.
+            assert_eq!(a.timestamp.as_micros(), b.timestamp.as_micros());
+            assert_eq!(a.src_ip, b.src_ip);
+            assert_eq!(a.dst_ip, b.dst_ip);
+            assert_eq!(a.src_port, b.src_port);
+            assert_eq!(a.dst_port, b.dst_port);
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.tcp_seq, b.tcp_seq);
+            assert_eq!(a.protocol, Protocol::Tcp);
+        }
+    }
+
+    #[test]
+    fn global_header_fields() {
+        let bytes = records_to_pcap_bytes(&sample_records(1)).unwrap();
+        assert_eq!(
+            u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            PCAP_MAGIC
+        );
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            LINKTYPE_ETHERNET
+        );
+        let reader = PcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.link_type(), LINKTYPE_ETHERNET);
+    }
+
+    #[test]
+    fn empty_capture_yields_no_packets() {
+        let writer = PcapWriter::new(Vec::new()).unwrap();
+        assert_eq!(writer.packets_written(), 0);
+        let bytes = writer.finish().unwrap();
+        let records = pcap_bytes_to_records(&bytes).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_link_type() {
+        let err = PcapReader::new(&[0u8; 24][..]).unwrap_err();
+        assert!(matches!(err, NetError::BadPcapMagic { .. }));
+
+        // Valid magic but link type 101 (raw IP).
+        let mut header = Vec::new();
+        header.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+        header.extend_from_slice(&2u16.to_le_bytes());
+        header.extend_from_slice(&4u16.to_le_bytes());
+        header.extend_from_slice(&0i32.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
+        header.extend_from_slice(&101u32.to_le_bytes());
+        let err = PcapReader::new(&header[..]).unwrap_err();
+        assert!(matches!(err, NetError::UnsupportedLinkType { link_type: 101 }));
+    }
+
+    #[test]
+    fn truncated_file_reports_eof_cleanly() {
+        let bytes = records_to_pcap_bytes(&sample_records(3)).unwrap();
+        // Cut in the middle of the second record's payload.
+        let cut = &bytes[..24 + (16 + 514) + 16 + 100];
+        let mut reader = PcapReader::new(cut).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().is_err());
+    }
+
+    #[test]
+    fn non_ipv4_frames_are_skipped_by_record_reader() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        // A bogus ARP-like frame.
+        let mut arp = vec![0u8; 42];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        writer.write_frame(Timestamp::ZERO, &arp).unwrap();
+        // Followed by a real IPv4 packet.
+        writer.write_record(&sample_records(1)[0]).unwrap();
+        let bytes = writer.finish().unwrap();
+        let records = pcap_bytes_to_records(&bytes).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut bytes = records_to_pcap_bytes(&[]).unwrap();
+        // Append a record header claiming a 100 MiB packet.
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(100u32 * 1024 * 1024).to_le_bytes());
+        bytes.extend_from_slice(&(100u32 * 1024 * 1024).to_le_bytes());
+        let mut reader = PcapReader::new(&bytes[..]).unwrap();
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn timestamps_preserved_to_microsecond() {
+        let mut records = sample_records(1);
+        records[0].timestamp = Timestamp::from_micros(1_234_567_890);
+        let bytes = records_to_pcap_bytes(&records).unwrap();
+        let decoded = pcap_bytes_to_records(&bytes).unwrap();
+        assert_eq!(decoded[0].timestamp.as_micros(), 1_234_567_890);
+    }
+}

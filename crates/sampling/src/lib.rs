@@ -1,0 +1,49 @@
+//! # flowrank-sampling
+//!
+//! Packet- and flow-sampling strategies, plus the inversion estimators that
+//! turn sampled counters back into estimates of the original traffic.
+//!
+//! The paper studies *random packet sampling* — every packet is kept
+//! independently with probability `p` — because that is what production
+//! monitors implement (NetFlow-style 1-in-N or probabilistic sampling), and
+//! shows that periodic and random sampling behave alike on high-speed links.
+//! This crate implements that sampler along with the alternatives the paper
+//! discusses or cites, so the benches can compare them:
+//!
+//! * [`random`] — independent Bernoulli(p) packet sampling (the paper's model).
+//! * [`periodic`] — deterministic 1-in-N packet sampling (what routers ship).
+//! * [`stratified`] — one uniformly chosen packet per stratum of N packets.
+//! * [`flow_sampling`] — whole-flow sampling (reference [8]/[11] discussion in
+//!   Sec. 1): if a flow is sampled, all of its packets are kept.
+//! * [`smart`] — size-dependent flow-record sampling ("smart sampling",
+//!   Duffield–Lund), a baseline for the memory-bounded comparisons.
+//! * [`adaptive`] — an adaptive-rate packet sampler that tracks a packet
+//!   budget per interval (the paper's third future-work direction).
+//! * [`inversion`] — estimators of original-traffic quantities from sampled
+//!   data (scale-by-1/p, flow counts, mean flow size).
+//! * [`seqno`] — TCP sequence-number flow-size estimator (the paper's second
+//!   future-work direction).
+//! * [`pipeline`] — helpers that run a sampler over a packet stream and build
+//!   sampled flow tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod flow_sampling;
+pub mod inversion;
+pub mod periodic;
+pub mod pipeline;
+pub mod random;
+pub mod sampler;
+pub mod seqno;
+pub mod smart;
+pub mod stratified;
+
+pub use adaptive::AdaptiveRateSampler;
+pub use flow_sampling::FlowSampler;
+pub use periodic::PeriodicSampler;
+pub use pipeline::{sample_and_classify, sample_stream};
+pub use random::RandomSampler;
+pub use sampler::PacketSampler;
+pub use stratified::StratifiedSampler;

@@ -1,0 +1,107 @@
+//! Sampling pipelines: run a sampler over a packet stream and build sampled
+//! flow tables.
+//!
+//! These helpers wire together the substrate pieces exactly the way the
+//! paper's monitor does: packets arrive in time order, each one passes
+//! through the sampler, surviving packets are classified into flows, and at
+//! the end of the measurement period the flow table is ranked.
+
+use flowrank_net::{FlowKey, FlowTable, PacketRecord};
+use flowrank_stats::rng::Rng;
+
+use crate::sampler::PacketSampler;
+
+/// Runs `sampler` over `packets` and returns the retained packets.
+pub fn sample_stream<S: PacketSampler>(
+    packets: &[PacketRecord],
+    sampler: &mut S,
+    rng: &mut dyn Rng,
+) -> Vec<PacketRecord> {
+    packets
+        .iter()
+        .filter(|p| sampler.keep(p, rng))
+        .copied()
+        .collect()
+}
+
+/// Runs `sampler` over `packets` and classifies the retained packets into a
+/// flow table keyed by `K` — the monitor's end-of-interval state.
+pub fn sample_and_classify<K: FlowKey, S: PacketSampler>(
+    packets: &[PacketRecord],
+    sampler: &mut S,
+    rng: &mut dyn Rng,
+) -> FlowTable<K> {
+    let mut table = FlowTable::new();
+    for packet in packets {
+        if sampler.keep(packet, rng) {
+            table.observe(packet);
+        }
+    }
+    table
+}
+
+/// Classifies an (unsampled) packet stream — the ground-truth table the
+/// sampled ranking is compared against.
+pub fn classify_all<K: FlowKey>(packets: &[PacketRecord]) -> FlowTable<K> {
+    let mut table = FlowTable::new();
+    for packet in packets {
+        table.observe(packet);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomSampler;
+    use crate::sampler::test_util::packet_stream;
+    use flowrank_net::FiveTuple;
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn sample_stream_keeps_about_p_fraction() {
+        let packets = packet_stream(50_000, 100, 10.0);
+        let mut sampler = RandomSampler::new(0.02);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let kept = sample_stream(&packets, &mut sampler, &mut rng);
+        let frac = kept.len() as f64 / packets.len() as f64;
+        assert!((frac - 0.02).abs() < 0.004, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn classify_all_recovers_flow_structure() {
+        let packets = packet_stream(1_000, 10, 1.0);
+        let table: FlowTable<FiveTuple> = classify_all(&packets);
+        assert_eq!(table.flow_count(), 10);
+        assert_eq!(table.total_packets(), 1_000);
+        // Each of the 10 round-robin flows got 100 packets.
+        assert!(table.ranked_by_packets().iter().all(|f| f.packets == 100));
+    }
+
+    #[test]
+    fn sampled_table_is_subset_of_original() {
+        let packets = packet_stream(20_000, 40, 5.0);
+        let original: FlowTable<FiveTuple> = classify_all(&packets);
+        let mut sampler = RandomSampler::new(0.1);
+        let mut rng = Pcg64::seed_from_u64(5);
+        let sampled: FlowTable<FiveTuple> =
+            sample_and_classify(&packets, &mut sampler, &mut rng);
+        assert!(sampled.flow_count() <= original.flow_count());
+        assert!(sampled.total_packets() < original.total_packets());
+        for (key, stats) in sampled.iter() {
+            let orig = original.get(key).expect("sampled flow must exist");
+            assert!(stats.packets <= orig.packets);
+        }
+    }
+
+    #[test]
+    fn zero_rate_yields_empty_table() {
+        let packets = packet_stream(1_000, 10, 1.0);
+        let mut sampler = RandomSampler::new(0.0);
+        let mut rng = Pcg64::seed_from_u64(6);
+        let sampled: FlowTable<FiveTuple> =
+            sample_and_classify(&packets, &mut sampler, &mut rng);
+        assert_eq!(sampled.flow_count(), 0);
+        assert_eq!(sampled.total_packets(), 0);
+    }
+}

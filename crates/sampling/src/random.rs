@@ -1,0 +1,95 @@
+//! Independent random packet sampling — the paper's sampling model.
+//!
+//! Every packet is retained with probability `p`, independently of every
+//! other packet, so a flow of `S` packets yields a Binomial(S, p) sampled
+//! size. All of the analytical machinery in `flowrank-core` assumes this
+//! sampler.
+
+use flowrank_net::PacketRecord;
+use flowrank_stats::rng::Rng;
+
+use crate::sampler::PacketSampler;
+
+/// Bernoulli(p) packet sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomSampler {
+    rate: f64,
+}
+
+impl RandomSampler {
+    /// Creates a random sampler with sampling probability `rate`, clamped to
+    /// `[0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        RandomSampler {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The sampling probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl PacketSampler for RandomSampler {
+    fn keep(&mut self, _packet: &PacketRecord, rng: &mut dyn Rng) -> bool {
+        rng.bernoulli(self.rate)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::test_util::packet_stream;
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn clamps_rate() {
+        assert_eq!(RandomSampler::new(-0.5).rate(), 0.0);
+        assert_eq!(RandomSampler::new(1.7).rate(), 1.0);
+        assert_eq!(RandomSampler::new(0.01).nominal_rate(), 0.01);
+        assert_eq!(RandomSampler::new(0.5).name(), "random");
+    }
+
+    #[test]
+    fn empirical_rate_matches_nominal() {
+        let packets = packet_stream(100_000, 50, 10.0);
+        let mut sampler = RandomSampler::new(0.1);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let kept = packets
+            .iter()
+            .filter(|p| sampler.keep(p, &mut rng))
+            .count();
+        let rate = kept as f64 / packets.len() as f64;
+        assert!((rate - 0.1).abs() < 0.005, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn extreme_rates() {
+        let packets = packet_stream(1_000, 10, 1.0);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut none = RandomSampler::new(0.0);
+        let mut all = RandomSampler::new(1.0);
+        assert!(packets.iter().all(|p| !none.keep(p, &mut rng)));
+        assert!(packets.iter().all(|p| all.keep(p, &mut rng)));
+    }
+
+    #[test]
+    fn decisions_are_independent_of_packet_content() {
+        // Two different packets at the same position in the RNG stream get
+        // the same decision — the sampler never inspects the packet.
+        let packets = packet_stream(2, 2, 1.0);
+        let mut s = RandomSampler::new(0.5);
+        let mut rng_a = Pcg64::seed_from_u64(3);
+        let mut rng_b = Pcg64::seed_from_u64(3);
+        assert_eq!(s.keep(&packets[0], &mut rng_a), s.keep(&packets[1], &mut rng_b));
+    }
+}

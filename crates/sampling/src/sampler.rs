@@ -1,0 +1,53 @@
+//! The packet-sampler abstraction.
+//!
+//! A sampler is driven packet-by-packet and decides, for each packet, whether
+//! the monitor keeps it. Samplers are allowed to keep internal state
+//! (periodic counters, per-flow decisions, adaptive rates) and receive a
+//! caller-supplied RNG so that entire experiments stay deterministic under a
+//! fixed seed.
+
+use flowrank_net::PacketRecord;
+use flowrank_stats::rng::Rng;
+
+/// Decides which packets the monitor retains.
+pub trait PacketSampler {
+    /// Returns `true` when `packet` is retained by the monitor.
+    fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool;
+
+    /// The sampler's nominal sampling rate (expected fraction of packets
+    /// kept), used for inversion / scaling. Adaptive samplers report their
+    /// current rate.
+    fn nominal_rate(&self) -> f64;
+
+    /// Resets any internal state (start of a new measurement interval).
+    fn reset(&mut self) {}
+
+    /// Short human-readable name used in reports and bench output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    //! Shared fixtures for sampler tests.
+    use flowrank_net::{PacketRecord, Timestamp};
+    use std::net::Ipv4Addr;
+
+    /// Builds `n` packets spread over `duration` seconds, cycling over
+    /// `flows` distinct 5-tuples.
+    pub fn packet_stream(n: usize, flows: usize, duration: f64) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| {
+                let flow = (i % flows.max(1)) as u8;
+                PacketRecord::tcp(
+                    Timestamp::from_secs_f64(duration * i as f64 / n.max(1) as f64),
+                    Ipv4Addr::new(10, 0, 1, flow),
+                    10_000 + flow as u16,
+                    Ipv4Addr::new(100, 64, 0, flow),
+                    80,
+                    500,
+                    (i * 500) as u32,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,187 @@
+//! One sampling run over one measurement bin.
+//!
+//! The monitor pipeline of the paper: classify the bin's packets without
+//! sampling (ground truth), classify the sampled packets, rank both, and
+//! count the swapped pairs for the ranking and detection metrics.
+
+use std::collections::HashMap;
+
+use flowrank_core::metrics::{compare_rankings, ComparisonOutcome, SizedFlow};
+use flowrank_net::{AnyFlowKey, FlowDefinition, FlowTable, PacketRecord};
+use flowrank_sampling::{PacketSampler, RandomSampler};
+use flowrank_stats::rng::{Pcg64, Rng, SeedableRng};
+
+/// Outcome of one sampling run over one bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinResult {
+    /// Number of flows in the bin before sampling.
+    pub original_flows: usize,
+    /// Number of flows that survived sampling.
+    pub sampled_flows: usize,
+    /// Swapped-pair counts for the ranking and detection metrics.
+    pub outcome: ComparisonOutcome,
+}
+
+impl BinResult {
+    /// The ranking metric value (average number of swapped pairs) for this
+    /// single run — used directly, the averaging over runs happens above.
+    pub fn ranking_metric(&self) -> f64 {
+        self.outcome.ranking_swaps as f64
+    }
+
+    /// The detection metric value for this single run.
+    pub fn detection_metric(&self) -> f64 {
+        self.outcome.detection_swaps as f64
+    }
+}
+
+/// Runs one sampling run over one bin of packets.
+///
+/// * `flow_definition` — 5-tuple or /24 prefix classification.
+/// * `sampler` — any packet sampler; the paper uses [`RandomSampler`].
+/// * `top_t` — number of top flows the monitor reports.
+pub fn run_bin<S: PacketSampler>(
+    packets: &[PacketRecord],
+    flow_definition: FlowDefinition,
+    sampler: &mut S,
+    top_t: usize,
+    rng: &mut dyn Rng,
+) -> BinResult {
+    sampler.reset();
+    let mut original: FlowTable<AnyFlowKey> = FlowTable::new();
+    let mut sampled: FlowTable<AnyFlowKey> = FlowTable::new();
+    for packet in packets {
+        let key = flow_definition.key_of(packet);
+        original.observe_keyed(key, packet);
+        if sampler.keep(packet, rng) {
+            sampled.observe_keyed(key, packet);
+        }
+    }
+
+    let original_flows: Vec<SizedFlow<AnyFlowKey>> = original
+        .iter()
+        .map(|(key, stats)| SizedFlow {
+            key: *key,
+            packets: stats.packets,
+        })
+        .collect();
+    let sampled_sizes: HashMap<AnyFlowKey, u64> = sampled
+        .iter()
+        .map(|(key, stats)| (*key, stats.packets))
+        .collect();
+
+    let outcome = compare_rankings(&original_flows, &sampled_sizes, top_t);
+    BinResult {
+        original_flows: original.flow_count(),
+        sampled_flows: sampled.flow_count(),
+        outcome,
+    }
+}
+
+/// Convenience wrapper: one random-sampling run at rate `p` with a fresh RNG
+/// derived from `seed`.
+pub fn run_bin_random_sampling(
+    packets: &[PacketRecord],
+    flow_definition: FlowDefinition,
+    rate: f64,
+    top_t: usize,
+    seed: u64,
+) -> BinResult {
+    let mut sampler = RandomSampler::new(rate);
+    let mut rng = Pcg64::seed_from_u64(seed);
+    run_bin(packets, flow_definition, &mut sampler, top_t, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrank_net::Timestamp;
+    use std::net::Ipv4Addr;
+
+    /// A bin with `flows` flows where flow `i` has `10 * (flows - i)` packets.
+    fn skewed_bin(flows: u8) -> Vec<PacketRecord> {
+        let mut packets = Vec::new();
+        for i in 0..flows {
+            let count = 10 * (flows - i) as usize;
+            for j in 0..count {
+                packets.push(PacketRecord::tcp(
+                    Timestamp::from_secs_f64(j as f64 * 0.01),
+                    Ipv4Addr::new(10, 0, 0, i),
+                    1000 + i as u16,
+                    Ipv4Addr::new(100, 64, i, 1),
+                    80,
+                    500,
+                    (j * 500) as u32,
+                ));
+            }
+        }
+        packets
+    }
+
+    #[test]
+    fn full_sampling_has_zero_error() {
+        let packets = skewed_bin(20);
+        let result = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 1.0, 10, 1);
+        assert_eq!(result.original_flows, 20);
+        assert_eq!(result.sampled_flows, 20);
+        assert_eq!(result.outcome.ranking_swaps, 0);
+        assert_eq!(result.outcome.detection_swaps, 0);
+        assert_eq!(result.ranking_metric(), 0.0);
+    }
+
+    #[test]
+    fn tiny_sampling_rate_produces_errors() {
+        let packets = skewed_bin(30);
+        let result = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 0.005, 10, 2);
+        assert!(result.sampled_flows < result.original_flows);
+        assert!(
+            result.outcome.ranking_swaps > 0,
+            "0.5% sampling of small flows must produce ranking errors"
+        );
+        assert!(result.detection_metric() >= 0.0);
+    }
+
+    #[test]
+    fn higher_rates_give_fewer_errors_on_average() {
+        let packets = skewed_bin(40);
+        let average = |rate: f64| -> f64 {
+            (0..10)
+                .map(|seed| {
+                    run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, rate, 10, seed)
+                        .ranking_metric()
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let low = average(0.01);
+        let high = average(0.5);
+        assert!(high < low, "high-rate error {high} must be below low-rate {low}");
+    }
+
+    #[test]
+    fn prefix_definition_aggregates_flows() {
+        let packets = skewed_bin(20);
+        let five = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 1.0, 5, 3);
+        let prefix = run_bin_random_sampling(&packets, FlowDefinition::PREFIX24, 1.0, 5, 3);
+        // Each test flow uses its own /24, except they are constructed with
+        // distinct third octets, so counts coincide here; what matters is the
+        // code path works and produces a valid result for both definitions.
+        assert_eq!(five.original_flows, 20);
+        assert!(prefix.original_flows <= 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let packets = skewed_bin(25);
+        let a = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 0.1, 10, 7);
+        let b = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 0.1, 10, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_bin() {
+        let result = run_bin_random_sampling(&[], FlowDefinition::FiveTuple, 0.1, 10, 1);
+        assert_eq!(result.original_flows, 0);
+        assert_eq!(result.outcome.ranking_swaps, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Multi-run, multi-bin trace-driven experiments.
+//!
+//! Reproduces the methodology of Sec. 8.2: for each sampling rate, the same
+//! packet trace is sampled in 30 independent runs; for every measurement bin
+//! the ranking (or detection) metric is averaged over the runs and reported
+//! together with its standard deviation. Runs are independent, so they are
+//! parallelised across std threads.
+
+use std::thread;
+
+use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
+use flowrank_stats::rng::derive_seeds;
+use flowrank_stats::summary::RunningStats;
+
+use crate::binning::split_into_bins;
+use crate::engine::run_bin_random_sampling;
+
+/// Configuration of a trace-driven experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Flow definition used for classification.
+    pub flow_definition: FlowDefinition,
+    /// Packet sampling rates to evaluate.
+    pub sampling_rates: Vec<f64>,
+    /// Measurement-bin length.
+    pub bin_length: Timestamp,
+    /// Number of top flows to rank/detect.
+    pub top_t: usize,
+    /// Number of independent sampling runs per rate (30 in the paper).
+    pub runs: usize,
+    /// Master seed; per-run seeds are derived deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            flow_definition: FlowDefinition::FiveTuple,
+            sampling_rates: vec![0.001, 0.01, 0.1, 0.5],
+            bin_length: Timestamp::from_secs_f64(60.0),
+            top_t: 10,
+            runs: 30,
+            seed: 0xF10A_4A9C,
+        }
+    }
+}
+
+/// Per-bin averaged metrics for one sampling rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSeries {
+    /// The sampling rate this series corresponds to.
+    pub rate: f64,
+    /// Mean ranking metric per bin (swapped pairs involving a top-t flow).
+    pub ranking_mean: Vec<f64>,
+    /// Standard deviation of the ranking metric per bin.
+    pub ranking_std: Vec<f64>,
+    /// Mean detection metric per bin (swapped pairs across the top-t boundary).
+    pub detection_mean: Vec<f64>,
+    /// Standard deviation of the detection metric per bin.
+    pub detection_std: Vec<f64>,
+}
+
+impl RateSeries {
+    /// Mean of the per-bin ranking means (a single summary number).
+    pub fn overall_ranking_mean(&self) -> f64 {
+        if self.ranking_mean.is_empty() {
+            return 0.0;
+        }
+        self.ranking_mean.iter().sum::<f64>() / self.ranking_mean.len() as f64
+    }
+
+    /// Mean of the per-bin detection means.
+    pub fn overall_detection_mean(&self) -> f64 {
+        if self.detection_mean.is_empty() {
+            return 0.0;
+        }
+        self.detection_mean.iter().sum::<f64>() / self.detection_mean.len() as f64
+    }
+}
+
+/// Result of a trace-driven experiment: one series per sampling rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Number of measurement bins in the trace.
+    pub bin_count: usize,
+    /// One series per configured sampling rate.
+    pub series: Vec<RateSeries>,
+}
+
+/// A trace-driven experiment over a fixed packet trace.
+#[derive(Debug)]
+pub struct TraceExperiment {
+    bins: Vec<Vec<PacketRecord>>,
+    config: ExperimentConfig,
+}
+
+impl TraceExperiment {
+    /// Prepares an experiment: splits the packet trace into measurement bins.
+    pub fn new(packets: &[PacketRecord], config: ExperimentConfig) -> Self {
+        TraceExperiment {
+            bins: split_into_bins(packets, config.bin_length),
+            config,
+        }
+    }
+
+    /// Number of measurement bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Runs the full experiment: every sampling rate, every bin, `runs`
+    /// independent sampling runs, parallelised across runs.
+    pub fn run(&self) -> ExperimentResult {
+        let series = self
+            .config
+            .sampling_rates
+            .iter()
+            .map(|&rate| self.run_rate(rate))
+            .collect();
+        ExperimentResult {
+            bin_count: self.bins.len(),
+            series,
+        }
+    }
+
+    fn run_rate(&self, rate: f64) -> RateSeries {
+        let seeds = derive_seeds(self.config.seed ^ rate.to_bits(), self.config.runs);
+        let bin_count = self.bins.len();
+
+        // Each run produces (ranking, detection) per bin; runs execute on a
+        // bounded pool of std threads.
+        let worker_count = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(self.config.runs.max(1));
+        let chunks: Vec<Vec<u64>> = seeds
+            .chunks(seeds.len().div_ceil(worker_count).max(1))
+            .map(|c| c.to_vec())
+            .collect();
+
+        let per_run_results: Vec<Vec<(f64, f64)>> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for &seed in chunk {
+                            let mut per_bin = Vec::with_capacity(bin_count);
+                            for bin in &self.bins {
+                                let result = run_bin_random_sampling(
+                                    bin,
+                                    self.config.flow_definition,
+                                    rate,
+                                    self.config.top_t,
+                                    seed,
+                                );
+                                per_bin.push((result.ranking_metric(), result.detection_metric()));
+                            }
+                            local.push(per_bin);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        // Aggregate per bin across runs.
+        let mut ranking_stats = vec![RunningStats::new(); bin_count];
+        let mut detection_stats = vec![RunningStats::new(); bin_count];
+        for run in &per_run_results {
+            for (bin_index, &(ranking, detection)) in run.iter().enumerate() {
+                ranking_stats[bin_index].push(ranking);
+                detection_stats[bin_index].push(detection);
+            }
+        }
+        RateSeries {
+            rate,
+            ranking_mean: ranking_stats.iter().map(|s| s.mean().unwrap_or(0.0)).collect(),
+            ranking_std: ranking_stats
+                .iter()
+                .map(|s| s.std_dev().unwrap_or(0.0))
+                .collect(),
+            detection_mean: detection_stats
+                .iter()
+                .map(|s| s.mean().unwrap_or(0.0))
+                .collect(),
+            detection_std: detection_stats
+                .iter()
+                .map(|s| s.std_dev().unwrap_or(0.0))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+
+    fn small_trace() -> Vec<PacketRecord> {
+        let flows = SprintModel::small(120.0, 40.0).generate_flows(11);
+        synthesize_packets(&flows, &SynthesisConfig::default(), 11)
+    }
+
+    fn config(rates: Vec<f64>, runs: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            flow_definition: FlowDefinition::FiveTuple,
+            sampling_rates: rates,
+            bin_length: Timestamp::from_secs_f64(60.0),
+            top_t: 10,
+            runs,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn experiment_structure_matches_configuration() {
+        let packets = small_trace();
+        let experiment = TraceExperiment::new(&packets, config(vec![0.1, 0.5], 4));
+        let result = experiment.run();
+        assert_eq!(result.series.len(), 2);
+        assert_eq!(result.bin_count, experiment.bin_count());
+        assert!(result.bin_count >= 2);
+        for series in &result.series {
+            assert_eq!(series.ranking_mean.len(), result.bin_count);
+            assert_eq!(series.ranking_std.len(), result.bin_count);
+            assert_eq!(series.detection_mean.len(), result.bin_count);
+        }
+    }
+
+    #[test]
+    fn higher_rate_has_lower_error_and_detection_below_ranking() {
+        let packets = small_trace();
+        let experiment = TraceExperiment::new(&packets, config(vec![0.01, 0.5], 6));
+        let result = experiment.run();
+        let low = &result.series[0];
+        let high = &result.series[1];
+        assert!(
+            high.overall_ranking_mean() < low.overall_ranking_mean(),
+            "50% sampling ({}) must beat 1% ({})",
+            high.overall_ranking_mean(),
+            low.overall_ranking_mean()
+        );
+        // Detection errors are a subset of ranking errors.
+        assert!(low.overall_detection_mean() <= low.overall_ranking_mean() + 1e-12);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let packets = small_trace();
+        let a = TraceExperiment::new(&packets, config(vec![0.1], 5)).run();
+        let b = TraceExperiment::new(&packets, config(vec![0.1], 5)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_config_matches_paper_methodology() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.runs, 30);
+        assert_eq!(c.top_t, 10);
+        assert_eq!(c.bin_length, Timestamp::from_secs_f64(60.0));
+        assert_eq!(c.sampling_rates.len(), 4);
+    }
+}

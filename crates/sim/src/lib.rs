@@ -1,0 +1,37 @@
+//! # flowrank-sim
+//!
+//! Trace-driven sampling simulation engine, reproducing the binned
+//! experiments of Sec. 8 of the paper.
+//!
+//! The methodology (Sec. 8.1): the packet-level trace is cut into measurement
+//! bins; within each bin the packets are sampled, classified into flows under
+//! a chosen flow definition, and the sampled ranking is compared with the
+//! unsampled ranking of the same bin through the swapped-pair metrics. Each
+//! experiment is repeated over several independent sampling runs (30 in the
+//! paper) and reported as a per-bin mean with its standard deviation — the
+//! error bars of Figs. 12–16.
+//!
+//! * [`binning`] — cutting a packet trace into measurement bins (flows active
+//!   across a bin boundary are truncated, exactly as the paper's binning
+//!   method does).
+//! * [`engine`] — one sampling run over one bin: sample → classify → rank →
+//!   score.
+//! * [`experiment`] — multi-run, multi-bin experiments with mean ± std-dev
+//!   aggregation, parallelised across runs with std threads.
+//! * [`report`] — CSV-style rendering of experiment results.
+//! * [`scenarios`] — ready-made Sprint / Abilene experiment configurations
+//!   matching Figs. 12–16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod engine;
+pub mod experiment;
+pub mod report;
+pub mod scenarios;
+
+pub use binning::split_into_bins;
+pub use engine::{run_bin, BinResult};
+pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
+pub use scenarios::{abilene_experiment, sprint_experiment};

@@ -1,0 +1,93 @@
+//! Ready-made trace-driven scenarios matching the paper's Figs. 12–16.
+//!
+//! Each helper generates the synthetic trace (Sprint-like or Abilene-like),
+//! expands it to packets and wraps it in a configured [`TraceExperiment`].
+//! A `scale` argument shrinks the flow arrival rate so the experiments stay
+//! affordable in CI and benches; EXPERIMENTS.md records the scale used for
+//! the reported numbers.
+
+use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_trace::{synthesize_packets, AbileneModel, SprintModel, SynthesisConfig};
+
+use crate::experiment::{ExperimentConfig, TraceExperiment};
+
+/// Sampling rates used by Figs. 12–15 (0.1%, 1%, 10%, 50%).
+pub const SPRINT_RATES: [f64; 4] = [0.001, 0.01, 0.1, 0.5];
+/// Sampling rates used by Fig. 16 (0.1%, 1%, 10%, 80%).
+pub const ABILENE_RATES: [f64; 4] = [0.001, 0.01, 0.1, 0.8];
+
+/// Builds the Sprint-like trace experiment of Figs. 12–15.
+///
+/// * `flow_definition` — 5-tuple (Figs. 12/14) or /24 prefix (Figs. 13/15).
+/// * `bin_seconds` — 60 or 300 in the paper.
+/// * `scale` — flow-arrival-rate scale factor (1.0 = full published rate).
+/// * `runs` — sampling runs per rate (30 in the paper).
+pub fn sprint_experiment(
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    scale: f64,
+    runs: usize,
+    seed: u64,
+) -> TraceExperiment {
+    let model = SprintModel::paper(scale);
+    let flows = model.generate_flows(seed);
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), seed ^ 0xA5A5);
+    let config = ExperimentConfig {
+        flow_definition,
+        sampling_rates: SPRINT_RATES.to_vec(),
+        bin_length: Timestamp::from_secs_f64(bin_seconds),
+        top_t: 10,
+        runs,
+        seed,
+    };
+    TraceExperiment::new(&packets, config)
+}
+
+/// Builds the Abilene-like trace experiment of Fig. 16 (1-minute bins,
+/// 5-tuple flows, top 10).
+pub fn abilene_experiment(scale: f64, runs: usize, seed: u64) -> TraceExperiment {
+    let model = AbileneModel::paper(scale);
+    let flows = model.generate_flows(seed);
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), seed ^ 0x5A5A);
+    let config = ExperimentConfig {
+        flow_definition: FlowDefinition::FiveTuple,
+        sampling_rates: ABILENE_RATES.to_vec(),
+        bin_length: Timestamp::from_secs_f64(60.0),
+        top_t: 10,
+        runs,
+        seed,
+    };
+    TraceExperiment::new(&packets, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprint_experiment_structure() {
+        // A strongly reduced scale keeps this test fast while exercising the
+        // full pipeline: generation → synthesis → binning → sampling → metric.
+        let experiment =
+            sprint_experiment(FlowDefinition::FiveTuple, 60.0, 0.002, 3, 42);
+        assert!(experiment.bin_count() >= 25, "30-minute trace in 1-minute bins");
+        let result = experiment.run();
+        assert_eq!(result.series.len(), SPRINT_RATES.len());
+        // The qualitative ordering of the paper: higher sampling rates give
+        // lower ranking error.
+        let overall: Vec<f64> = result
+            .series
+            .iter()
+            .map(|s| s.overall_ranking_mean())
+            .collect();
+        assert!(overall[3] < overall[0], "50% must beat 0.1%: {overall:?}");
+    }
+
+    #[test]
+    fn abilene_experiment_structure() {
+        let experiment = abilene_experiment(0.002, 2, 7);
+        let result = experiment.run();
+        assert_eq!(result.series.len(), ABILENE_RATES.len());
+        assert!(result.bin_count >= 25);
+    }
+}

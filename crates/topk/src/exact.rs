@@ -1,0 +1,108 @@
+//! Exact (unbounded-memory) top-k tracking.
+//!
+//! One counter per flow: this is the idealised monitor the paper assumes when
+//! it isolates the effect of *sampling* on the ranking — with unbounded
+//! memory and no sampling the ranking is perfect, so any error measured in
+//! the trace-driven experiments is attributable to sampling alone.
+
+use std::collections::HashMap;
+
+use flowrank_net::FiveTuple;
+use flowrank_stats::rng::Rng;
+
+use crate::tracker::{TopKEntry, TopKTracker};
+
+/// Unbounded exact per-flow counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExactTopK {
+    counts: HashMap<FiveTuple, u64>,
+}
+
+impl ExactTopK {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact packet count of `key`, if the flow has been seen.
+    pub fn count(&self, key: &FiveTuple) -> Option<u64> {
+        self.counts.get(key).copied()
+    }
+}
+
+impl TopKTracker for ExactTopK {
+    fn observe(&mut self, key: &FiveTuple, _rng: &mut dyn Rng) {
+        *self.counts.entry(*key).or_insert(0) += 1;
+    }
+
+    fn top(&self, t: usize) -> Vec<TopKEntry> {
+        let mut entries: Vec<TopKEntry> = self
+            .counts
+            .iter()
+            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .collect();
+        entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
+        entries.truncate(t);
+        entries
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::test_util::{key, skewed_workload};
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn counts_exactly() {
+        let mut tracker = ExactTopK::new();
+        let mut rng = Pcg64::seed_from_u64(1);
+        for packet_key in skewed_workload(10, 5) {
+            tracker.observe(&packet_key, &mut rng);
+        }
+        assert_eq!(tracker.count(&key(0)), Some(50));
+        assert_eq!(tracker.count(&key(9)), Some(5));
+        assert_eq!(tracker.count(&key(100)), None);
+        assert_eq!(tracker.memory_entries(), 10);
+    }
+
+    #[test]
+    fn top_list_is_correctly_ordered() {
+        let mut tracker = ExactTopK::new();
+        let mut rng = Pcg64::seed_from_u64(1);
+        for packet_key in skewed_workload(20, 3) {
+            tracker.observe(&packet_key, &mut rng);
+        }
+        let top5 = tracker.top(5);
+        assert_eq!(top5.len(), 5);
+        let estimates: Vec<u64> = top5.iter().map(|e| e.estimate).collect();
+        assert_eq!(estimates, vec![60, 57, 54, 51, 48]);
+        assert_eq!(top5[0].key, key(0));
+        // Asking for more than exists returns everything.
+        assert_eq!(tracker.top(100).len(), 20);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut tracker = ExactTopK::new();
+        let mut rng = Pcg64::seed_from_u64(1);
+        tracker.observe(&key(1), &mut rng);
+        assert_eq!(tracker.memory_entries(), 1);
+        tracker.reset();
+        assert_eq!(tracker.memory_entries(), 0);
+        assert!(tracker.top(3).is_empty());
+        assert_eq!(tracker.name(), "exact");
+    }
+}

@@ -1,0 +1,232 @@
+//! Parallel multistage filter (Estan & Varghese, SIGCOMM 2002).
+//!
+//! The second mechanism of reference [11]: every packet hashes into one
+//! counter per stage (different hash functions per stage); when *all* of a
+//! flow's counters exceed a threshold, the flow is promoted into exact flow
+//! memory. Small flows almost never exceed the threshold in every stage
+//! simultaneously, so the exact memory holds (mostly) elephants. The
+//! conservative-update optimisation from the paper is implemented as an
+//! option.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use flowrank_net::FiveTuple;
+use flowrank_stats::rng::Rng;
+
+use crate::tracker::{TopKEntry, TopKTracker};
+
+/// Parallel multistage filter with exact flow memory behind it.
+#[derive(Debug, Clone)]
+pub struct MultistageFilter {
+    stages: Vec<Vec<u64>>,
+    counters_per_stage: usize,
+    threshold: u64,
+    conservative_update: bool,
+    flow_memory: HashMap<FiveTuple, u64>,
+    memory_capacity: usize,
+}
+
+impl MultistageFilter {
+    /// Creates a multistage filter.
+    ///
+    /// * `stage_count` — number of parallel stages (hash functions).
+    /// * `counters_per_stage` — counters per stage.
+    /// * `threshold` — promotion threshold in packets.
+    /// * `memory_capacity` — capacity of the exact flow memory behind the
+    ///   filter.
+    pub fn new(
+        stage_count: usize,
+        counters_per_stage: usize,
+        threshold: u64,
+        memory_capacity: usize,
+    ) -> Self {
+        MultistageFilter {
+            stages: vec![vec![0; counters_per_stage.max(1)]; stage_count.max(1)],
+            counters_per_stage: counters_per_stage.max(1),
+            threshold: threshold.max(1),
+            conservative_update: false,
+            flow_memory: HashMap::new(),
+            memory_capacity: memory_capacity.max(1),
+        }
+    }
+
+    /// Enables conservative update: each stage counter is only raised to the
+    /// minimum value needed, which reduces false positives.
+    pub fn with_conservative_update(mut self) -> Self {
+        self.conservative_update = true;
+        self
+    }
+
+    /// The promotion threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    fn stage_index(&self, stage: usize, key: &FiveTuple) -> usize {
+        let mut hasher = DefaultHasher::new();
+        (stage as u64).hash(&mut hasher);
+        key.hash(&mut hasher);
+        (hasher.finish() % self.counters_per_stage as u64) as usize
+    }
+
+    /// Returns the minimum counter value across stages for a key (the
+    /// filter's size estimate for untracked flows).
+    pub fn filter_estimate(&self, key: &FiveTuple) -> u64 {
+        (0..self.stages.len())
+            .map(|s| self.stages[s][self.stage_index(s, key)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl TopKTracker for MultistageFilter {
+    fn observe(&mut self, key: &FiveTuple, _rng: &mut dyn Rng) {
+        // Flows already promoted are counted exactly.
+        if let Some(count) = self.flow_memory.get_mut(key) {
+            *count += 1;
+            return;
+        }
+        // Update every stage.
+        let indices: Vec<usize> = (0..self.stages.len())
+            .map(|s| self.stage_index(s, key))
+            .collect();
+        let current_min = indices
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| self.stages[s][i])
+            .min()
+            .unwrap_or(0);
+        for (s, &i) in indices.iter().enumerate() {
+            if self.conservative_update {
+                // Raise each counter only as far as needed.
+                let target = current_min + 1;
+                if self.stages[s][i] < target {
+                    self.stages[s][i] = target;
+                }
+            } else {
+                self.stages[s][i] += 1;
+            }
+        }
+        // Promote when every stage exceeds the threshold.
+        let passes = indices
+            .iter()
+            .enumerate()
+            .all(|(s, &i)| self.stages[s][i] >= self.threshold);
+        if passes && self.flow_memory.len() < self.memory_capacity {
+            // The filter estimate seeds the exact counter (upper bound).
+            self.flow_memory.insert(*key, self.threshold);
+        }
+    }
+
+    fn top(&self, t: usize) -> Vec<TopKEntry> {
+        let mut entries: Vec<TopKEntry> = self
+            .flow_memory
+            .iter()
+            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .collect();
+        entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
+        entries.truncate(t);
+        entries
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.flow_memory.len()
+    }
+
+    fn reset(&mut self) {
+        for stage in &mut self.stages {
+            stage.iter_mut().for_each(|c| *c = 0);
+        }
+        self.flow_memory.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "multistage-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::test_util::{key, skewed_workload};
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn elephants_are_promoted_mice_are_not() {
+        let mut filter = MultistageFilter::new(4, 1024, 50, 100);
+        let mut rng = Pcg64::seed_from_u64(1);
+        // Flow 0: 500 packets (elephant); flows 1..=400: 2 packets each.
+        for _ in 0..500 {
+            filter.observe(&key(0), &mut rng);
+        }
+        for i in 1..=400u32 {
+            filter.observe(&key(i), &mut rng);
+            filter.observe(&key(i), &mut rng);
+        }
+        let top = filter.top(5);
+        assert!(top.iter().any(|e| e.key == key(0)), "elephant must be tracked");
+        // The elephant's exact count after promotion is close to its size.
+        let elephant = top.iter().find(|e| e.key == key(0)).unwrap();
+        assert!(elephant.estimate >= 450, "estimate {}", elephant.estimate);
+        // Few mice sneak in.
+        assert!(
+            filter.memory_entries() <= 10,
+            "flow memory holds {} entries",
+            filter.memory_entries()
+        );
+    }
+
+    #[test]
+    fn conservative_update_reduces_counter_inflation() {
+        let workload = skewed_workload(300, 2);
+        let mut plain = MultistageFilter::new(2, 64, 1_000_000, 10);
+        let mut conservative =
+            MultistageFilter::new(2, 64, 1_000_000, 10).with_conservative_update();
+        let mut rng = Pcg64::seed_from_u64(2);
+        for packet_key in &workload {
+            plain.observe(packet_key, &mut rng);
+            conservative.observe(packet_key, &mut rng);
+        }
+        // Conservative update never produces larger filter estimates.
+        for i in 0..300u32 {
+            assert!(conservative.filter_estimate(&key(i)) <= plain.filter_estimate(&key(i)));
+        }
+        let total_plain: u64 = (0..300u32).map(|i| plain.filter_estimate(&key(i))).sum();
+        let total_cons: u64 = (0..300u32)
+            .map(|i| conservative.filter_estimate(&key(i)))
+            .sum();
+        assert!(total_cons < total_plain);
+    }
+
+    #[test]
+    fn memory_capacity_is_respected() {
+        let mut filter = MultistageFilter::new(1, 4, 1, 5);
+        let mut rng = Pcg64::seed_from_u64(3);
+        for i in 0..100u32 {
+            filter.observe(&key(i), &mut rng);
+            filter.observe(&key(i), &mut rng);
+        }
+        assert!(filter.memory_entries() <= 5);
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let mut filter = MultistageFilter::new(3, 128, 10, 50);
+        assert_eq!(filter.threshold(), 10);
+        let mut rng = Pcg64::seed_from_u64(4);
+        for _ in 0..100 {
+            filter.observe(&key(1), &mut rng);
+        }
+        assert!(filter.memory_entries() > 0);
+        assert!(filter.filter_estimate(&key(1)) > 0);
+        filter.reset();
+        assert_eq!(filter.memory_entries(), 0);
+        assert_eq!(filter.filter_estimate(&key(1)), 0);
+        assert_eq!(filter.name(), "multistage-filter");
+        // Degenerate constructor arguments are clamped.
+        let tiny = MultistageFilter::new(0, 0, 0, 0);
+        assert_eq!(tiny.threshold(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sample-and-hold (Estan & Varghese, SIGCOMM 2002).
+//!
+//! Reference [11] of the paper. Packets of flows that are *not* in the flow
+//! memory are sampled with a small probability; once a flow is sampled it is
+//! *held*: every subsequent packet of that flow is counted exactly. Large
+//! flows are therefore caught early and counted almost exactly, while most
+//! small flows never enter the memory. The estimate for a held flow is its
+//! count since insertion — a slight undercount of the true size.
+
+use std::collections::HashMap;
+
+use flowrank_net::FiveTuple;
+use flowrank_stats::rng::Rng;
+
+use crate::tracker::{TopKEntry, TopKTracker};
+
+/// Sample-and-hold flow memory.
+#[derive(Debug, Clone)]
+pub struct SampleAndHold {
+    sampling_probability: f64,
+    capacity: usize,
+    counts: HashMap<FiveTuple, u64>,
+    dropped_inserts: u64,
+}
+
+impl SampleAndHold {
+    /// Creates a sample-and-hold tracker.
+    ///
+    /// * `sampling_probability` — probability that a packet of an untracked
+    ///   flow creates an entry (Estan–Varghese recommend a value such that
+    ///   `p × threshold ≈ O(1)`).
+    /// * `capacity` — maximum number of flow entries; inserts beyond it are
+    ///   dropped (and counted in [`SampleAndHold::dropped_inserts`]).
+    pub fn new(sampling_probability: f64, capacity: usize) -> Self {
+        SampleAndHold {
+            sampling_probability: sampling_probability.clamp(0.0, 1.0),
+            capacity: capacity.max(1),
+            counts: HashMap::new(),
+            dropped_inserts: 0,
+        }
+    }
+
+    /// The per-packet entry-creation probability.
+    pub fn sampling_probability(&self) -> f64 {
+        self.sampling_probability
+    }
+
+    /// Number of entry creations that were refused because memory was full.
+    pub fn dropped_inserts(&self) -> u64 {
+        self.dropped_inserts
+    }
+}
+
+impl TopKTracker for SampleAndHold {
+    fn observe(&mut self, key: &FiveTuple, rng: &mut dyn Rng) {
+        if let Some(count) = self.counts.get_mut(key) {
+            *count += 1;
+            return;
+        }
+        if rng.bernoulli(self.sampling_probability) {
+            if self.counts.len() < self.capacity {
+                self.counts.insert(*key, 1);
+            } else {
+                self.dropped_inserts += 1;
+            }
+        }
+    }
+
+    fn top(&self, t: usize) -> Vec<TopKEntry> {
+        let mut entries: Vec<TopKEntry> = self
+            .counts
+            .iter()
+            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .collect();
+        entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
+        entries.truncate(t);
+        entries
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.dropped_inserts = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "sample-and-hold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::test_util::{key, skewed_workload};
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn large_flows_are_held_and_counted_nearly_exactly() {
+        // Flow 0 sends 2000 packets; with p=0.01 it is caught within a few
+        // hundred packets and counted exactly afterwards.
+        let mut tracker = SampleAndHold::new(0.01, 1_000);
+        let mut rng = Pcg64::seed_from_u64(1);
+        for packet_key in skewed_workload(20, 100) {
+            tracker.observe(&packet_key, &mut rng);
+        }
+        let top = tracker.top(3);
+        assert!(!top.is_empty());
+        // The heaviest flow (2000 packets) is caught early and counted nearly
+        // exactly; because the estimate only counts packets since insertion,
+        // it may be narrowly outranked by the second-heaviest flow, but it
+        // must appear near the top with most of its packets counted.
+        let heaviest = top
+            .iter()
+            .find(|e| e.key == key(0))
+            .expect("heaviest flow must be in the top 3");
+        assert!(heaviest.estimate > 1_000 && heaviest.estimate <= 2_000);
+    }
+
+    #[test]
+    fn small_flows_mostly_stay_out_of_memory() {
+        let mut tracker = SampleAndHold::new(0.001, 10_000);
+        let mut rng = Pcg64::seed_from_u64(2);
+        // 5000 flows of 2 packets each.
+        for i in 0..5_000u32 {
+            tracker.observe(&key(i), &mut rng);
+            tracker.observe(&key(i), &mut rng);
+        }
+        assert!(
+            tracker.memory_entries() < 100,
+            "only ~10 of 5000 mouse flows should be held, got {}",
+            tracker.memory_entries()
+        );
+    }
+
+    #[test]
+    fn capacity_limit_is_enforced() {
+        let mut tracker = SampleAndHold::new(1.0, 8);
+        let mut rng = Pcg64::seed_from_u64(3);
+        for i in 0..100u32 {
+            tracker.observe(&key(i), &mut rng);
+        }
+        assert_eq!(tracker.memory_entries(), 8);
+        assert_eq!(tracker.dropped_inserts(), 92);
+    }
+
+    #[test]
+    fn zero_probability_never_creates_entries() {
+        let mut tracker = SampleAndHold::new(0.0, 100);
+        let mut rng = Pcg64::seed_from_u64(4);
+        for packet_key in skewed_workload(5, 10) {
+            tracker.observe(&packet_key, &mut rng);
+        }
+        assert_eq!(tracker.memory_entries(), 0);
+        assert!(tracker.top(5).is_empty());
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let mut tracker = SampleAndHold::new(0.7, 10);
+        assert!((tracker.sampling_probability() - 0.7).abs() < 1e-12);
+        let mut rng = Pcg64::seed_from_u64(5);
+        tracker.observe(&key(1), &mut rng);
+        tracker.reset();
+        assert_eq!(tracker.memory_entries(), 0);
+        assert_eq!(tracker.name(), "sample-and-hold");
+    }
+}

@@ -1,0 +1,167 @@
+//! Space-Saving (Metwally, Agrawal & El Abbadi, 2005).
+//!
+//! A later algorithm than the ones the paper cites, included as an extension
+//! baseline: it maintains exactly `capacity` counters and, when a new flow
+//! arrives with the memory full, replaces the smallest counter and inherits
+//! its value (so estimates are upper bounds with bounded overestimation
+//! error `≤ min_counter`). On the same memory budget it strictly dominates
+//! the bottom-eviction sorted list for heavy-hitter identification, which
+//! makes it the natural "modern" comparison point in the top-k ablation.
+
+use std::collections::HashMap;
+
+use flowrank_net::FiveTuple;
+use flowrank_stats::rng::Rng;
+
+use crate::tracker::{TopKEntry, TopKTracker};
+
+/// Space-Saving counter set.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// count and overestimation error per tracked flow.
+    counters: HashMap<FiveTuple, (u64, u64)>,
+}
+
+impl SpaceSaving {
+    /// Creates a Space-Saving tracker with `capacity` counters (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            counters: HashMap::with_capacity(capacity.max(1)),
+        }
+    }
+
+    /// The configured number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The maximum possible overestimation of `key`'s count, if tracked.
+    pub fn error_bound(&self, key: &FiveTuple) -> Option<u64> {
+        self.counters.get(key).map(|&(_, err)| err)
+    }
+}
+
+impl TopKTracker for SpaceSaving {
+    fn observe(&mut self, key: &FiveTuple, _rng: &mut dyn Rng) {
+        if let Some((count, _)) = self.counters.get_mut(key) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(*key, (1, 0));
+            return;
+        }
+        // Replace the minimum counter; the newcomer inherits its value as the
+        // overestimation error.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by(|a, b| a.1 .0.cmp(&b.1 .0).then(a.0.cmp(b.0)))
+            .expect("capacity >= 1 guarantees a victim");
+        self.counters.remove(&victim);
+        self.counters.insert(*key, (min_count + 1, min_count));
+    }
+
+    fn top(&self, t: usize) -> Vec<TopKEntry> {
+        let mut entries: Vec<TopKEntry> = self
+            .counters
+            .iter()
+            .map(|(key, &(estimate, _))| TopKEntry { key: *key, estimate })
+            .collect();
+        entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
+        entries.truncate(t);
+        entries
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn reset(&mut self) {
+        self.counters.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "space-saving"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactTopK;
+    use crate::tracker::test_util::{key, skewed_workload};
+    use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+    #[test]
+    fn memory_is_exactly_bounded() {
+        let mut tracker = SpaceSaving::new(10);
+        let mut rng = Pcg64::seed_from_u64(1);
+        for packet_key in skewed_workload(200, 3) {
+            tracker.observe(&packet_key, &mut rng);
+            assert!(tracker.memory_entries() <= 10);
+        }
+        assert_eq!(tracker.capacity(), 10);
+        assert_eq!(SpaceSaving::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn estimates_are_upper_bounds_within_error() {
+        let workload = skewed_workload(100, 10);
+        let mut tracker = SpaceSaving::new(50);
+        let mut exact = ExactTopK::new();
+        let mut rng = Pcg64::seed_from_u64(2);
+        for packet_key in &workload {
+            tracker.observe(packet_key, &mut rng);
+            exact.observe(packet_key, &mut rng);
+        }
+        for entry in tracker.top(50) {
+            let true_count = exact.count(&entry.key).unwrap_or(0);
+            let error = tracker.error_bound(&entry.key).unwrap();
+            assert!(entry.estimate >= true_count, "estimate must upper-bound truth");
+            assert!(entry.estimate - error <= true_count, "error bound violated");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_survive_with_tight_memory() {
+        // 5 elephants of 1000 packets among 1000 mice of 1 packet.
+        let mut packets = Vec::new();
+        for i in 0..5u32 {
+            for _ in 0..1_000 {
+                packets.push(key(i));
+            }
+        }
+        for i in 100..1_100u32 {
+            packets.push(key(i));
+        }
+        // Interleave mice throughout to stress replacement.
+        let mut rng_shuffle = Pcg64::seed_from_u64(3);
+        flowrank_stats::rng::Rng::shuffle(&mut rng_shuffle, &mut packets);
+
+        let mut tracker = SpaceSaving::new(64);
+        let mut rng = Pcg64::seed_from_u64(4);
+        for packet_key in &packets {
+            tracker.observe(packet_key, &mut rng);
+        }
+        let top: Vec<FiveTuple> = tracker.top(5).iter().map(|e| e.key).collect();
+        for i in 0..5u32 {
+            assert!(top.contains(&key(i)), "elephant {i} missing from top-5");
+        }
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut tracker = SpaceSaving::new(4);
+        let mut rng = Pcg64::seed_from_u64(5);
+        tracker.observe(&key(1), &mut rng);
+        assert_eq!(tracker.memory_entries(), 1);
+        assert_eq!(tracker.error_bound(&key(1)), Some(0));
+        tracker.reset();
+        assert_eq!(tracker.memory_entries(), 0);
+        assert_eq!(tracker.error_bound(&key(1)), None);
+        assert_eq!(tracker.name(), "space-saving");
+    }
+}

@@ -1,0 +1,71 @@
+//! The top-k tracker abstraction shared by all flow-memory algorithms.
+
+use flowrank_net::FiveTuple;
+use flowrank_stats::rng::Rng;
+
+/// One entry of an estimated top-`t` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKEntry {
+    /// Flow identity.
+    pub key: FiveTuple,
+    /// Estimated size in packets (algorithm-specific semantics: exact count,
+    /// count since insertion, or upper bound).
+    pub estimate: u64,
+}
+
+/// A flow-memory algorithm that tracks the largest flows under a bounded
+/// memory budget.
+pub trait TopKTracker {
+    /// Observes one packet belonging to `key` (an increment of one packet).
+    fn observe(&mut self, key: &FiveTuple, rng: &mut dyn Rng);
+
+    /// Returns the estimated top `t` flows, largest first.
+    fn top(&self, t: usize) -> Vec<TopKEntry>;
+
+    /// Number of flow records currently held in memory.
+    fn memory_entries(&self) -> usize;
+
+    /// Clears all state (start of a new measurement interval).
+    fn reset(&mut self);
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared test fixtures for tracker implementations.
+#[cfg(test)]
+pub(crate) mod test_util {
+    use flowrank_net::{FiveTuple, Protocol};
+    use std::net::Ipv4Addr;
+
+    /// A deterministic flow key for test flow number `i`.
+    pub fn key(i: u32) -> FiveTuple {
+        FiveTuple {
+            src_ip: Ipv4Addr::from(0x0A00_0000 | i),
+            dst_ip: Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8),
+            src_port: 1_000 + (i % 60_000) as u16,
+            dst_port: 80,
+            protocol: Protocol::Tcp,
+        }
+    }
+
+    /// A skewed workload: flow `i` (0-based) of `flows` sends
+    /// `base * (flows - i)` packets, so flow 0 is the largest. Packets are
+    /// interleaved round-robin to stress eviction policies.
+    pub fn skewed_workload(flows: u32, base: u64) -> Vec<FiveTuple> {
+        let mut packets = Vec::new();
+        let mut remaining: Vec<u64> = (0..flows).map(|i| base * (flows - i) as u64).collect();
+        let mut active = true;
+        while active {
+            active = false;
+            for i in 0..flows {
+                if remaining[i as usize] > 0 {
+                    remaining[i as usize] -= 1;
+                    packets.push(key(i));
+                    active = true;
+                }
+            }
+        }
+        packets
+    }
+}

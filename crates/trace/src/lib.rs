@@ -1,0 +1,49 @@
+//! # flowrank-trace
+//!
+//! Synthetic traffic-trace models for the `flowrank` workspace.
+//!
+//! The paper validates its analytical models with trace-driven simulations on
+//! two traces that are not publicly redistributable:
+//!
+//! * a 30-minute **Sprint** OC-12 backbone flow-level trace (Sec. 8.1–8.2) —
+//!   the paper itself only uses the per-flow size, duration and start time and
+//!   re-synthesises packet arrivals uniformly over each flow's lifetime;
+//! * a 30-minute **Abilene-I** OC-48 packet trace from NLANR (Sec. 8.3),
+//!   characterised by more flows, higher utilisation and a short-tailed
+//!   flow-size distribution.
+//!
+//! This crate builds the closest synthetic equivalents from the published
+//! parameters (flow arrival rate, mean flow size, mean duration, Pareto
+//! shape) so the same code path — flow-level records → packet-level trace →
+//! sampling → ranking — can be exercised end to end:
+//!
+//! * [`flow_record`] — the flow-level record (size, duration, start time,
+//!   5-tuple).
+//! * [`arrivals`] — Poisson and deterministic flow-arrival processes.
+//! * [`addressing`] — 5-tuple/prefix assignment with Zipf prefix popularity so
+//!   that /24 aggregation produces fewer, larger flows as in the paper.
+//! * [`sprint`] — the Sprint-backbone-like flow-level model.
+//! * [`abilene`] — the Abilene-like short-tailed model.
+//! * [`synthesis`] — expansion of flow records into a packet-level trace
+//!   (uniform packet placement over the flow lifetime, Sec. 8.1).
+//! * [`summary`] — trace summary statistics.
+//! * [`export`] — pcap export of synthetic traces via `flowrank-net`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abilene;
+pub mod addressing;
+pub mod arrivals;
+pub mod export;
+pub mod flow_record;
+pub mod generator;
+pub mod sprint;
+pub mod summary;
+pub mod synthesis;
+
+pub use abilene::AbileneModel;
+pub use flow_record::FlowRecord;
+pub use generator::{FlowPopulationConfig, SizeModel};
+pub use sprint::SprintModel;
+pub use synthesis::{synthesize_packets, SynthesisConfig};

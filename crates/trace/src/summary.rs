@@ -1,0 +1,125 @@
+//! Trace summary statistics.
+//!
+//! Lightweight descriptive statistics over a flow-level trace: flow counts,
+//! mean sizes, heavy-tail indicators. The examples use these to show that a
+//! generated trace matches the published Sprint/Abilene characteristics
+//! before running the ranking experiments on it.
+
+use flowrank_stats::summary::RunningStats;
+
+use crate::flow_record::FlowRecord;
+
+/// Descriptive statistics of a flow-level trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of flows.
+    pub flow_count: usize,
+    /// Total packets across all flows.
+    pub total_packets: u64,
+    /// Total bytes across all flows.
+    pub total_bytes: u64,
+    /// Mean flow size in packets.
+    pub mean_packets: f64,
+    /// Mean flow size in bytes.
+    pub mean_bytes: f64,
+    /// Mean flow duration in seconds.
+    pub mean_duration: f64,
+    /// Largest flow size in packets.
+    pub max_packets: u64,
+    /// Fraction of total packets carried by the largest 1% of flows — a
+    /// simple heavy-tail indicator ("elephants and mice").
+    pub top_1pct_packet_share: f64,
+    /// Trace duration covered by flow activity (max end time), seconds.
+    pub active_duration: f64,
+}
+
+/// Computes summary statistics over a flow-level trace.
+///
+/// Returns `None` for an empty trace.
+pub fn summarize(flows: &[FlowRecord]) -> Option<TraceSummary> {
+    if flows.is_empty() {
+        return None;
+    }
+    let mut packets = RunningStats::new();
+    let mut bytes = RunningStats::new();
+    let mut durations = RunningStats::new();
+    let mut end = 0.0f64;
+    for f in flows {
+        packets.push(f.packets as f64);
+        bytes.push(f.bytes as f64);
+        durations.push(f.duration);
+        end = end.max(f.end());
+    }
+    let total_packets: u64 = flows.iter().map(|f| f.packets).sum();
+    let total_bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+
+    let mut sizes: Vec<u64> = flows.iter().map(|f| f.packets).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let top_count = (flows.len() / 100).max(1);
+    let top_packets: u64 = sizes.iter().take(top_count).sum();
+
+    Some(TraceSummary {
+        flow_count: flows.len(),
+        total_packets,
+        total_bytes,
+        mean_packets: packets.mean().unwrap_or(0.0),
+        mean_bytes: bytes.mean().unwrap_or(0.0),
+        mean_duration: durations.mean().unwrap_or(0.0),
+        max_packets: sizes.first().copied().unwrap_or(0),
+        top_1pct_packet_share: top_packets as f64 / total_packets.max(1) as f64,
+        active_duration: end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_record::synthetic_key;
+    use crate::sprint::SprintModel;
+    use std::net::Ipv4Addr;
+
+    fn flow(index: u64, packets: u64, start: f64, duration: f64) -> FlowRecord {
+        FlowRecord::new(
+            synthetic_key(index, Ipv4Addr::new(100, 64, 1, 1), 80),
+            packets,
+            packets * 500,
+            start,
+            duration,
+        )
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn simple_statistics() {
+        let flows = vec![flow(0, 10, 0.0, 5.0), flow(1, 30, 2.0, 10.0)];
+        let s = summarize(&flows).unwrap();
+        assert_eq!(s.flow_count, 2);
+        assert_eq!(s.total_packets, 40);
+        assert_eq!(s.total_bytes, 20_000);
+        assert!((s.mean_packets - 20.0).abs() < 1e-12);
+        assert!((s.mean_duration - 7.5).abs() < 1e-12);
+        assert_eq!(s.max_packets, 30);
+        assert!((s.active_duration - 12.0).abs() < 1e-12);
+        // top 1% of 2 flows = 1 flow = the 30-packet one.
+        assert!((s.top_1pct_packet_share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sprint_trace_is_heavy_tailed() {
+        let flows = SprintModel::small(30.0, 300.0).generate_flows(77);
+        let s = summarize(&flows).unwrap();
+        // With a Pareto β=1.5 size law the top 1% of flows carries a large
+        // share of the packets.
+        assert!(
+            s.top_1pct_packet_share > 0.15,
+            "top-1% share {} unexpectedly small",
+            s.top_1pct_packet_share
+        );
+        assert!(s.mean_packets > 4.0 && s.mean_packets < 60.0);
+        assert!(s.max_packets as f64 > 10.0 * s.mean_packets);
+    }
+}

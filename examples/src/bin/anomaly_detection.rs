@@ -1,0 +1,94 @@
+//! Anomaly-detection scenario: does /24 aggregation help a sampled monitor
+//! spot a volume anomaly?
+//!
+//! The paper's second motivating application is the detection of traffic
+//! anomalies. This example injects a high-volume "anomalous" destination
+//! prefix (e.g. a flash crowd or DDoS victim) into a Sprint-like trace and
+//! asks, for both flow definitions, at which sampling rates the monitor still
+//! places the anomaly in its reported top flows.
+//!
+//! Run with `cargo run --release -p flowrank-examples --bin anomaly_detection`.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use flowrank_core::metrics::{top_set_matches, SizedFlow};
+use flowrank_net::{AnyFlowKey, FlowDefinition, FlowTable};
+use flowrank_sampling::{sample_and_classify, RandomSampler};
+use flowrank_trace::flow_record::{synthetic_key, FlowRecord};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+fn main() {
+    println!("== anomaly detection: a hot /24 prefix under packet sampling ==\n");
+
+    // Background traffic.
+    let model = SprintModel::small(120.0, 60.0);
+    let mut flows = model.generate_flows(7);
+
+    // The anomaly: 40 medium flows towards one /24 prefix, together far larger
+    // than any single background flow.
+    let victim = Ipv4Addr::new(203, 0, 113, 0);
+    for i in 0..40u64 {
+        let dst = Ipv4Addr::new(203, 0, 113, (i % 200 + 1) as u8);
+        let key = synthetic_key(1_000_000 + i, dst, 80);
+        flows.push(FlowRecord::new(key, 400, 400 * 500, 10.0 + i as f64, 60.0));
+    }
+    println!(
+        "Injected anomaly: 40 flows x 400 packets towards {victim}/24 on top of {} background flows.\n",
+        flows.len() - 40
+    );
+
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 13);
+
+    for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
+        println!("Flow definition: {definition}");
+        // Ground truth.
+        let mut truth: FlowTable<AnyFlowKey> = FlowTable::new();
+        for p in &packets {
+            truth.observe_keyed(definition.key_of(p), p);
+        }
+        let original: Vec<SizedFlow<AnyFlowKey>> = truth
+            .iter()
+            .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
+            .collect();
+
+        for &rate in &[0.001, 0.01, 0.1] {
+            // Fraction of 20 independent sampling runs in which the sampled
+            // top-10 set equals the true top-10 set.
+            let mut successes = 0;
+            let runs = 20;
+            for seed in 0..runs {
+                let mut sampler = RandomSampler::new(rate);
+                let mut rng = Pcg64::seed_from_u64(seed);
+                let sampled: FlowTable<AnyFlowKey> = {
+                    let mut table = FlowTable::new();
+                    for p in &packets {
+                        if flowrank_sampling::PacketSampler::keep(&mut sampler, p, &mut rng) {
+                            table.observe_keyed(definition.key_of(p), p);
+                        }
+                    }
+                    table
+                };
+                let sampled_sizes: HashMap<AnyFlowKey, u64> =
+                    sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
+                if top_set_matches(&original, &sampled_sizes, 10) {
+                    successes += 1;
+                }
+            }
+            println!(
+                "  sampling {:>5.1}%: true top-10 set recovered in {successes}/{runs} runs",
+                rate * 100.0
+            );
+        }
+        println!();
+    }
+    // Silence an unused-import warning path when the generic helper is not
+    // monomorphised above.
+    let _ = sample_and_classify::<AnyFlowKey, RandomSampler>;
+    println!(
+        "As in the paper (Sec. 6.4), the coarser /24 definition makes the individual\n\
+         flows larger but does not dramatically reduce the sampling rate needed —\n\
+         the competing prefixes grow too."
+    );
+}

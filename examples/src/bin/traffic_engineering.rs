@@ -1,0 +1,68 @@
+//! Traffic-engineering scenario: which sampling rate can my NetFlow monitor
+//! use and still find the heavy hitters?
+//!
+//! This is the first motivating application in the paper's introduction:
+//! traffic engineering needs the largest flows (to reroute or rate-limit
+//! them). The example builds a Sprint-like synthetic backbone trace, runs
+//! the trace-driven sampling simulation at router-practical rates, and
+//! compares the empirical ranking/detection errors with the analytical model
+//! prediction for the same parameters.
+//!
+//! Run with `cargo run --release -p flowrank-examples --bin traffic_engineering`.
+
+use flowrank_core::Scenario;
+use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_sim::report::result_summary_table;
+use flowrank_sim::{ExperimentConfig, TraceExperiment};
+use flowrank_trace::{summary::summarize, synthesize_packets, SprintModel, SynthesisConfig};
+
+fn main() {
+    println!("== traffic engineering: finding heavy hitters under sampling ==\n");
+
+    // A scaled-down Sprint-like trace (5 minutes, ~50 flows/s) so the example
+    // runs in seconds; the per-flow statistics match the published ones.
+    let model = SprintModel::small(300.0, 50.0);
+    let flows = model.generate_flows(2026);
+    let stats = summarize(&flows).expect("non-empty trace");
+    println!(
+        "Synthetic backbone trace: {} flows, {} packets, mean flow size {:.1} packets,",
+        stats.flow_count, stats.total_packets, stats.mean_packets
+    );
+    println!(
+        "top 1% of flows carry {:.0}% of the packets (heavy tail).\n",
+        stats.top_1pct_packet_share * 100.0
+    );
+
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 99);
+
+    let config = ExperimentConfig {
+        flow_definition: FlowDefinition::FiveTuple,
+        sampling_rates: vec![0.001, 0.01, 0.1, 0.5],
+        bin_length: Timestamp::from_secs_f64(300.0),
+        top_t: 10,
+        runs: 15,
+        seed: 4,
+    };
+    let result = TraceExperiment::new(&packets, config).run();
+    println!("Trace-driven simulation (top 10 flows, 5-minute bin, 15 runs):");
+    println!("{}", result_summary_table(&result));
+
+    // Model prediction for the same population size.
+    let scenario = Scenario::sprint_five_tuple(1.5).with_flow_count(stats.flow_count as u64);
+    println!("Analytical model prediction for N = {} flows:", stats.flow_count);
+    println!("{:>10} {:>22} {:>22}", "rate", "ranking metric", "detection metric");
+    for &p in &[0.001, 0.01, 0.1, 0.5] {
+        println!(
+            "{:>9.1}% {:>22.3} {:>22.3}",
+            p * 100.0,
+            scenario.ranking_model(10).mean_swapped_pairs(p),
+            scenario.detection_model(10).mean_swapped_pairs(p)
+        );
+    }
+
+    println!(
+        "\nOperator guidance: with the 0.1%–1% rates router vendors recommend, the\n\
+         top-10 ranking is unreliable on a link of this size; plan for ≥10% sampling\n\
+         if the relative order matters, or accept detection-only reporting."
+    );
+}

@@ -1,0 +1,1 @@
+//! Helper library for flowrank integration tests (shared fixtures).

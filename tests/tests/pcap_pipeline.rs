@@ -1,0 +1,61 @@
+//! Cross-crate integration: the full monitor pipeline over a pcap capture —
+//! generate a trace, export it, re-import it, sample it, rank it.
+
+use std::collections::HashMap;
+
+use flowrank_core::metrics::{compare_rankings, SizedFlow};
+use flowrank_net::pcap::pcap_bytes_to_records;
+use flowrank_net::{FiveTuple, FlowTable};
+use flowrank_sampling::{sample_and_classify, RandomSampler};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_trace::export::export_flows_to_pcap;
+use flowrank_trace::{SprintModel, SynthesisConfig};
+
+#[test]
+fn pcap_export_import_sample_rank() {
+    let flows = SprintModel::small(30.0, 40.0).generate_flows(77);
+    let mut pcap = Vec::new();
+    let written =
+        export_flows_to_pcap(&flows, &SynthesisConfig::default(), 77, &mut pcap).unwrap();
+    assert_eq!(written, flows.iter().map(|f| f.packets).sum::<u64>());
+
+    let records = pcap_bytes_to_records(&pcap).unwrap();
+    assert_eq!(records.len() as u64, written);
+
+    // Ground truth from the re-imported capture matches the generated flows.
+    let mut truth: FlowTable<FiveTuple> = FlowTable::new();
+    for r in &records {
+        truth.observe(r);
+    }
+    assert_eq!(truth.flow_count(), flows.len());
+    for f in &flows {
+        assert_eq!(truth.get(&f.key).unwrap().packets, f.packets);
+    }
+
+    // Full sampling keeps the ranking perfect; 1% sampling does not.
+    let original: Vec<SizedFlow<FiveTuple>> = truth
+        .iter()
+        .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
+        .collect();
+
+    let outcome_full = {
+        let mut sampler = RandomSampler::new(1.0);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&records, &mut sampler, &mut rng);
+        let sizes: HashMap<FiveTuple, u64> =
+            sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
+        compare_rankings(&original, &sizes, 10)
+    };
+    assert_eq!(outcome_full.ranking_swaps, 0);
+    assert_eq!(outcome_full.missed_top_flows, 0);
+
+    let outcome_sampled = {
+        let mut sampler = RandomSampler::new(0.01);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&records, &mut sampler, &mut rng);
+        let sizes: HashMap<FiveTuple, u64> =
+            sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
+        compare_rankings(&original, &sizes, 10)
+    };
+    assert!(outcome_sampled.ranking_swaps > 0);
+}

@@ -1,0 +1,135 @@
+//! Property-based integration tests over the cross-crate invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use flowrank_core::metrics::{compare_rankings, SizedFlow};
+use flowrank_core::{misranking_probability_exact, misranking_probability_gaussian};
+use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
+use flowrank_net::{FiveTuple, FlowKey, FlowTable, PacketRecord, Protocol, Timestamp};
+use flowrank_sampling::{sample_and_classify, PacketSampler, RandomSampler};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+fn arbitrary_packet() -> impl Strategy<Value = PacketRecord> {
+    (
+        0u64..10_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)],
+        64u16..1500,
+        any::<u32>(),
+    )
+        .prop_map(|(us, src, dst, sport, dport, protocol, len, seq)| {
+            // ICMP has no transport ports: the frame encoder cannot carry
+            // them, so the generator never produces them either.
+            let has_ports = protocol != Protocol::Icmp;
+            PacketRecord {
+                timestamp: Timestamp::from_micros(us),
+                src_ip: src.into(),
+                dst_ip: dst.into(),
+                src_port: if has_ports { sport } else { 0 },
+                dst_port: if has_ports { dport } else { 0 },
+                protocol,
+                length: len,
+                tcp_seq: if protocol == Protocol::Tcp { Some(seq) } else { None },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcap_round_trip_preserves_flow_identity(packets in prop::collection::vec(arbitrary_packet(), 0..40)) {
+        let bytes = records_to_pcap_bytes(&packets).unwrap();
+        let decoded = pcap_bytes_to_records(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), packets.len());
+        for (a, b) in packets.iter().zip(decoded.iter()) {
+            prop_assert_eq!(FiveTuple::from_packet(a), FiveTuple::from_packet(b));
+            prop_assert_eq!(a.timestamp.as_micros(), b.timestamp.as_micros());
+        }
+    }
+
+    #[test]
+    fn sampled_flow_sizes_never_exceed_originals(
+        packets in prop::collection::vec(arbitrary_packet(), 1..200),
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut original: FlowTable<FiveTuple> = FlowTable::new();
+        for p in &packets {
+            original.observe(p);
+        }
+        let mut sampler = RandomSampler::new(rate);
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
+        prop_assert!(sampled.flow_count() <= original.flow_count());
+        for (key, stats) in sampled.iter() {
+            prop_assert!(stats.packets <= original.get(key).unwrap().packets);
+        }
+    }
+
+    #[test]
+    fn full_sampling_never_produces_ranking_errors(
+        packets in prop::collection::vec(arbitrary_packet(), 1..150),
+        top_t in 1usize..12,
+    ) {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        for p in &packets {
+            table.observe(p);
+        }
+        let original: Vec<SizedFlow<FiveTuple>> = table
+            .iter()
+            .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
+            .collect();
+        let sizes: HashMap<FiveTuple, u64> =
+            table.iter().map(|(k, s)| (*k, s.packets)).collect();
+        let outcome = compare_rankings(&original, &sizes, top_t);
+        prop_assert_eq!(outcome.ranking_swaps, 0);
+        prop_assert_eq!(outcome.detection_swaps, 0);
+        prop_assert_eq!(outcome.missed_top_flows, 0);
+    }
+
+    #[test]
+    fn misranking_probabilities_are_valid_and_symmetric(
+        s1 in 1u64..800,
+        s2 in 1u64..800,
+        p in 0.001f64..0.999,
+    ) {
+        let exact = misranking_probability_exact(s1, s2, p);
+        let gauss = misranking_probability_gaussian(s1 as f64, s2 as f64, p);
+        prop_assert!((0.0..=1.0).contains(&exact));
+        prop_assert!((0.0..=1.0).contains(&gauss));
+        prop_assert!((misranking_probability_exact(s2, s1, p) - exact).abs() < 1e-12);
+        // The Gaussian form is within its documented error band whenever at
+        // least one flow is comfortably sampled.
+        if (s1 as f64 * p).max(s2 as f64 * p) > 5.0 && s1 != s2 {
+            prop_assert!((exact - gauss).abs() < 0.25);
+        }
+    }
+
+    #[test]
+    fn sampler_empirical_rate_is_clamped(rate in -1.0f64..2.0) {
+        let mut sampler = RandomSampler::new(rate);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let packet = PacketRecord::udp(
+            Timestamp::ZERO,
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            2,
+            100,
+        );
+        let keep = sampler.keep(&packet, &mut rng);
+        if rate <= 0.0 {
+            prop_assert!(!keep);
+        }
+        if rate >= 1.0 {
+            prop_assert!(keep);
+        }
+        prop_assert!((0.0..=1.0).contains(&sampler.nominal_rate()));
+    }
+}
