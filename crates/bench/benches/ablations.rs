@@ -24,7 +24,9 @@ fn trace() -> Vec<flowrank_net::PacketRecord> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     group.bench_function("ablation_exact_vs_gaussian_pairwise", |b| {
         b.iter(|| {
@@ -67,7 +69,12 @@ fn bench(c: &mut Criterion) {
                     space.observe(&key, &mut rng);
                 }
             }
-            black_box((exact.top(10).len(), sorted.top(10).len(), sah.top(10).len(), space.top(10).len()))
+            black_box((
+                exact.top(10).len(),
+                sorted.top(10).len(),
+                sah.top(10).len(),
+                space.top(10).len(),
+            ))
         })
     });
 
@@ -77,7 +84,10 @@ fn bench(c: &mut Criterion) {
         let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
         let estimator = SeqnoSizeEstimator::new(0.02, 500.0);
         b.iter(|| {
-            let total: f64 = sampled.iter().map(|(_, s)| estimator.estimate(s).packets).sum();
+            let total: f64 = sampled
+                .iter()
+                .map(|(_, s)| estimator.estimate(s).packets)
+                .sum();
             black_box(total)
         })
     });
@@ -85,8 +95,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ablation_adaptive_rate", |b| {
         b.iter(|| {
             let mut rng = Pcg64::seed_from_u64(4);
-            let mut sampler =
-                AdaptiveRateSampler::new(0.1, 500, Timestamp::from_secs_f64(10.0));
+            let mut sampler = AdaptiveRateSampler::new(0.1, 500, Timestamp::from_secs_f64(10.0));
             let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
             black_box(kept)
         })

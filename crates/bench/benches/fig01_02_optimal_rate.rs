@@ -10,7 +10,9 @@ use flowrank_core::{optimal_sampling_rate, PairwiseModel};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig01_02_optimal_rate");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("fig01_log_grid_gaussian", |b| {
         let sizes = size_grid_log(7);

@@ -10,7 +10,9 @@ use flowrank_core::gaussian::gaussian_absolute_error;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig03_gaussian_error");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("error_surface_13x13", |b| {
         let sizes = size_grid_log(13);
         b.iter(|| {

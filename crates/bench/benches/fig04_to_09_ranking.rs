@@ -13,7 +13,9 @@ const BENCH_RATES: [f64; 3] = [0.001, 0.01, 0.1];
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04_to_09_ranking");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("fig04_top_t_sweep_5tuple", |b| {
         let scenario = Scenario::sprint_five_tuple(1.5);

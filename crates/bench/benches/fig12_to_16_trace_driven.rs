@@ -14,7 +14,9 @@ const RUNS: usize = 2;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_to_16_trace_driven");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     group.bench_function("fig12_14_sprint_5tuple", |b| {
         b.iter(|| {

@@ -1,17 +1,25 @@
 //! Component throughput benches: packet classification, sampling, pcap
 //! encode/decode and the heavy-hitter trackers, on a Sprint-like packet
-//! stream. These are the "is the substrate fast enough" numbers rather than
-//! figure reproductions.
+//! stream — plus the headline comparison of this redesign: the legacy
+//! per-run ground-truth reclassification path against the streaming
+//! monitor's shared-ground-truth fan-out for the same runs × rates grid.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
+use flowrank_monitor::{Monitor, SamplerSpec};
 use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
-use flowrank_net::{FiveTuple, FlowTable};
+use flowrank_net::{FiveTuple, FlowDefinition, FlowTable};
 use flowrank_sampling::{PacketSampler, RandomSampler};
-use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_sim::engine::run_bin_random_sampling;
+use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+
+/// The experiment grid of the fan-out comparison (a scaled-down Sec. 8 run).
+const FAN_OUT_RATES: [f64; 4] = [0.001, 0.01, 0.1, 0.5];
+const FAN_OUT_RUNS: usize = 30;
+const FAN_OUT_SEED: u64 = 2026;
 
 fn bench(c: &mut Criterion) {
     let flows = SprintModel::small(30.0, 100.0).generate_flows(21);
@@ -39,6 +47,52 @@ fn bench(c: &mut Criterion) {
             let mut sampler = RandomSampler::new(0.01);
             let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
             black_box(kept)
+        })
+    });
+
+    // One bin, 30 runs × 4 rates, the old way: `run_bin` reclassifies the
+    // ground truth and re-sorts the ranking on every single run.
+    group.bench_function("multi_run_legacy_reclassify", |b| {
+        b.iter(|| {
+            let mut total_swaps = 0u64;
+            for &rate in &FAN_OUT_RATES {
+                let seeds = derive_seeds(FAN_OUT_SEED ^ rate.to_bits(), FAN_OUT_RUNS);
+                for &seed in &seeds {
+                    let result = run_bin_random_sampling(
+                        &packets,
+                        FlowDefinition::FiveTuple,
+                        rate,
+                        10,
+                        seed,
+                    );
+                    total_swaps += result.outcome.ranking_swaps;
+                }
+            }
+            black_box(total_swaps)
+        })
+    });
+
+    // The same grid through the streaming monitor: ground truth classified
+    // and ranked once, 120 lanes scored against it. Produces identical
+    // numbers (see flowrank-sim's equivalence test).
+    group.bench_function("multi_run_shared_ground_truth", |b| {
+        b.iter(|| {
+            let mut monitor = Monitor::builder()
+                .flow_definition(FlowDefinition::FiveTuple)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&FAN_OUT_RATES)
+                .runs(FAN_OUT_RUNS)
+                .top_t(10)
+                .seed(FAN_OUT_SEED)
+                .bin_length(flowrank_net::Timestamp::ZERO)
+                .build();
+            let reports = monitor.run_trace(&packets);
+            let total_swaps: u64 = reports
+                .iter()
+                .flat_map(|r| r.lanes.iter())
+                .map(|lane| lane.outcome.ranking_swaps)
+                .sum();
+            black_box(total_swaps)
         })
     });
 

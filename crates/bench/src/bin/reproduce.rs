@@ -6,27 +6,53 @@
 //! cargo run --release -p flowrank-bench --bin reproduce             # all figures, quick settings
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 4  # a single figure
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scale 1.0 --runs 30
+//! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --sampler stratified
 //! ```
 //!
 //! Output is CSV on stdout, one block per figure and line, directly
 //! plottable. The `--scale` flag controls the flow-arrival-rate scale of the
 //! trace-driven figures (12–16); the analytical figures (1–11) always use the
-//! paper's full parameters. EXPERIMENTS.md records the settings used for the
-//! committed results.
+//! paper's full parameters. `--sampler` selects the sampling discipline of
+//! the trace-driven Sprint figures at run time (`random`, `periodic`,
+//! `stratified`, `flow`, `smart`, `adaptive` — the monitor fans any of them
+//! out across the figure's rate grid). EXPERIMENTS.md records the settings
+//! used for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
     gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
 };
-use flowrank_net::FlowDefinition;
+use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_to_csv;
-use flowrank_sim::{abilene_experiment, sprint_experiment};
+use flowrank_sim::{abilene_experiment, sprint_experiment_with_sampler, SamplerSpec};
 
 #[derive(Debug, Clone)]
 struct Options {
     figure: Option<u32>,
     scale: f64,
     runs: usize,
+    sampler: SamplerSpec,
+}
+
+fn sampler_by_name(name: &str) -> Option<SamplerSpec> {
+    // The rate of the template is irrelevant: the experiment retargets it to
+    // every rate on the figure's grid.
+    match name {
+        "random" => Some(SamplerSpec::Random { rate: 0.01 }),
+        "periodic" => Some(SamplerSpec::Periodic {
+            rate: 0.01,
+            random_phase: true,
+        }),
+        "stratified" => Some(SamplerSpec::Stratified { rate: 0.01 }),
+        "flow" => Some(SamplerSpec::Flow { rate: 0.01 }),
+        "smart" => Some(SamplerSpec::Smart { threshold: 100.0 }),
+        "adaptive" => Some(SamplerSpec::Adaptive {
+            initial_rate: 0.01,
+            budget_per_interval: 10_000,
+            interval: Timestamp::from_secs_f64(1.0),
+        }),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Options {
@@ -34,6 +60,7 @@ fn parse_args() -> Options {
         figure: None,
         scale: 0.02,
         runs: 10,
+        sampler: SamplerSpec::Random { rate: 0.01 },
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -57,6 +84,13 @@ fn parse_args() -> Options {
                     .unwrap_or(options.runs);
                 i += 2;
             }
+            "--sampler" => {
+                options.sampler = args
+                    .get(i + 1)
+                    .and_then(|v| sampler_by_name(v))
+                    .unwrap_or(options.sampler);
+                i += 2;
+            }
             _ => i += 1,
         }
     }
@@ -64,7 +98,7 @@ fn parse_args() -> Options {
 }
 
 fn wanted(options: &Options, figure: u32) -> bool {
-    options.figure.map_or(true, |f| f == figure)
+    options.figure.is_none_or(|f| f == figure)
 }
 
 fn fig_optimal_rate(figure: u32, log_grid: bool) {
@@ -96,7 +130,10 @@ fn fig3_gaussian_error() {
 }
 
 fn fig_ranking_top_t(figure: u32, scenario: &Scenario) {
-    println!("# Figure {figure}: ranking metric vs sampling rate, {}", scenario.label);
+    println!(
+        "# Figure {figure}: ranking metric vs sampling rate, {}",
+        scenario.label
+    );
     println!("top_t,rate_percent,mean_swapped_pairs");
     for &t in &TOP_T_VALUES {
         let model = scenario.ranking_model(t);
@@ -119,7 +156,11 @@ fn fig_ranking_beta(figure: u32, prefix: bool) {
         };
         let model = scenario.ranking_model(10);
         for &p in &rate_grid() {
-            println!("{beta},{:.3},{:.6e}", p * 100.0, model.mean_swapped_pairs(p));
+            println!(
+                "{beta},{:.3},{:.6e}",
+                p * 100.0,
+                model.mean_swapped_pairs(p)
+            );
         }
     }
     println!();
@@ -150,7 +191,10 @@ fn fig_ranking_nflows(figure: u32, prefix: bool) {
 }
 
 fn fig_detection(figure: u32, scenario: &Scenario) {
-    println!("# Figure {figure}: detection metric vs sampling rate, {}", scenario.label);
+    println!(
+        "# Figure {figure}: detection metric vs sampling rate, {}",
+        scenario.label
+    );
     println!("top_t,rate_percent,mean_swapped_pairs");
     for &t in &TOP_T_VALUES {
         let model = scenario.detection_model(t);
@@ -165,11 +209,17 @@ fn fig_trace(figure: u32, definition: FlowDefinition, detection: bool, options: 
     let kind = if detection { "detection" } else { "ranking" };
     for &bin_seconds in &[60.0, 300.0] {
         println!(
-            "# Figure {figure}: trace-driven {kind} vs time, {definition}, top 10, {bin_seconds}-second bins, scale {}, {} runs",
-            options.scale, options.runs
+            "# Figure {figure}: trace-driven {kind} vs time, {definition}, top 10, {bin_seconds}-second bins, scale {}, {} runs, {} sampling",
+            options.scale, options.runs, options.sampler.name()
         );
-        let experiment =
-            sprint_experiment(definition, bin_seconds, options.scale, options.runs, 2026);
+        let experiment = sprint_experiment_with_sampler(
+            definition,
+            bin_seconds,
+            options.scale,
+            options.runs,
+            2026,
+            options.sampler,
+        );
         let result = experiment.run();
         println!("{}", result_to_csv(&result, bin_seconds, detection));
     }

@@ -134,7 +134,10 @@ impl FlowSizeModel for ExponentialFlowModel {
     }
 
     fn describe(&self) -> String {
-        format!("shifted Exponential(mean = {:.2})", self.mean().unwrap_or(0.0))
+        format!(
+            "shifted Exponential(mean = {:.2})",
+            self.mean().unwrap_or(0.0)
+        )
     }
 }
 

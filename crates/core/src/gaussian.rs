@@ -140,9 +140,13 @@ mod tests {
         let a = misranking_along_sqrt_family(1_000.0, 3.0, p);
         let b = misranking_along_sqrt_family(100_000.0, 3.0, p);
         let rel = (a - b).abs() / a;
-        assert!(rel < 0.05, "√-family should be nearly scale-free: {a} vs {b}");
+        assert!(
+            rel < 0.05,
+            "√-family should be nearly scale-free: {a} vs {b}"
+        );
         // Faster-than-√ growth: probability drops with scale.
-        let faster_small = misranking_probability_gaussian(1_000.0, 1_000.0 + 1_000.0f64.powf(0.75), p);
+        let faster_small =
+            misranking_probability_gaussian(1_000.0, 1_000.0 + 1_000.0f64.powf(0.75), p);
         let faster_large =
             misranking_probability_gaussian(100_000.0, 100_000.0 + 100_000.0f64.powf(0.75), p);
         assert!(faster_large < faster_small);

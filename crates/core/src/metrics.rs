@@ -37,6 +37,113 @@ pub struct ComparisonOutcome {
     pub detection_pairs: u64,
 }
 
+/// A ground-truth ranking prepared once and compared against many sampled
+/// tables.
+///
+/// The streaming monitor classifies each measurement bin exactly once and
+/// then scores every sampling lane (run × rate) against the same ranked
+/// truth. Sorting the population is the `O(n log n)` part of the metric, so
+/// hoisting it out of the per-lane loop is what makes multi-run fan-out
+/// cheap: `new` pays the sort, [`GroundTruthRanking::compare_with`] is a pure
+/// `O(t·n)` scan per lane.
+#[derive(Debug, Clone)]
+pub struct GroundTruthRanking<K> {
+    ranked: Vec<SizedFlow<K>>,
+    top_t: usize,
+}
+
+impl<K: Eq + Hash + Clone + Ord> GroundTruthRanking<K> {
+    /// Ranks a flow population by decreasing true size (ties broken by key
+    /// order so the ranking is identical across runs and platforms) and fixes
+    /// the top-`t` boundary.
+    pub fn new(mut flows: Vec<SizedFlow<K>>, top_t: usize) -> Self {
+        flows.sort_by(|a, b| b.packets.cmp(&a.packets).then_with(|| a.key.cmp(&b.key)));
+        let top_t = top_t.min(flows.len());
+        GroundTruthRanking {
+            ranked: flows,
+            top_t,
+        }
+    }
+
+    /// Number of flows in the population.
+    pub fn flow_count(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// The effective top-`t` boundary (clamped to the population size).
+    pub fn top_t(&self) -> usize {
+        self.top_t
+    }
+
+    /// The population, sorted by decreasing true size.
+    pub fn flows(&self) -> &[SizedFlow<K>] {
+        &self.ranked
+    }
+
+    /// Scores one sampled table against this truth, looking sampled sizes up
+    /// through `sampled_size_of` (flows the sampler missed must report 0).
+    ///
+    /// A pair `(a, b)` with true sizes `S_a > S_b` is *swapped* when the
+    /// sampled sizes satisfy `s_b ≥ s_a` — the paper's pairwise definition
+    /// `P{s_small ≥ s_large}`; a pair in which neither flow was sampled
+    /// counts as swapped. Pairs of equal true size are skipped (their order
+    /// is arbitrary even without sampling).
+    pub fn compare_with<F: Fn(&K) -> u64>(&self, sampled_size_of: F) -> ComparisonOutcome {
+        let t = self.top_t;
+        let mut ranking_swaps = 0u64;
+        let mut detection_swaps = 0u64;
+        let mut ranking_pairs = 0u64;
+        let mut detection_pairs = 0u64;
+        let mut missed_top_flows = 0u64;
+
+        for (rank_a, top_flow) in self.ranked.iter().take(t).enumerate() {
+            let s_a = sampled_size_of(&top_flow.key);
+            if s_a == 0 {
+                missed_top_flows += 1;
+            }
+            for (rank_b, other) in self.ranked.iter().enumerate() {
+                if rank_b <= rank_a {
+                    // Pairs are unordered: every pair is counted once, with
+                    // the higher-ranked flow as its first element. Pairs of
+                    // two top flows are therefore counted by the smaller rank
+                    // only.
+                    continue;
+                }
+                if top_flow.packets == other.packets {
+                    continue;
+                }
+                let s_b = sampled_size_of(&other.key);
+                // top_flow.packets > other.packets by construction of the sort.
+                let swapped = s_b >= s_a;
+                ranking_pairs += 1;
+                if swapped {
+                    ranking_swaps += 1;
+                }
+                if rank_b >= t {
+                    detection_pairs += 1;
+                    if swapped {
+                        detection_swaps += 1;
+                    }
+                }
+            }
+        }
+
+        ComparisonOutcome {
+            ranking_swaps,
+            detection_swaps,
+            missed_top_flows,
+            ranking_pairs,
+            detection_pairs,
+        }
+    }
+
+    /// Scores a sampled size map against this truth (convenience over
+    /// [`GroundTruthRanking::compare_with`]).
+    pub fn compare(&self, sampled_sizes: &HashMap<K, u64>) -> ComparisonOutcome {
+        self.compare_with(|key| sampled_sizes.get(key).copied().unwrap_or(0))
+    }
+}
+
 /// Compares the true ranking of a flow population against its sampled sizes.
 ///
 /// * `original` — every flow of the bin with its true size, in any order.
@@ -44,67 +151,15 @@ pub struct ComparisonOutcome {
 ///   have sampled size zero.
 /// * `top_t` — how many top flows the monitor reports.
 ///
-/// A pair `(a, b)` with true sizes `S_a > S_b` is *swapped* when the sampled
-/// sizes satisfy `s_b ≥ s_a` — this mirrors the paper's pairwise definition
-/// `P{s_small ≥ s_large}`, and in particular a pair in which neither flow was
-/// sampled counts as swapped. Pairs of equal true size are skipped (their
-/// order is arbitrary even without sampling).
-pub fn compare_rankings<K: Eq + Hash + Clone>(
+/// One-shot convenience over [`GroundTruthRanking`]; callers that score many
+/// sampled tables against the same truth should build the ranking once
+/// instead.
+pub fn compare_rankings<K: Eq + Hash + Clone + Ord>(
     original: &[SizedFlow<K>],
     sampled_sizes: &HashMap<K, u64>,
     top_t: usize,
 ) -> ComparisonOutcome {
-    // Sort the original flows by decreasing true size to find the top t.
-    let mut ranked: Vec<&SizedFlow<K>> = original.iter().collect();
-    ranked.sort_by(|a, b| b.packets.cmp(&a.packets));
-    let t = top_t.min(ranked.len());
-
-    let sampled_of = |key: &K| sampled_sizes.get(key).copied().unwrap_or(0);
-
-    let mut ranking_swaps = 0u64;
-    let mut detection_swaps = 0u64;
-    let mut ranking_pairs = 0u64;
-    let mut detection_pairs = 0u64;
-    let mut missed_top_flows = 0u64;
-
-    for (rank_a, top_flow) in ranked.iter().take(t).enumerate() {
-        let s_a = sampled_of(&top_flow.key);
-        if s_a == 0 {
-            missed_top_flows += 1;
-        }
-        for (rank_b, other) in ranked.iter().enumerate() {
-            if rank_b <= rank_a {
-                // Pairs are unordered: every pair is counted once, with the
-                // higher-ranked flow as its first element. Pairs of two top
-                // flows are therefore counted by the smaller rank only.
-                continue;
-            }
-            if top_flow.packets == other.packets {
-                continue;
-            }
-            let s_b = sampled_of(&other.key);
-            // top_flow.packets > other.packets by construction of the sort.
-            let swapped = s_b >= s_a;
-            ranking_pairs += 1;
-            if swapped {
-                ranking_swaps += 1;
-            }
-            if rank_b >= t {
-                detection_pairs += 1;
-                if swapped {
-                    detection_swaps += 1;
-                }
-            }
-        }
-    }
-
-    ComparisonOutcome {
-        ranking_swaps,
-        detection_swaps,
-        missed_top_flows,
-        ranking_pairs,
-        detection_pairs,
-    }
+    GroundTruthRanking::new(original.to_vec(), top_t).compare(sampled_sizes)
 }
 
 /// Convenience: whether the sampled top-`t` *set* matches the true top-`t`
@@ -235,6 +290,32 @@ mod tests {
         assert_eq!(outcome.ranking_swaps, 0);
         assert_eq!(outcome.detection_pairs, 0);
         assert!(top_set_matches(&original, &exact, 10));
+    }
+
+    #[test]
+    fn ground_truth_ranking_is_reusable_across_lanes() {
+        let original = flows(&[100, 80, 60, 40, 20]);
+        let truth = GroundTruthRanking::new(original.clone(), 3);
+        assert_eq!(truth.flow_count(), 5);
+        assert_eq!(truth.top_t(), 3);
+        assert_eq!(truth.flows()[0].packets, 100);
+        let exact = sampled(&[(0, 100), (1, 80), (2, 60), (3, 40), (4, 20)]);
+        let degraded = sampled(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // The prepared ranking scores any number of sampled tables and agrees
+        // with the one-shot entry point on each.
+        assert_eq!(
+            truth.compare(&exact),
+            compare_rankings(&original, &exact, 3)
+        );
+        assert_eq!(
+            truth.compare(&degraded),
+            compare_rankings(&original, &degraded, 3)
+        );
+        // Lookup-based scoring matches the map-based one.
+        assert_eq!(
+            truth.compare_with(|k| degraded.get(k).copied().unwrap_or(0)),
+            truth.compare(&degraded)
+        );
     }
 
     #[test]

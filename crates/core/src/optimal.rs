@@ -25,9 +25,7 @@ impl PairwiseModel {
     pub fn misranking_probability(self, s1: u64, s2: u64, p: f64) -> f64 {
         match self {
             PairwiseModel::Exact => misranking_probability_exact(s1, s2, p),
-            PairwiseModel::Gaussian => {
-                misranking_probability_gaussian(s1 as f64, s2 as f64, p)
-            }
+            PairwiseModel::Gaussian => misranking_probability_gaussian(s1 as f64, s2 as f64, p),
         }
     }
 }
@@ -87,12 +85,14 @@ mod tests {
         for &(s1, s2) in &[(100u64, 300u64), (50, 500), (1_000, 2_000)] {
             let p = optimal_sampling_rate(s1, s2, target, PairwiseModel::Gaussian, 1e-4);
             let pm = misranking_probability_gaussian(s1 as f64, s2 as f64, p);
-            assert!(pm <= target * 1.05, "Pm({s1},{s2};{p}) = {pm} exceeds target");
+            assert!(
+                pm <= target * 1.05,
+                "Pm({s1},{s2};{p}) = {pm} exceeds target"
+            );
             // And just below the optimum the target is violated (minimality),
             // unless the optimum saturated at the lower bound.
             if p > 2e-4 {
-                let pm_below =
-                    misranking_probability_gaussian(s1 as f64, s2 as f64, p * 0.8);
+                let pm_below = misranking_probability_gaussian(s1 as f64, s2 as f64, p * 0.8);
                 assert!(pm_below > target);
             }
         }
@@ -104,7 +104,10 @@ mod tests {
         let target = 1e-3;
         let close = optimal_sampling_rate(500, 520, target, PairwiseModel::Gaussian, 1e-4);
         let far = optimal_sampling_rate(50, 1_000, target, PairwiseModel::Gaussian, 1e-4);
-        assert!(close > 0.5, "close sizes should need a high rate, got {close}");
+        assert!(
+            close > 0.5,
+            "close sizes should need a high rate, got {close}"
+        );
         assert!(far < 0.3, "distant sizes should need a low rate, got {far}");
         assert!(far < close);
     }

@@ -30,7 +30,8 @@ pub fn misranking_probability_exact(s1: u64, s2: u64, p: f64) -> f64 {
         return 1.0;
     }
     if p >= 1.0 {
-        return if s1 == s2 { 0.0 } else { 0.0 };
+        // Full sampling ranks correctly whether or not the sizes coincide.
+        return 0.0;
     }
     if s1 == s2 {
         return misranking_probability_equal_sizes(s1, p);
@@ -121,9 +122,8 @@ mod tests {
         for &(a, b) in &[(3u64, 17u64), (100, 250), (1, 1000)] {
             let p = 0.07;
             assert!(
-                (misranking_probability_exact(a, b, p)
-                    - misranking_probability_exact(b, a, p))
-                .abs()
+                (misranking_probability_exact(a, b, p) - misranking_probability_exact(b, a, p))
+                    .abs()
                     < 1e-12
             );
         }
@@ -210,9 +210,11 @@ mod tests {
         for &s in &[5u64, 20, 100] {
             let closed = (1.0 - p).powi(s as i32 - 1) * (1.0 - p + p * s as f64);
             let b = flowrank_stats::dist::Binomial::new(s, p).unwrap();
-            let at_most_one =
-                flowrank_stats::dist::DiscreteDistribution::cdf(&b, 1);
-            assert!((closed - at_most_one).abs() < 1e-10, "identity fails for S={s}");
+            let at_most_one = flowrank_stats::dist::DiscreteDistribution::cdf(&b, 1);
+            assert!(
+                (closed - at_most_one).abs() < 1e-10,
+                "identity fails for S={s}"
+            );
             let direct = misranking_probability_exact(1, s, p);
             assert!(direct <= closed + 1e-12);
             assert!((minimum_misranking_probability(s, p) - direct).abs() < 1e-15);

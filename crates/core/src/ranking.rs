@@ -293,8 +293,7 @@ pub fn discrete_mean_swapped_pairs(
         }
         let mut below = 0.0;
         let mut above = 0.0;
-        for j in 0..m {
-            let p_j = pmf[j];
+        for (j, &p_j) in pmf.iter().enumerate().take(m) {
             if p_j <= 0.0 {
                 continue;
             }
@@ -451,10 +450,10 @@ mod tests {
         // Discretise the Pareto onto sizes 1..=4000 packets.
         let max_size = 4_000usize;
         let mut pmf = vec![0.0; max_size];
-        for k in 0..max_size {
+        for (k, slot) in pmf.iter_mut().enumerate() {
             let lo = (k as f64) + 0.5;
             let hi = (k as f64) + 1.5;
-            pmf[k] = (dist.sf(lo) - dist.sf(hi)).max(0.0);
+            *slot = (dist.sf(lo) - dist.sf(hi)).max(0.0);
         }
         // Renormalise the truncated grid.
         let total: f64 = pmf.iter().sum();
@@ -477,8 +476,8 @@ mod tests {
         let dist = ParetoFlowModel::with_mean(50.0, 1.5).unwrap();
         let max_size = 800usize;
         let mut pmf = vec![0.0; max_size];
-        for k in 0..max_size {
-            pmf[k] = (dist.sf(k as f64 + 0.5) - dist.sf(k as f64 + 1.5)).max(0.0);
+        for (k, slot) in pmf.iter_mut().enumerate() {
+            *slot = (dist.sf(k as f64 + 0.5) - dist.sf(k as f64 + 1.5)).max(0.0);
         }
         let total: f64 = pmf.iter().sum();
         pmf.iter_mut().for_each(|v| *v /= total);

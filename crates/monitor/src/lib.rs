@@ -1,0 +1,75 @@
+//! # flowrank-monitor
+//!
+//! The push-based streaming monitor: **one pipeline for sampling,
+//! classification and ranking metrics**.
+//!
+//! The paper's monitor observes packets one at a time on a live link. This
+//! crate is that front door for the whole workspace: every packet goes
+//! through [`Monitor::push`], which
+//!
+//! 1. classifies the packet into the current measurement bin's ground-truth
+//!    flow table (under a runtime-selected [`FlowDefinition`]),
+//! 2. offers it to every *sampling lane* — an independent sampler (any
+//!    [`SamplerSpec`]: random, periodic, stratified, flow, smart, adaptive)
+//!    with its own deterministic RNG, a sampled flow table, and optionally a
+//!    memory-bounded top-k backend ([`TopKSpec`]) fed with the retained
+//!    packets,
+//! 3. closes bins automatically on timestamp boundaries, ranking the ground
+//!    truth **once per bin** and scoring every lane against that single
+//!    ranking ([`GroundTruthRanking`] from `flowrank-core`), and emits a
+//!    [`BinReport`] carrying the per-lane swapped-pair
+//!    [`ComparisonOutcome`]s.
+//!
+//! The multi-run fan-out mode ([`MonitorBuilder::rates`] +
+//! [`MonitorBuilder::runs`]) is what the paper's Sec. 8 methodology needs: 30
+//! independent sampling runs at each of several rates, all sharing one
+//! ground-truth classification per bin instead of reclassifying the bin
+//! `runs × rates` times as the old batch engine did. The batch entry points
+//! (`flowrank_sim::run_bin`, `TraceExperiment`) are now thin wrappers over
+//! this crate.
+//!
+//! ```
+//! use flowrank_monitor::{Monitor, SamplerSpec};
+//! use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut monitor = Monitor::builder()
+//!     .flow_definition(FlowDefinition::PREFIX24)
+//!     .sampler(SamplerSpec::Random { rate: 0.1 })
+//!     .rates(&[0.01, 0.1, 0.5])
+//!     .runs(30)
+//!     .bin_length(Timestamp::from_secs_f64(60.0))
+//!     .top_t(10)
+//!     .seed(2026)
+//!     .build();
+//!
+//! // Live loop: push packets as the tap produces them.
+//! let packet = PacketRecord::udp(
+//!     Timestamp::from_secs_f64(0.5),
+//!     Ipv4Addr::new(10, 0, 0, 1), 53,
+//!     Ipv4Addr::new(100, 64, 0, 9), 53,
+//!     120,
+//! );
+//! for report in monitor.push(&packet) {
+//!     println!("bin {} closed: {} flows", report.bin_index, report.flows);
+//! }
+//! // End of trace: close the final bin.
+//! let last = monitor.finish();
+//! assert!(last.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod report;
+pub mod spec;
+
+pub use monitor::{Monitor, MonitorBuilder};
+pub use report::{BinReport, LaneReport, TopKReport};
+pub use spec::{SamplerSpec, TopKSpec};
+
+// Re-exported so monitor users can name the metric types without a direct
+// `flowrank-core` dependency.
+pub use flowrank_core::metrics::{ComparisonOutcome, GroundTruthRanking};
+pub use flowrank_net::FlowDefinition;

@@ -1,0 +1,607 @@
+//! The push-based streaming monitor.
+//!
+//! [`Monitor::push`] is the single entry point every packet of a live link
+//! goes through. The monitor classifies the packet into the bin's
+//! ground-truth flow table, offers it to every sampling lane, feeds retained
+//! packets into the lanes' sampled tables (and optional top-k backends), and
+//! closes measurement bins automatically on timestamp boundaries. Closing a
+//! bin ranks the ground truth **once** and scores every lane against that
+//! single ranking — with `runs × rates` lanes this removes the
+//! `runs × rates` redundant reclassifications the batch API used to pay.
+
+use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
+use flowrank_net::{
+    AnyFlowKey, FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketRecord, Timestamp,
+};
+use flowrank_sampling::SamplerStage;
+use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
+use flowrank_topk::TopKTracker;
+
+use crate::report::{BinReport, LaneReport, TopKReport};
+use crate::spec::{SamplerSpec, TopKSpec};
+
+/// Salt mixed into a lane's seed for its top-k backend RNG, so that backend
+/// coin flips (sample-and-hold) never perturb the sampling stream.
+const TRACKER_SEED_SALT: u64 = 0x70B5_A17E_D00D_F00D;
+
+/// Fluent builder for [`Monitor`].
+///
+/// ```
+/// use flowrank_monitor::{MonitorBuilder, SamplerSpec};
+/// use flowrank_net::{FlowDefinition, Timestamp};
+///
+/// let monitor = MonitorBuilder::new()
+///     .flow_definition(FlowDefinition::FiveTuple)
+///     .sampler(SamplerSpec::Random { rate: 0.01 })
+///     .rates(&[0.01, 0.1])
+///     .runs(30)
+///     .bin_length(Timestamp::from_secs_f64(60.0))
+///     .top_t(10)
+///     .seed(2026)
+///     .build();
+/// assert_eq!(monitor.lane_count(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorBuilder {
+    flow_definition: FlowDefinition,
+    sampler: SamplerSpec,
+    rates: Option<Vec<f64>>,
+    runs: usize,
+    topk: Option<TopKSpec>,
+    bin_length: Timestamp,
+    top_t: usize,
+    seed: u64,
+}
+
+impl Default for MonitorBuilder {
+    fn default() -> Self {
+        MonitorBuilder {
+            flow_definition: FlowDefinition::FiveTuple,
+            sampler: SamplerSpec::Random { rate: 0.01 },
+            rates: None,
+            runs: 1,
+            topk: None,
+            bin_length: Timestamp::from_secs_f64(60.0),
+            top_t: 10,
+            seed: 0xF10A_4A9C,
+        }
+    }
+}
+
+impl MonitorBuilder {
+    /// Starts from the paper's defaults: 5-tuple flows, 1% random sampling,
+    /// one run, 60-second bins, top 10.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flow definition used for both ground truth and sampled classification.
+    pub fn flow_definition(mut self, definition: FlowDefinition) -> Self {
+        self.flow_definition = definition;
+        self
+    }
+
+    /// Sampling discipline template for every lane.
+    pub fn sampler(mut self, spec: SamplerSpec) -> Self {
+        self.sampler = spec;
+        self
+    }
+
+    /// Fans the sampler template out across a grid of nominal rates (one
+    /// group of [`MonitorBuilder::runs`] lanes per rate). Without this call
+    /// the monitor runs the template at its own rate in a single group.
+    pub fn rates(mut self, rates: &[f64]) -> Self {
+        self.rates = Some(rates.to_vec());
+        self
+    }
+
+    /// Independent sampling runs per rate (the paper uses 30).
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Attaches a memory-bounded top-k backend to every lane; the backend is
+    /// fed exactly the packets the lane's sampler retains.
+    ///
+    /// The `flowrank-topk` trackers are keyed by 5-tuple, so the backend
+    /// always tracks 5-tuple flows — even when the monitor's
+    /// [`MonitorBuilder::flow_definition`] is a prefix definition, in which
+    /// case the [`crate::TopKReport`] entries live in a different key space
+    /// than the bin's prefix ranking.
+    pub fn topk(mut self, spec: TopKSpec) -> Self {
+        self.topk = Some(spec);
+        self
+    }
+
+    /// Measurement-bin length. [`Timestamp::ZERO`] means a single unbounded
+    /// bin closed only by [`Monitor::finish`].
+    pub fn bin_length(mut self, bin_length: Timestamp) -> Self {
+        self.bin_length = bin_length;
+        self
+    }
+
+    /// Number of top flows the monitor reports.
+    pub fn top_t(mut self, top_t: usize) -> Self {
+        self.top_t = top_t;
+        self
+    }
+
+    /// Master seed. Per-lane seeds are derived deterministically from it (and
+    /// from each rate), so a monitor is reproducible bit-for-bit.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the monitor.
+    pub fn build(self) -> Monitor {
+        let mut lanes = Vec::new();
+        match &self.rates {
+            None => {
+                // Single group at the template's own rate; the lane seed is
+                // the master seed, matching the legacy single-run engine.
+                let seeds = derive_seeds(self.seed, self.runs);
+                let rate_tag = self.sampler.nominal_rate();
+                for (run, &derived) in seeds.iter().enumerate() {
+                    let seed = if self.runs == 1 { self.seed } else { derived };
+                    lanes.push(Lane::new(
+                        &self.sampler,
+                        rate_tag,
+                        self.topk.as_ref(),
+                        run,
+                        seed,
+                    ));
+                }
+            }
+            Some(rates) => {
+                for &rate in rates {
+                    // Same derivation the batch experiment always used, so
+                    // fanned-out lanes reproduce its per-run streams exactly.
+                    let seeds = derive_seeds(self.seed ^ rate.to_bits(), self.runs);
+                    let spec = self.sampler.with_rate(rate);
+                    // Lanes are tagged with the *requested* grid rate, not
+                    // the spec's own nominal rate: rate-keyed aggregation
+                    // must find its lanes even for disciplines whose
+                    // retargeting is a no-op (smart sampling).
+                    for (run, &seed) in seeds.iter().enumerate() {
+                        lanes.push(Lane::new(&spec, rate, self.topk.as_ref(), run, seed));
+                    }
+                }
+            }
+        }
+        Monitor {
+            flow_definition: self.flow_definition,
+            bin_length: self.bin_length,
+            top_t: self.top_t,
+            ground_truth: FlowTable::new(),
+            lanes,
+            current_bin: 0,
+            saw_packet: false,
+        }
+    }
+}
+
+/// One independent sampling pipeline inside the monitor: a sampler + RNG
+/// stage, the sampled flow table it fills, and an optional top-k backend.
+struct Lane {
+    spec: SamplerSpec,
+    rate: f64,
+    run: usize,
+    seed: u64,
+    stage: SamplerStage<Pcg64>,
+    table: FlowTable<AnyFlowKey>,
+    tracker: Option<Box<dyn TopKTracker + Send>>,
+    tracker_rng: Pcg64,
+}
+
+impl Lane {
+    fn new(
+        spec: &SamplerSpec,
+        rate_tag: f64,
+        topk: Option<&TopKSpec>,
+        run: usize,
+        seed: u64,
+    ) -> Self {
+        Lane {
+            spec: *spec,
+            rate: rate_tag,
+            run,
+            seed,
+            stage: SamplerStage::new(spec.build(seed), Pcg64::seed_from_u64(seed)),
+            table: FlowTable::new(),
+            tracker: topk.map(|t| t.build()),
+            tracker_rng: Pcg64::seed_from_u64(seed ^ TRACKER_SEED_SALT),
+        }
+    }
+
+    /// Offers one packet (with its precomputed flow key) to the lane.
+    fn offer(&mut self, key: AnyFlowKey, packet: &PacketRecord) {
+        if self.stage.admit(packet) {
+            self.table.observe_keyed(key, packet);
+            if let Some(tracker) = &mut self.tracker {
+                tracker.observe(&FiveTuple::from_packet(packet), &mut self.tracker_rng);
+            }
+        }
+    }
+
+    /// Scores the lane against the bin's prepared ground truth and restarts
+    /// it for the next bin.
+    fn close_bin(&mut self, truth: &GroundTruthRanking<AnyFlowKey>, top_t: usize) -> LaneReport {
+        let outcome = truth.compare_with(|key| self.table.size_of(key));
+        let topk = self.tracker.as_ref().map(|tracker| TopKReport {
+            backend: tracker.name(),
+            entries: tracker.top(top_t),
+            memory_entries: tracker.memory_entries(),
+        });
+        let report = LaneReport {
+            rate: self.rate,
+            run: self.run,
+            sampler: self.spec.name(),
+            sampled_flows: self.table.flow_count(),
+            sampled_packets: self.table.total_packets(),
+            outcome,
+            topk,
+        };
+        self.table.clear();
+        // Every bin restarts the lane's random stream from its seed — the
+        // paper's methodology treats bins as independent measurements, and
+        // this is what makes streaming results bit-identical to the batch
+        // engine, which reseeds per bin.
+        self.stage.start_interval(Pcg64::seed_from_u64(self.seed));
+        if let Some(tracker) = &mut self.tracker {
+            tracker.reset();
+            self.tracker_rng = Pcg64::seed_from_u64(self.seed ^ TRACKER_SEED_SALT);
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("spec", &self.spec)
+            .field("run", &self.run)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Push-based streaming monitor: sampling, classification and ranking
+/// metrics in one pipeline.
+///
+/// Drive it with [`Monitor::push`] for every packet in timestamp order and
+/// collect the [`BinReport`]s it emits; call [`Monitor::finish`] at the end
+/// of the trace to close the last bin. [`Monitor::run_trace`] wraps that loop
+/// for in-memory traces.
+#[derive(Debug)]
+pub struct Monitor {
+    flow_definition: FlowDefinition,
+    bin_length: Timestamp,
+    top_t: usize,
+    ground_truth: FlowTable<AnyFlowKey>,
+    lanes: Vec<Lane>,
+    current_bin: u64,
+    saw_packet: bool,
+}
+
+impl Monitor {
+    /// Starts building a monitor.
+    pub fn builder() -> MonitorBuilder {
+        MonitorBuilder::new()
+    }
+
+    /// Number of sampling lanes (runs × rates).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The configured flow definition.
+    pub fn flow_definition(&self) -> FlowDefinition {
+        self.flow_definition
+    }
+
+    /// The configured measurement-bin length.
+    pub fn bin_length(&self) -> Timestamp {
+        self.bin_length
+    }
+
+    /// The configured number of reported top flows.
+    pub fn top_t(&self) -> usize {
+        self.top_t
+    }
+
+    /// Index of the bin currently being filled.
+    pub fn current_bin(&self) -> u64 {
+        self.current_bin
+    }
+
+    /// Observes one packet.
+    ///
+    /// Packets must arrive in non-decreasing timestamp order (a packet older
+    /// than the current bin is counted into the current bin rather than
+    /// rewriting history). Returns the reports of every bin the packet's
+    /// timestamp closed — normally none or one; more when the trace has idle
+    /// gaps, in which case the intervening empty bins are reported too, so
+    /// bin indices always correspond to wall-clock intervals.
+    pub fn push(&mut self, packet: &PacketRecord) -> Vec<BinReport> {
+        let mut closed = Vec::new();
+        let packet_bin = packet.timestamp.bin_index(self.bin_length);
+        while packet_bin > self.current_bin {
+            closed.push(self.close_current_bin());
+        }
+        self.saw_packet = true;
+        let key = self.flow_definition.key_of(packet);
+        self.ground_truth.observe_keyed(key, packet);
+        for lane in &mut self.lanes {
+            lane.offer(key, packet);
+        }
+        closed
+    }
+
+    /// Closes the bin currently being filled and returns its report, or
+    /// `None` when the monitor never saw a packet for it. Call at the end of
+    /// a trace.
+    pub fn finish(&mut self) -> Option<BinReport> {
+        if !self.saw_packet {
+            return None;
+        }
+        let report = self.close_current_bin();
+        self.saw_packet = false;
+        Some(report)
+    }
+
+    /// Runs a whole in-memory trace through the monitor: pushes every packet
+    /// and closes the final bin.
+    pub fn run_trace(&mut self, packets: &[PacketRecord]) -> Vec<BinReport> {
+        let mut reports = Vec::new();
+        for packet in packets {
+            reports.extend(self.push(packet));
+        }
+        reports.extend(self.finish());
+        reports
+    }
+
+    /// Ranks the ground truth once, scores every lane against it, emits the
+    /// bin report and resets all per-bin state.
+    fn close_current_bin(&mut self) -> BinReport {
+        // One classification and one sort per bin, regardless of lane count:
+        // this is the entire point of the shared-ground-truth design.
+        let truth = GroundTruthRanking::new(
+            self.ground_truth
+                .iter_sizes()
+                .map(|(key, packets)| SizedFlow { key: *key, packets })
+                .collect(),
+            self.top_t,
+        );
+        let lanes = self
+            .lanes
+            .iter_mut()
+            .map(|lane| lane.close_bin(&truth, self.top_t))
+            .collect();
+        let report = BinReport {
+            bin_index: self.current_bin,
+            bin_start: Timestamp::from_micros(
+                self.current_bin.saturating_mul(self.bin_length.as_micros()),
+            ),
+            packets: self.ground_truth.total_packets(),
+            flows: self.ground_truth.flow_count(),
+            lanes,
+        };
+        self.ground_truth.clear();
+        self.current_bin += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn packet(flow: u8, t: f64) -> PacketRecord {
+        PacketRecord::tcp(
+            Timestamp::from_secs_f64(t),
+            Ipv4Addr::new(10, 0, 0, flow),
+            1000 + flow as u16,
+            Ipv4Addr::new(100, 64, flow, 1),
+            80,
+            500,
+            0,
+        )
+    }
+
+    /// Flow `i` of `flows` sends `10 * (flows − i)` packets inside one bin.
+    fn skewed_bin(flows: u8, offset_secs: f64) -> Vec<PacketRecord> {
+        let mut packets = Vec::new();
+        for i in 0..flows {
+            for j in 0..(10 * (flows - i) as usize) {
+                packets.push(packet(i, offset_secs + j as f64 * 0.01));
+            }
+        }
+        packets.sort_by_key(|p| p.timestamp);
+        packets
+    }
+
+    #[test]
+    fn full_sampling_lane_is_error_free() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .top_t(10)
+            .build();
+        let reports = monitor.run_trace(&skewed_bin(20, 0.0));
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.flows, 20);
+        assert_eq!(report.lanes.len(), 1);
+        assert_eq!(report.lanes[0].sampled_flows, 20);
+        assert_eq!(report.lanes[0].outcome.ranking_swaps, 0);
+        assert_eq!(report.lanes[0].outcome.detection_swaps, 0);
+    }
+
+    #[test]
+    fn bins_close_on_timestamp_boundaries() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .seed(3)
+            .build();
+        let mut packets = skewed_bin(10, 0.0);
+        packets.extend(skewed_bin(10, 61.0));
+        let mut reports = Vec::new();
+        for p in &packets {
+            reports.extend(monitor.push(p));
+        }
+        // The second bin is still open until finish().
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].bin_index, 0);
+        let last = monitor.finish().expect("second bin must close");
+        assert_eq!(last.bin_index, 1);
+        assert_eq!(last.bin_start, Timestamp::from_secs_f64(60.0));
+        assert!(monitor.finish().is_none(), "no third bin was started");
+    }
+
+    #[test]
+    fn idle_gaps_emit_empty_bins() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        assert!(monitor.push(&packet(1, 10.0)).is_empty());
+        // Jumping to bin 3 closes bins 0 (1 packet), 1 and 2 (empty).
+        let closed = monitor.push(&packet(1, 190.0));
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].packets, 1);
+        assert_eq!(closed[1].packets, 0);
+        assert_eq!(closed[1].flows, 0);
+        assert_eq!(closed[2].packets, 0);
+        assert_eq!(monitor.current_bin(), 3);
+    }
+
+    #[test]
+    fn fan_out_shares_ground_truth_across_lanes() {
+        let rates = [0.1, 0.5];
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.0 })
+            .rates(&rates)
+            .runs(5)
+            .seed(11)
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        assert_eq!(monitor.lane_count(), 10);
+        let reports = monitor.run_trace(&skewed_bin(30, 0.0));
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.lanes.len(), 10);
+        assert_eq!(report.lanes_at_rate(0.1).count(), 5);
+        // Higher rates rank better on average.
+        assert!(report.mean_ranking_at_rate(0.5) < report.mean_ranking_at_rate(0.1));
+        // Runs within a rate use distinct seeds → not all outcomes identical.
+        let outcomes: Vec<u64> = report
+            .lanes_at_rate(0.1)
+            .map(|l| l.outcome.ranking_swaps)
+            .collect();
+        assert!(outcomes.iter().any(|&o| o != outcomes[0]) || outcomes.is_empty());
+    }
+
+    #[test]
+    fn monitor_is_deterministic_per_seed() {
+        let build = || {
+            Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.1 })
+                .rates(&[0.05, 0.2])
+                .runs(4)
+                .seed(77)
+                .build()
+        };
+        let packets = skewed_bin(25, 0.0);
+        let a = build().run_trace(&packets);
+        let b = build().run_trace(&packets);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topk_backend_rides_on_sampled_packets() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .topk(crate::spec::TopKSpec::SpaceSaving { capacity: 8 })
+            .top_t(3)
+            .build();
+        let reports = monitor.run_trace(&skewed_bin(20, 0.0));
+        let topk = reports[0].lanes[0].topk.as_ref().expect("backend attached");
+        assert_eq!(topk.backend, "space-saving");
+        assert!(topk.memory_entries <= 8);
+        assert_eq!(topk.entries.len(), 3);
+        // At full sampling the largest flow (200 packets) leads the list;
+        // space-saving estimates are upper bounds under tight memory.
+        assert!(topk.entries[0].estimate >= 200);
+    }
+
+    #[test]
+    fn every_sampler_spec_runs_through_the_monitor() {
+        let specs = [
+            SamplerSpec::Random { rate: 0.3 },
+            SamplerSpec::Periodic {
+                rate: 0.3,
+                random_phase: true,
+            },
+            SamplerSpec::Stratified { rate: 0.3 },
+            SamplerSpec::Flow { rate: 0.3 },
+            SamplerSpec::Smart { threshold: 20.0 },
+            SamplerSpec::Adaptive {
+                initial_rate: 0.3,
+                budget_per_interval: 100,
+                interval: Timestamp::from_secs_f64(1.0),
+            },
+        ];
+        let packets = skewed_bin(15, 0.0);
+        for spec in specs {
+            let mut monitor = Monitor::builder().sampler(spec).seed(5).build();
+            let reports = monitor.run_trace(&packets);
+            assert_eq!(reports.len(), 1, "{}", spec.name());
+            let lane = &reports[0].lanes[0];
+            assert_eq!(lane.sampler, spec.name());
+            assert!(lane.sampled_packets <= reports[0].packets);
+        }
+    }
+
+    #[test]
+    fn rate_tags_follow_the_requested_grid_even_for_unrated_specs() {
+        // Smart sampling ignores with_rate(), but its lanes must still be
+        // tagged with the requested grid rates so rate-keyed aggregation
+        // (lanes_at_rate) finds them.
+        let rates = [0.001, 0.5];
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Smart { threshold: 50.0 })
+            .rates(&rates)
+            .runs(3)
+            .seed(9)
+            .build();
+        let reports = monitor.run_trace(&skewed_bin(10, 0.0));
+        let report = &reports[0];
+        for &rate in &rates {
+            assert_eq!(report.lanes_at_rate(rate).count(), 3, "rate {rate}");
+        }
+        assert!(report.lanes.iter().all(|l| l.sampler == "smart"));
+    }
+
+    #[test]
+    fn zero_bin_length_is_one_unbounded_bin() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .bin_length(Timestamp::ZERO)
+            .build();
+        let mut packets = skewed_bin(5, 0.0);
+        packets.extend(skewed_bin(5, 10_000.0));
+        let reports = monitor.run_trace(&packets);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].packets, packets.len() as u64);
+    }
+
+    #[test]
+    fn empty_trace_produces_no_reports() {
+        let mut monitor = Monitor::builder().build();
+        assert!(monitor.run_trace(&[]).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Reports emitted by the streaming monitor when a measurement bin closes.
+
+use flowrank_core::metrics::ComparisonOutcome;
+use flowrank_net::Timestamp;
+use flowrank_topk::TopKEntry;
+
+/// End-of-bin state of one lane's memory-bounded top-k backend.
+///
+/// Backends are keyed by 5-tuple regardless of the monitor's flow
+/// definition (the `flowrank-topk` trackers only know [`TopKEntry`]'s
+/// `FiveTuple` keys), so under a prefix definition these entries live in a
+/// different key space than the bin's ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKReport {
+    /// Backend name (`exact`, `space-saving`, …).
+    pub backend: &'static str,
+    /// Estimated top-`t` list, largest first.
+    pub entries: Vec<TopKEntry>,
+    /// Flow records the backend held when the bin closed.
+    pub memory_entries: usize,
+}
+
+/// Per-lane outcome of one measurement bin.
+///
+/// A lane is one independent sampling run at one rate; a multi-run monitor
+/// carries `runs × rates` lanes that all share the bin's single ground-truth
+/// classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    /// Nominal sampling rate of the lane.
+    pub rate: f64,
+    /// Run index within the lane's rate (0-based).
+    pub run: usize,
+    /// Sampling discipline name.
+    pub sampler: &'static str,
+    /// Flows that survived sampling in this bin.
+    pub sampled_flows: usize,
+    /// Packets the lane retained in this bin.
+    pub sampled_packets: u64,
+    /// Swapped-pair counts against the bin's ground truth.
+    pub outcome: ComparisonOutcome,
+    /// End-of-bin top-k state, when the lane runs a backend.
+    pub topk: Option<TopKReport>,
+}
+
+impl LaneReport {
+    /// The ranking metric value of this lane for this bin.
+    pub fn ranking_metric(&self) -> f64 {
+        self.outcome.ranking_swaps as f64
+    }
+
+    /// The detection metric value of this lane for this bin.
+    pub fn detection_metric(&self) -> f64 {
+        self.outcome.detection_swaps as f64
+    }
+}
+
+/// Everything the monitor learned about one measurement bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinReport {
+    /// 0-based index of the bin since time zero.
+    pub bin_index: u64,
+    /// Wall-clock start of the bin.
+    pub bin_start: Timestamp,
+    /// Packets observed in the bin (before sampling).
+    pub packets: u64,
+    /// Distinct ground-truth flows in the bin.
+    pub flows: usize,
+    /// One report per lane, in lane order (rates outer, runs inner).
+    pub lanes: Vec<LaneReport>,
+}
+
+impl BinReport {
+    /// The lanes belonging to one sampling rate.
+    pub fn lanes_at_rate(&self, rate: f64) -> impl Iterator<Item = &LaneReport> {
+        self.lanes.iter().filter(move |lane| lane.rate == rate)
+    }
+
+    /// Mean ranking metric across all lanes of `rate` in this bin.
+    pub fn mean_ranking_at_rate(&self, rate: f64) -> f64 {
+        let (sum, count) = self
+            .lanes_at_rate(rate)
+            .fold((0.0, 0usize), |(s, c), lane| {
+                (s + lane.ranking_metric(), c + 1)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}

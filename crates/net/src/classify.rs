@@ -119,20 +119,25 @@ impl<K: FlowKey> FlowTable<K> {
     }
 
     /// Observes one packet: classifies it and updates its flow's counters.
-    pub fn observe(&mut self, packet: &PacketRecord) {
-        self.observe_keyed(K::from_packet(packet), packet);
+    /// Returns the flow's updated packet count.
+    pub fn observe(&mut self, packet: &PacketRecord) -> u64 {
+        self.observe_keyed(K::from_packet(packet), packet)
     }
 
     /// Observes a packet whose key has already been computed (avoids
     /// re-deriving the key when the caller classifies under several
-    /// definitions at once).
-    pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) {
+    /// definitions at once). Returns the flow's updated packet count — the
+    /// streaming monitor uses this to maintain top-k structures without a
+    /// second lookup.
+    pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) -> u64 {
         self.total_packets += 1;
         self.total_bytes += packet.length as u64;
-        self.flows
+        let stats = self
+            .flows
             .entry(key)
             .and_modify(|s| s.update(packet))
             .or_insert_with(|| FlowStats::new(packet));
+        stats.packets
     }
 
     /// Number of distinct flows seen.
@@ -153,6 +158,20 @@ impl<K: FlowKey> FlowTable<K> {
     /// Returns the counters of a specific flow, if present.
     pub fn get(&self, key: &K) -> Option<&FlowStats> {
         self.flows.get(key)
+    }
+
+    /// Size in packets of a specific flow, 0 when the flow was never seen.
+    ///
+    /// This is the lookup shape the swapped-pair metrics need: a flow the
+    /// sampler missed entirely has sampled size zero, not "absent".
+    pub fn size_of(&self, key: &K) -> u64 {
+        self.flows.get(key).map_or(0, |s| s.packets)
+    }
+
+    /// Iterates over `(key, packets)` pairs — the minimal view the ranking
+    /// metrics consume, without exposing the full [`FlowStats`].
+    pub fn iter_sizes(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.flows.iter().map(|(k, s)| (k, s.packets))
     }
 
     /// Iterates over all flows and their counters.
@@ -304,6 +323,21 @@ mod tests {
         let mut single: FlowTable<FiveTuple> = FlowTable::new();
         single.observe(&p1);
         assert_eq!(single.get(&key).unwrap().tcp_seq_span(), None);
+    }
+
+    #[test]
+    fn streaming_hooks_report_sizes() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        assert_eq!(table.observe(&packet(1, 1, 80, 500, 0.0)), 1);
+        assert_eq!(table.observe(&packet(1, 1, 80, 500, 1.0)), 2);
+        assert_eq!(table.observe(&packet(2, 1, 80, 500, 0.0)), 1);
+        let key = FiveTuple::from_packet(&packet(1, 1, 80, 500, 0.0));
+        let missing = FiveTuple::from_packet(&packet(9, 9, 80, 500, 0.0));
+        assert_eq!(table.size_of(&key), 2);
+        assert_eq!(table.size_of(&missing), 0);
+        let mut sizes: Vec<u64> = table.iter_sizes().map(|(_, n)| n).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
     }
 
     #[test]

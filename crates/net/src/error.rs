@@ -43,7 +43,10 @@ impl fmt::Display for NetError {
                 write!(f, "not a libpcap capture file (magic {found:#010x})")
             }
             NetError::UnsupportedLinkType { link_type } => {
-                write!(f, "unsupported pcap link type {link_type} (only Ethernet is supported)")
+                write!(
+                    f,
+                    "unsupported pcap link type {link_type} (only Ethernet is supported)"
+                )
             }
             NetError::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
             NetError::InvalidField { field, reason } => {
@@ -80,12 +83,17 @@ mod tests {
         assert!(NetError::UnsupportedLinkType { link_type: 101 }
             .to_string()
             .contains("101"));
-        assert!(NetError::MalformedPacket { reason: "short IPv4 header" }
-            .to_string()
-            .contains("short IPv4 header"));
-        assert!(NetError::InvalidField { field: "payload", reason: "too large" }
-            .to_string()
-            .contains("payload"));
+        assert!(NetError::MalformedPacket {
+            reason: "short IPv4 header"
+        }
+        .to_string()
+        .contains("short IPv4 header"));
+        assert!(NetError::InvalidField {
+            field: "payload",
+            reason: "too large"
+        }
+        .to_string()
+        .contains("payload"));
         let io_err = NetError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
         assert!(io_err.to_string().contains("eof"));
     }
@@ -93,7 +101,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error as _;
-        let err = NetError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let err = NetError::from(io::Error::other("boom"));
         assert!(err.source().is_some());
         assert!(NetError::MalformedPacket { reason: "x" }.source().is_none());
     }

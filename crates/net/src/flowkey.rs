@@ -315,7 +315,10 @@ mod tests {
     #[test]
     fn any_flow_key_defaults_to_five_tuple() {
         let p = sample_packet();
-        assert!(matches!(AnyFlowKey::from_packet(&p), AnyFlowKey::FiveTuple(_)));
+        assert!(matches!(
+            AnyFlowKey::from_packet(&p),
+            AnyFlowKey::FiveTuple(_)
+        ));
         assert!(AnyFlowKey::DstPrefix(DstPrefix::of(p.dst_ip, 24))
             .to_string()
             .contains("/24"));

@@ -282,7 +282,10 @@ mod tests {
         header.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
         header.extend_from_slice(&101u32.to_le_bytes());
         let err = PcapReader::new(&header[..]).unwrap_err();
-        assert!(matches!(err, NetError::UnsupportedLinkType { link_type: 101 }));
+        assert!(matches!(
+            err,
+            NetError::UnsupportedLinkType { link_type: 101 }
+        ));
     }
 
     #[test]

@@ -136,26 +136,31 @@ mod tests {
     #[test]
     fn rate_decreases_when_over_budget() {
         // 10k packets/s, budget 100 samples/s → rate should fall toward 1%.
-        let mut sampler =
-            AdaptiveRateSampler::new(0.5, 100, Timestamp::from_secs_f64(1.0));
+        let mut sampler = AdaptiveRateSampler::new(0.5, 100, Timestamp::from_secs_f64(1.0));
         let rates = run(&mut sampler, 10_000, 10, 1);
-        assert!(rates.last().unwrap() < &0.05, "final rate {:?}", rates.last());
+        assert!(
+            rates.last().unwrap() < &0.05,
+            "final rate {:?}",
+            rates.last()
+        );
         assert!(rates.first().unwrap() >= rates.last().unwrap());
     }
 
     #[test]
     fn rate_increases_when_under_budget() {
         // 1k packets/s, budget 500 samples/s → rate should rise toward 50%.
-        let mut sampler =
-            AdaptiveRateSampler::new(0.01, 500, Timestamp::from_secs_f64(1.0));
+        let mut sampler = AdaptiveRateSampler::new(0.01, 500, Timestamp::from_secs_f64(1.0));
         let rates = run(&mut sampler, 1_000, 12, 2);
-        assert!(rates.last().unwrap() > &0.2, "final rate {:?}", rates.last());
+        assert!(
+            rates.last().unwrap() > &0.2,
+            "final rate {:?}",
+            rates.last()
+        );
     }
 
     #[test]
     fn converges_near_budget() {
-        let mut sampler =
-            AdaptiveRateSampler::new(0.3, 200, Timestamp::from_secs_f64(1.0));
+        let mut sampler = AdaptiveRateSampler::new(0.3, 200, Timestamp::from_secs_f64(1.0));
         let mut rng = Pcg64::seed_from_u64(3);
         let mut sampled_last_second = 0;
         for s in 0..20 {

@@ -59,11 +59,7 @@ pub fn evasion_probability_for_sizes(sizes: &[u64], rate: f64) -> f64 {
         return 1.0;
     }
     let ln_q = (1.0 - rate).ln();
-    sizes
-        .iter()
-        .map(|&s| (ln_q * s as f64).exp())
-        .sum::<f64>()
-        / sizes.len() as f64
+    sizes.iter().map(|&s| (ln_q * s as f64).exp()).sum::<f64>() / sizes.len() as f64
 }
 
 /// Estimates the number of flows in the *original* traffic from the number of
@@ -157,7 +153,9 @@ mod tests {
         let size_dist = Geometric::new(0.2).unwrap();
         let p = 0.1;
         let n_flows = 40_000;
-        let sizes: Vec<u64> = (0..n_flows).map(|_| 1 + size_dist.sample(&mut rng)).collect();
+        let sizes: Vec<u64> = (0..n_flows)
+            .map(|_| 1 + size_dist.sample(&mut rng))
+            .collect();
         let mut sampled_flows = 0u64;
         for &size in &sizes {
             let sampled = (0..size).filter(|_| rng.bernoulli(p)).count();
@@ -168,7 +166,10 @@ mod tests {
         let pi0 = evasion_probability_for_sizes(&sizes, p);
         let estimate = estimate_original_flow_count(sampled_flows, pi0);
         let rel_err = (estimate - n_flows as f64).abs() / n_flows as f64;
-        assert!(rel_err < 0.03, "relative error {rel_err} (estimate {estimate})");
+        assert!(
+            rel_err < 0.03,
+            "relative error {rel_err} (estimate {estimate})"
+        );
         // Degenerate evasion probabilities leave the count unchanged.
         assert_eq!(estimate_original_flow_count(10, 1.0), 10.0);
         assert_eq!(estimate_original_flow_count(10, -0.5), 10.0);

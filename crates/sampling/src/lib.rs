@@ -15,16 +15,24 @@
 //! * [`stratified`] — one uniformly chosen packet per stratum of N packets.
 //! * [`flow_sampling`] — whole-flow sampling (reference [8]/[11] discussion in
 //!   Sec. 1): if a flow is sampled, all of its packets are kept.
-//! * [`smart`] — size-dependent flow-record sampling ("smart sampling",
-//!   Duffield–Lund), a baseline for the memory-bounded comparisons.
+//! * [`smart`] — size-dependent sampling ("smart sampling", Duffield–Lund):
+//!   the record-level [`smart::SmartSampler`] plus the packet-level
+//!   [`smart::SmartPacketSampler`] adaptation used by the streaming monitor.
 //! * [`adaptive`] — an adaptive-rate packet sampler that tracks a packet
 //!   budget per interval (the paper's third future-work direction).
 //! * [`inversion`] — estimators of original-traffic quantities from sampled
 //!   data (scale-by-1/p, flow counts, mean flow size).
 //! * [`seqno`] — TCP sequence-number flow-size estimator (the paper's second
 //!   future-work direction).
-//! * [`pipeline`] — helpers that run a sampler over a packet stream and build
-//!   sampled flow tables.
+//! * [`pipeline`] — sampling pipelines without intermediate copies: the lazy
+//!   [`pipeline::sample_iter`] filter and the push-based
+//!   [`pipeline::SamplerStage`] that the streaming `Monitor` builds its lanes
+//!   from.
+//!
+//! Every sampler implements the object-safe [`PacketSampler`] trait, so a
+//! monitor can select its sampling discipline at run time
+//! (`Box<dyn PacketSampler>`) without monomorphising the whole pipeline per
+//! sampler; blanket impls forward through `Box` and `&mut`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +51,8 @@ pub mod stratified;
 pub use adaptive::AdaptiveRateSampler;
 pub use flow_sampling::FlowSampler;
 pub use periodic::PeriodicSampler;
-pub use pipeline::{sample_and_classify, sample_stream};
+pub use pipeline::{sample_and_classify, sample_iter, sample_stream, SamplerStage};
 pub use random::RandomSampler;
 pub use sampler::PacketSampler;
+pub use smart::SmartPacketSampler;
 pub use stratified::StratifiedSampler;

@@ -1,41 +1,117 @@
-//! Sampling pipelines: run a sampler over a packet stream and build sampled
-//! flow tables.
+//! Sampling pipelines: drive a sampler over a packet stream, lazily or
+//! push-based, and build sampled flow tables.
 //!
 //! These helpers wire together the substrate pieces exactly the way the
 //! paper's monitor does: packets arrive in time order, each one passes
 //! through the sampler, surviving packets are classified into flows, and at
-//! the end of the measurement period the flow table is ranked.
+//! the end of the measurement period the flow table is ranked. None of them
+//! materialise intermediate packet vectors:
+//!
+//! * [`sample_iter`] — a lazy filtering iterator over borrowed packets.
+//! * [`SamplerStage`] — the push adapter the streaming `Monitor` builds its
+//!   lanes from: an owned sampler plus its RNG, driven one packet at a time.
+//! * [`sample_and_classify`] / [`classify_all`] — single-pass table builders.
 
 use flowrank_net::{FlowKey, FlowTable, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
 
-/// Runs `sampler` over `packets` and returns the retained packets.
-pub fn sample_stream<S: PacketSampler>(
-    packets: &[PacketRecord],
-    sampler: &mut S,
-    rng: &mut dyn Rng,
-) -> Vec<PacketRecord> {
+/// Lazily filters `packets` through `sampler`: yields exactly the packets the
+/// monitor retains, in order, without copying them into an intermediate
+/// vector.
+pub fn sample_iter<'a, I, S>(
+    packets: I,
+    sampler: &'a mut S,
+    rng: &'a mut dyn Rng,
+) -> impl Iterator<Item = &'a PacketRecord> + 'a
+where
+    I: IntoIterator<Item = &'a PacketRecord>,
+    I::IntoIter: 'a,
+    S: PacketSampler + ?Sized,
+{
     packets
-        .iter()
-        .filter(|p| sampler.keep(p, rng))
-        .copied()
-        .collect()
+        .into_iter()
+        .filter(move |packet| sampler.keep(packet, rng))
+}
+
+/// Runs `sampler` over `packets` and returns the retained packets as a lazy
+/// iterator (callers that really need an owned copy can `.copied().collect()`
+/// — nothing inside the pipeline does).
+///
+/// Thin slice-specialised alias of [`sample_iter`], retained for source
+/// compatibility with the original batch API; prefer [`sample_iter`] in new
+/// code.
+pub fn sample_stream<'a, S: PacketSampler + ?Sized>(
+    packets: &'a [PacketRecord],
+    sampler: &'a mut S,
+    rng: &'a mut dyn Rng,
+) -> impl Iterator<Item = &'a PacketRecord> + 'a {
+    sample_iter(packets, sampler, rng)
+}
+
+/// A push-based sampling stage: an owned (possibly runtime-selected) sampler
+/// together with the RNG that drives its decisions.
+///
+/// This is the unit the streaming `Monitor` replicates per lane — each
+/// (run, rate) combination owns one stage so the lanes' random streams stay
+/// independent of how many lanes run side by side.
+pub struct SamplerStage<R> {
+    sampler: Box<dyn PacketSampler + Send>,
+    rng: R,
+}
+
+impl<R> std::fmt::Debug for SamplerStage<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplerStage")
+            .field("sampler", &self.sampler.name())
+            .field("nominal_rate", &self.sampler.nominal_rate())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Rng> SamplerStage<R> {
+    /// Creates a stage from an owned sampler and its RNG.
+    pub fn new(sampler: Box<dyn PacketSampler + Send>, rng: R) -> Self {
+        SamplerStage { sampler, rng }
+    }
+
+    /// Pushes one packet through the stage; returns `true` when the monitor
+    /// keeps it.
+    pub fn admit(&mut self, packet: &PacketRecord) -> bool {
+        self.sampler.keep(packet, &mut self.rng)
+    }
+
+    /// The sampler's nominal rate (see [`PacketSampler::nominal_rate`]).
+    pub fn nominal_rate(&self) -> f64 {
+        self.sampler.nominal_rate()
+    }
+
+    /// The sampler's short name.
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// Starts a new measurement interval: resets the sampler's internal state
+    /// and replaces the RNG (each bin of the paper's methodology restarts the
+    /// per-run random stream).
+    pub fn start_interval(&mut self, rng: R) {
+        self.sampler.reset();
+        self.rng = rng;
+    }
 }
 
 /// Runs `sampler` over `packets` and classifies the retained packets into a
-/// flow table keyed by `K` — the monitor's end-of-interval state.
-pub fn sample_and_classify<K: FlowKey, S: PacketSampler>(
+/// flow table keyed by `K` — the monitor's end-of-interval state, built in a
+/// single pass.
+pub fn sample_and_classify<K: FlowKey, S: PacketSampler + ?Sized>(
     packets: &[PacketRecord],
     sampler: &mut S,
     rng: &mut dyn Rng,
 ) -> FlowTable<K> {
     let mut table = FlowTable::new();
-    for packet in packets {
-        if sampler.keep(packet, rng) {
-            table.observe(packet);
-        }
+    for packet in sample_iter(packets, sampler, rng) {
+        table.observe(packet);
     }
     table
 }
@@ -63,9 +139,58 @@ mod tests {
         let packets = packet_stream(50_000, 100, 10.0);
         let mut sampler = RandomSampler::new(0.02);
         let mut rng = Pcg64::seed_from_u64(4);
-        let kept = sample_stream(&packets, &mut sampler, &mut rng);
-        let frac = kept.len() as f64 / packets.len() as f64;
+        let kept = sample_stream(&packets, &mut sampler, &mut rng).count();
+        let frac = kept as f64 / packets.len() as f64;
         assert!((frac - 0.02).abs() < 0.004, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn sample_iter_yields_borrowed_packets_in_order() {
+        let packets = packet_stream(1_000, 4, 1.0);
+        let mut sampler = RandomSampler::new(0.5);
+        let mut rng = Pcg64::seed_from_u64(11);
+        let mut last_index = None;
+        for kept in sample_iter(&packets, &mut sampler, &mut rng) {
+            let index = packets
+                .iter()
+                .position(|p| std::ptr::eq(p, kept))
+                .expect("yielded reference must point into the input slice");
+            assert!(
+                last_index.is_none_or(|prev| index > prev),
+                "order preserved"
+            );
+            last_index = Some(index);
+        }
+        assert!(last_index.is_some());
+    }
+
+    #[test]
+    fn sampler_stage_matches_direct_sampler_use() {
+        let packets = packet_stream(5_000, 20, 2.0);
+        let mut direct = RandomSampler::new(0.1);
+        let mut direct_rng = Pcg64::seed_from_u64(21);
+        let expected: Vec<bool> = packets
+            .iter()
+            .map(|p| direct.keep(p, &mut direct_rng))
+            .collect();
+
+        let mut stage =
+            SamplerStage::new(Box::new(RandomSampler::new(0.1)), Pcg64::seed_from_u64(21));
+        let got: Vec<bool> = packets.iter().map(|p| stage.admit(p)).collect();
+        assert_eq!(expected, got, "push adapter must not perturb the stream");
+        assert!((stage.nominal_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(stage.sampler_name(), "random");
+    }
+
+    #[test]
+    fn sampler_stage_interval_restart_replays_the_stream() {
+        let packets = packet_stream(200, 5, 1.0);
+        let mut stage =
+            SamplerStage::new(Box::new(RandomSampler::new(0.3)), Pcg64::seed_from_u64(33));
+        let first: Vec<bool> = packets.iter().map(|p| stage.admit(p)).collect();
+        stage.start_interval(Pcg64::seed_from_u64(33));
+        let second: Vec<bool> = packets.iter().map(|p| stage.admit(p)).collect();
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -84,8 +209,7 @@ mod tests {
         let original: FlowTable<FiveTuple> = classify_all(&packets);
         let mut sampler = RandomSampler::new(0.1);
         let mut rng = Pcg64::seed_from_u64(5);
-        let sampled: FlowTable<FiveTuple> =
-            sample_and_classify(&packets, &mut sampler, &mut rng);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
         assert!(sampled.flow_count() <= original.flow_count());
         assert!(sampled.total_packets() < original.total_packets());
         for (key, stats) in sampled.iter() {
@@ -99,8 +223,7 @@ mod tests {
         let packets = packet_stream(1_000, 10, 1.0);
         let mut sampler = RandomSampler::new(0.0);
         let mut rng = Pcg64::seed_from_u64(6);
-        let sampled: FlowTable<FiveTuple> =
-            sample_and_classify(&packets, &mut sampler, &mut rng);
+        let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
         assert_eq!(sampled.flow_count(), 0);
         assert_eq!(sampled.total_packets(), 0);
     }

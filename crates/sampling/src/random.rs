@@ -64,10 +64,7 @@ mod tests {
         let packets = packet_stream(100_000, 50, 10.0);
         let mut sampler = RandomSampler::new(0.1);
         let mut rng = Pcg64::seed_from_u64(1);
-        let kept = packets
-            .iter()
-            .filter(|p| sampler.keep(p, &mut rng))
-            .count();
+        let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
         let rate = kept as f64 / packets.len() as f64;
         assert!((rate - 0.1).abs() < 0.005, "empirical rate {rate}");
     }
@@ -90,6 +87,9 @@ mod tests {
         let mut s = RandomSampler::new(0.5);
         let mut rng_a = Pcg64::seed_from_u64(3);
         let mut rng_b = Pcg64::seed_from_u64(3);
-        assert_eq!(s.keep(&packets[0], &mut rng_a), s.keep(&packets[1], &mut rng_b));
+        assert_eq!(
+            s.keep(&packets[0], &mut rng_a),
+            s.keep(&packets[1], &mut rng_b)
+        );
     }
 }

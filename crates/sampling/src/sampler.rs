@@ -26,6 +26,47 @@ pub trait PacketSampler {
     fn name(&self) -> &'static str;
 }
 
+// The trait is object safe; these blanket impls let `Box<dyn PacketSampler>`
+// and `&mut S` flow through APIs that take `S: PacketSampler` by value, so
+// runtime-selected samplers (the monitor's `SamplerSpec`) and borrowed ones
+// use the same entry points.
+
+impl<S: PacketSampler + ?Sized> PacketSampler for Box<S> {
+    fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool {
+        (**self).keep(packet, rng)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        (**self).nominal_rate()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<S: PacketSampler + ?Sized> PacketSampler for &mut S {
+    fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool {
+        (**self).keep(packet, rng)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        (**self).nominal_rate()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_util {
     //! Shared fixtures for sampler tests.

@@ -141,7 +141,10 @@ mod tests {
             "span error {mean_span} should beat count-scaling error {mean_count}"
         );
         // And the span estimate should be in the right ballpark (within 20%).
-        assert!(mean_span < 0.2 * true_size as f64, "mean span error {mean_span}");
+        assert!(
+            mean_span < 0.2 * true_size as f64,
+            "mean span error {mean_span}"
+        );
     }
 
     #[test]

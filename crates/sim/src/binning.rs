@@ -55,8 +55,10 @@ mod tests {
 
     #[test]
     fn packets_fall_into_their_bins() {
-        let packets: Vec<PacketRecord> =
-            [0.5, 59.9, 60.0, 61.0, 185.0].iter().map(|&t| packet_at(t)).collect();
+        let packets: Vec<PacketRecord> = [0.5, 59.9, 60.0, 61.0, 185.0]
+            .iter()
+            .map(|&t| packet_at(t))
+            .collect();
         let bins = split_into_bins(&packets, Timestamp::from_secs_f64(60.0));
         assert_eq!(bins.len(), 4); // bins 0..=3 (packet at 185 s is in bin 3)
         assert_eq!(bins[0].len(), 2);

@@ -1,12 +1,15 @@
-//! One sampling run over one measurement bin.
+//! One sampling run over one measurement bin — legacy batch entry points.
 //!
-//! The monitor pipeline of the paper: classify the bin's packets without
-//! sampling (ground truth), classify the sampled packets, rank both, and
-//! count the swapped pairs for the ranking and detection metrics.
+//! These functions predate the streaming [`flowrank_monitor::Monitor`] and
+//! are kept as thin compatibility wrappers: they classify the bin in a single
+//! pass and score it through the same [`GroundTruthRanking`] primitive the
+//! monitor's lanes use, so batch and streaming results are bit-identical for
+//! the same sampler, seed and flow definition. New code should drive a
+//! `Monitor` directly — it classifies the ground truth once per bin no matter
+//! how many runs and rates ride on it, while `run_bin` pays the full
+//! classification on every call.
 
-use std::collections::HashMap;
-
-use flowrank_core::metrics::{compare_rankings, ComparisonOutcome, SizedFlow};
+use flowrank_core::metrics::{ComparisonOutcome, GroundTruthRanking, SizedFlow};
 use flowrank_net::{AnyFlowKey, FlowDefinition, FlowTable, PacketRecord};
 use flowrank_sampling::{PacketSampler, RandomSampler};
 use flowrank_stats::rng::{Pcg64, Rng, SeedableRng};
@@ -40,7 +43,11 @@ impl BinResult {
 /// * `flow_definition` — 5-tuple or /24 prefix classification.
 /// * `sampler` — any packet sampler; the paper uses [`RandomSampler`].
 /// * `top_t` — number of top flows the monitor reports.
-pub fn run_bin<S: PacketSampler>(
+///
+/// Compatibility wrapper over the streaming pipeline's primitives; a
+/// `Monitor` with a single lane produces the identical [`ComparisonOutcome`]
+/// for the same seed.
+pub fn run_bin<S: PacketSampler + ?Sized>(
     packets: &[PacketRecord],
     flow_definition: FlowDefinition,
     sampler: &mut S,
@@ -58,19 +65,14 @@ pub fn run_bin<S: PacketSampler>(
         }
     }
 
-    let original_flows: Vec<SizedFlow<AnyFlowKey>> = original
-        .iter()
-        .map(|(key, stats)| SizedFlow {
-            key: *key,
-            packets: stats.packets,
-        })
-        .collect();
-    let sampled_sizes: HashMap<AnyFlowKey, u64> = sampled
-        .iter()
-        .map(|(key, stats)| (*key, stats.packets))
-        .collect();
-
-    let outcome = compare_rankings(&original_flows, &sampled_sizes, top_t);
+    let truth = GroundTruthRanking::new(
+        original
+            .iter_sizes()
+            .map(|(key, packets)| SizedFlow { key: *key, packets })
+            .collect(),
+        top_t,
+    );
+    let outcome = truth.compare_with(|key| sampled.size_of(key));
     BinResult {
         original_flows: original.flow_count(),
         sampled_flows: sampled.flow_count(),
@@ -155,7 +157,10 @@ mod tests {
         };
         let low = average(0.01);
         let high = average(0.5);
-        assert!(high < low, "high-rate error {high} must be below low-rate {low}");
+        assert!(
+            high < low,
+            "high-rate error {high} must be below low-rate {low}"
+        );
     }
 
     #[test]
@@ -176,6 +181,23 @@ mod tests {
         let a = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 0.1, 10, 7);
         let b = run_bin_random_sampling(&packets, FlowDefinition::FiveTuple, 0.1, 10, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxed_sampler_runs_through_the_same_entry_point() {
+        // The trait is object safe: a runtime-selected sampler drives the
+        // legacy wrapper unchanged.
+        let packets = skewed_bin(15);
+        let mut boxed: Box<dyn PacketSampler> = Box::new(RandomSampler::new(1.0));
+        let mut rng = Pcg64::seed_from_u64(1);
+        let result = run_bin(
+            &packets,
+            FlowDefinition::FiveTuple,
+            &mut *boxed,
+            5,
+            &mut rng,
+        );
+        assert_eq!(result.outcome.ranking_swaps, 0);
     }
 
     #[test]

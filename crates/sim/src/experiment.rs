@@ -3,23 +3,31 @@
 //! Reproduces the methodology of Sec. 8.2: for each sampling rate, the same
 //! packet trace is sampled in 30 independent runs; for every measurement bin
 //! the ranking (or detection) metric is averaged over the runs and reported
-//! together with its standard deviation. Runs are independent, so they are
-//! parallelised across std threads.
+//! together with its standard deviation.
+//!
+//! Since the streaming redesign, each bin is processed by one fanned-out
+//! [`Monitor`]: the bin's ground truth is classified and ranked **once** and
+//! every `runs × rates` lane is scored against it, instead of reclassifying
+//! the bin from scratch for every run at every rate as the old per-run
+//! engine did. Bins are independent measurements, so they are parallelised
+//! across std threads.
 
 use std::thread;
 
+use flowrank_monitor::{BinReport, MonitorBuilder, SamplerSpec};
 use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
-use flowrank_stats::rng::derive_seeds;
 use flowrank_stats::summary::RunningStats;
 
 use crate::binning::split_into_bins;
-use crate::engine::run_bin_random_sampling;
 
 /// Configuration of a trace-driven experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Flow definition used for classification.
     pub flow_definition: FlowDefinition,
+    /// Sampling discipline template; it is fanned out across
+    /// [`ExperimentConfig::sampling_rates`]. The paper uses random sampling.
+    pub sampler: SamplerSpec,
     /// Packet sampling rates to evaluate.
     pub sampling_rates: Vec<f64>,
     /// Measurement-bin length.
@@ -36,6 +44,7 @@ impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
             flow_definition: FlowDefinition::FiveTuple,
+            sampler: SamplerSpec::Random { rate: 0.01 },
             sampling_rates: vec![0.001, 0.01, 0.1, 0.5],
             bin_length: Timestamp::from_secs_f64(60.0),
             top_t: 10,
@@ -108,57 +117,70 @@ impl TraceExperiment {
         self.bins.len()
     }
 
-    /// Runs the full experiment: every sampling rate, every bin, `runs`
-    /// independent sampling runs, parallelised across runs.
-    pub fn run(&self) -> ExperimentResult {
-        let series = self
-            .config
-            .sampling_rates
-            .iter()
-            .map(|&rate| self.run_rate(rate))
-            .collect();
-        ExperimentResult {
-            bin_count: self.bins.len(),
-            series,
-        }
+    /// The monitor configuration a work item is processed with: the sampler
+    /// template fanned out across `rates`, with the whole bin as a single
+    /// unbounded monitor interval (the experiment has already cut the trace
+    /// at bin boundaries).
+    fn monitor_builder(&self, rates: &[f64]) -> MonitorBuilder {
+        MonitorBuilder::new()
+            .flow_definition(self.config.flow_definition)
+            .sampler(self.config.sampler)
+            .rates(rates)
+            .runs(self.config.runs)
+            .top_t(self.config.top_t)
+            .seed(self.config.seed)
+            .bin_length(Timestamp::ZERO)
     }
 
-    fn run_rate(&self, rate: f64) -> RateSeries {
-        let seeds = derive_seeds(self.config.seed ^ rate.to_bits(), self.config.runs);
+    /// Runs the full experiment: every sampling rate, every bin, `runs`
+    /// independent sampling runs. Ground truth is classified once per bin
+    /// and shared by all of that bin's lanes; work runs in parallel on std
+    /// threads.
+    ///
+    /// Work is partitioned adaptively: with at least as many bins as cores,
+    /// each item is one bin carrying the full rate grid (one ground-truth
+    /// classification per bin); with fewer bins — e.g. a single-bin
+    /// experiment with many runs — the rate grid is split across items so
+    /// short traces still use every core, at the cost of one classification
+    /// per (bin, rate) instead of per bin. Lane seeds depend only on
+    /// (master seed, rate, run), so both partitions produce identical
+    /// numbers.
+    pub fn run(&self) -> ExperimentResult {
         let bin_count = self.bins.len();
+        let rates = &self.config.sampling_rates;
 
-        // Each run produces (ranking, detection) per bin; runs execute on a
-        // bounded pool of std threads.
         let worker_count = thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .min(self.config.runs.max(1));
-        let chunks: Vec<Vec<u64>> = seeds
-            .chunks(seeds.len().div_ceil(worker_count).max(1))
-            .map(|c| c.to_vec())
-            .collect();
+            .unwrap_or(4);
+        let split_rates = bin_count < worker_count && rates.len() > 1;
+        let mut items: Vec<(usize, Vec<f64>)> = Vec::new();
+        for bin_index in 0..bin_count {
+            if split_rates {
+                for &rate in rates {
+                    items.push((bin_index, vec![rate]));
+                }
+            } else {
+                items.push((bin_index, rates.clone()));
+            }
+        }
 
-        let per_run_results: Vec<Vec<(f64, f64)>> = thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
+        let chunk_len = items.len().div_ceil(worker_count.max(1)).max(1);
+        let item_reports: Vec<(usize, Option<BinReport>)> = thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        let mut local = Vec::new();
-                        for &seed in chunk {
-                            let mut per_bin = Vec::with_capacity(bin_count);
-                            for bin in &self.bins {
-                                let result = run_bin_random_sampling(
-                                    bin,
-                                    self.config.flow_definition,
-                                    rate,
-                                    self.config.top_t,
-                                    seed,
-                                );
-                                per_bin.push((result.ranking_metric(), result.detection_metric()));
-                            }
-                            local.push(per_bin);
-                        }
-                        local
+                        chunk
+                            .iter()
+                            .map(|(bin_index, item_rates)| {
+                                let bin = &self.bins[*bin_index];
+                                if bin.is_empty() {
+                                    return (*bin_index, None);
+                                }
+                                let mut monitor = self.monitor_builder(item_rates).build();
+                                (*bin_index, monitor.run_trace(bin).into_iter().next())
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -168,37 +190,70 @@ impl TraceExperiment {
                 .collect()
         });
 
-        // Aggregate per bin across runs.
-        let mut ranking_stats = vec![RunningStats::new(); bin_count];
-        let mut detection_stats = vec![RunningStats::new(); bin_count];
-        for run in &per_run_results {
-            for (bin_index, &(ranking, detection)) in run.iter().enumerate() {
-                ranking_stats[bin_index].push(ranking);
-                detection_stats[bin_index].push(detection);
+        let series = rates
+            .iter()
+            .map(|&rate| aggregate_rate(rate, bin_count, &item_reports, self.config.runs))
+            .collect();
+        ExperimentResult { bin_count, series }
+    }
+}
+
+/// Folds the per-item lane reports of one rate into mean ± std-dev series.
+fn aggregate_rate(
+    rate: f64,
+    bin_count: usize,
+    item_reports: &[(usize, Option<BinReport>)],
+    runs: usize,
+) -> RateSeries {
+    let mut ranking_stats = vec![RunningStats::new(); bin_count];
+    let mut detection_stats = vec![RunningStats::new(); bin_count];
+    for (bin_index, report) in item_reports {
+        match report {
+            Some(report) => {
+                for lane in report.lanes_at_rate(rate) {
+                    ranking_stats[*bin_index].push(lane.ranking_metric());
+                    detection_stats[*bin_index].push(lane.detection_metric());
+                }
+            }
+            None => {
+                // An empty bin has zero error in every run, like the legacy
+                // engine that ran (and measured nothing) on empty bins. Count
+                // it once per rate: split items repeat the bin index.
+                if ranking_stats[*bin_index].count() == 0 {
+                    for _ in 0..runs {
+                        ranking_stats[*bin_index].push(0.0);
+                        detection_stats[*bin_index].push(0.0);
+                    }
+                }
             }
         }
-        RateSeries {
-            rate,
-            ranking_mean: ranking_stats.iter().map(|s| s.mean().unwrap_or(0.0)).collect(),
-            ranking_std: ranking_stats
-                .iter()
-                .map(|s| s.std_dev().unwrap_or(0.0))
-                .collect(),
-            detection_mean: detection_stats
-                .iter()
-                .map(|s| s.mean().unwrap_or(0.0))
-                .collect(),
-            detection_std: detection_stats
-                .iter()
-                .map(|s| s.std_dev().unwrap_or(0.0))
-                .collect(),
-        }
+    }
+    RateSeries {
+        rate,
+        ranking_mean: ranking_stats
+            .iter()
+            .map(|s| s.mean().unwrap_or(0.0))
+            .collect(),
+        ranking_std: ranking_stats
+            .iter()
+            .map(|s| s.std_dev().unwrap_or(0.0))
+            .collect(),
+        detection_mean: detection_stats
+            .iter()
+            .map(|s| s.mean().unwrap_or(0.0))
+            .collect(),
+        detection_std: detection_stats
+            .iter()
+            .map(|s| s.std_dev().unwrap_or(0.0))
+            .collect(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_bin_random_sampling;
+    use flowrank_stats::rng::derive_seeds;
     use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
 
     fn small_trace() -> Vec<PacketRecord> {
@@ -209,6 +264,7 @@ mod tests {
     fn config(rates: Vec<f64>, runs: usize) -> ExperimentConfig {
         ExperimentConfig {
             flow_definition: FlowDefinition::FiveTuple,
+            sampler: SamplerSpec::Random { rate: 0.01 },
             sampling_rates: rates,
             bin_length: Timestamp::from_secs_f64(60.0),
             top_t: 10,
@@ -258,11 +314,57 @@ mod tests {
     }
 
     #[test]
+    fn shared_truth_fan_out_matches_per_run_reclassification() {
+        // The streaming fan-out must reproduce the legacy engine's numbers
+        // exactly: same per-(rate, run) seed derivation, same per-bin RNG
+        // restart, same metric — only the redundant ground-truth
+        // reclassifications are gone.
+        let packets = small_trace();
+        let rates = vec![0.05, 0.3];
+        let runs = 3;
+        let cfg = config(rates.clone(), runs);
+        let result = TraceExperiment::new(&packets, cfg.clone()).run();
+
+        let bins = split_into_bins(&packets, cfg.bin_length);
+        for (rate_index, &rate) in rates.iter().enumerate() {
+            let seeds = derive_seeds(cfg.seed ^ rate.to_bits(), runs);
+            for (bin_index, bin) in bins.iter().enumerate() {
+                let mut stats = RunningStats::new();
+                for &seed in &seeds {
+                    let legacy =
+                        run_bin_random_sampling(bin, cfg.flow_definition, rate, cfg.top_t, seed);
+                    stats.push(legacy.ranking_metric());
+                }
+                let expected = stats.mean().unwrap_or(0.0);
+                let got = result.series[rate_index].ranking_mean[bin_index];
+                assert_eq!(
+                    got, expected,
+                    "rate {rate}, bin {bin_index}: streaming {got} vs legacy {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn default_config_matches_paper_methodology() {
         let c = ExperimentConfig::default();
         assert_eq!(c.runs, 30);
         assert_eq!(c.top_t, 10);
         assert_eq!(c.bin_length, Timestamp::from_secs_f64(60.0));
         assert_eq!(c.sampling_rates.len(), 4);
+        assert_eq!(c.sampler, SamplerSpec::Random { rate: 0.01 });
+    }
+
+    #[test]
+    fn non_random_sampler_template_fans_out() {
+        let packets = small_trace();
+        let mut cfg = config(vec![0.1, 0.5], 2);
+        cfg.sampler = SamplerSpec::Stratified { rate: 0.1 };
+        let result = TraceExperiment::new(&packets, cfg).run();
+        assert_eq!(result.series.len(), 2);
+        assert!(
+            result.series[1].overall_ranking_mean()
+                <= result.series[0].overall_ranking_mean() + 1e-9
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! # flowrank-sim
 //!
 //! Trace-driven sampling simulation engine, reproducing the binned
-//! experiments of Sec. 8 of the paper.
+//! experiments of Sec. 8 of the paper on top of the streaming
+//! [`flowrank_monitor::Monitor`].
 //!
 //! The methodology (Sec. 8.1): the packet-level trace is cut into measurement
 //! bins; within each bin the packets are sampled, classified into flows under
@@ -11,13 +12,19 @@
 //! paper) and reported as a per-bin mean with its standard deviation — the
 //! error bars of Figs. 12–16.
 //!
+//! Experiments are expressed through the push-based monitor: each bin is
+//! classified into ground truth **once** and all `runs × rates` sampling
+//! lanes are scored against that single ranking, rather than re-running the
+//! whole classify–rank pipeline per run as the original batch engine did.
+//!
 //! * [`binning`] — cutting a packet trace into measurement bins (flows active
 //!   across a bin boundary are truncated, exactly as the paper's binning
 //!   method does).
-//! * [`engine`] — one sampling run over one bin: sample → classify → rank →
-//!   score.
-//! * [`experiment`] — multi-run, multi-bin experiments with mean ± std-dev
-//!   aggregation, parallelised across runs with std threads.
+//! * [`engine`] — the legacy single-run batch entry points ([`run_bin`],
+//!   [`engine::run_bin_random_sampling`]), kept as thin wrappers that share
+//!   the monitor's ranking primitives and produce bit-identical results.
+//! * [`experiment`] — multi-run, multi-bin experiments fanned out on the
+//!   monitor, parallelised across bins with std threads.
 //! * [`report`] — CSV-style rendering of experiment results.
 //! * [`scenarios`] — ready-made Sprint / Abilene experiment configurations
 //!   matching Figs. 12–16.
@@ -34,4 +41,8 @@ pub mod scenarios;
 pub use binning::split_into_bins;
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
-pub use scenarios::{abilene_experiment, sprint_experiment};
+pub use scenarios::{abilene_experiment, sprint_experiment, sprint_experiment_with_sampler};
+
+// The monitor is the front door experiments are built on; re-export the
+// names needed to configure one from simulation code.
+pub use flowrank_monitor::{Monitor, MonitorBuilder, SamplerSpec, TopKSpec};

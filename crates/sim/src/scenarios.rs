@@ -6,6 +6,7 @@
 //! affordable in CI and benches; EXPERIMENTS.md records the scale used for
 //! the reported numbers.
 
+use flowrank_monitor::SamplerSpec;
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_trace::{synthesize_packets, AbileneModel, SprintModel, SynthesisConfig};
 
@@ -29,11 +30,32 @@ pub fn sprint_experiment(
     runs: usize,
     seed: u64,
 ) -> TraceExperiment {
+    sprint_experiment_with_sampler(
+        flow_definition,
+        bin_seconds,
+        scale,
+        runs,
+        seed,
+        SamplerSpec::Random { rate: 0.01 },
+    )
+}
+
+/// [`sprint_experiment`] with a runtime-selected sampling discipline; the
+/// template is fanned out across the figure's rate grid.
+pub fn sprint_experiment_with_sampler(
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    scale: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+) -> TraceExperiment {
     let model = SprintModel::paper(scale);
     let flows = model.generate_flows(seed);
     let packets = synthesize_packets(&flows, &SynthesisConfig::default(), seed ^ 0xA5A5);
     let config = ExperimentConfig {
         flow_definition,
+        sampler,
         sampling_rates: SPRINT_RATES.to_vec(),
         bin_length: Timestamp::from_secs_f64(bin_seconds),
         top_t: 10,
@@ -51,6 +73,7 @@ pub fn abilene_experiment(scale: f64, runs: usize, seed: u64) -> TraceExperiment
     let packets = synthesize_packets(&flows, &SynthesisConfig::default(), seed ^ 0x5A5A);
     let config = ExperimentConfig {
         flow_definition: FlowDefinition::FiveTuple,
+        sampler: SamplerSpec::Random { rate: 0.01 },
         sampling_rates: ABILENE_RATES.to_vec(),
         bin_length: Timestamp::from_secs_f64(60.0),
         top_t: 10,
@@ -68,9 +91,11 @@ mod tests {
     fn sprint_experiment_structure() {
         // A strongly reduced scale keeps this test fast while exercising the
         // full pipeline: generation → synthesis → binning → sampling → metric.
-        let experiment =
-            sprint_experiment(FlowDefinition::FiveTuple, 60.0, 0.002, 3, 42);
-        assert!(experiment.bin_count() >= 25, "30-minute trace in 1-minute bins");
+        let experiment = sprint_experiment(FlowDefinition::FiveTuple, 60.0, 0.002, 3, 42);
+        assert!(
+            experiment.bin_count() >= 25,
+            "30-minute trace in 1-minute bins"
+        );
         let result = experiment.run();
         assert_eq!(result.series.len(), SPRINT_RATES.len());
         // The qualitative ordering of the paper: higher sampling rates give

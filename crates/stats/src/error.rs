@@ -59,7 +59,10 @@ impl fmt::Display for StatsError {
             StatsError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             StatsError::EmptyInput { operation } => {
                 write!(f, "{operation} requires a non-empty input")
             }

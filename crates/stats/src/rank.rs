@@ -81,7 +81,11 @@ pub fn spearman_rho(a: &[f64], b: &[f64]) -> Option<f64> {
 pub fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN in ranks input"));
+    idx.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .expect("NaN in ranks input")
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

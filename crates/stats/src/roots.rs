@@ -23,6 +23,9 @@ pub struct Root {
 ///
 /// Requires `f(lo)` and `f(hi)` to have opposite signs. Converges linearly
 /// but unconditionally; `tol` is the absolute width of the final bracket.
+// `evals` counts function evaluations (including the bracket endpoints),
+// not loop iterations, so it is not a loop counter.
+#[allow(clippy::explicit_counter_loop)]
 pub fn bisect<F: FnMut(f64) -> f64>(
     mut f: F,
     lo: f64,
@@ -36,10 +39,18 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     let fb = f(b);
     let mut evals = 2;
     if fa == 0.0 {
-        return Ok(Root { x: a, f_x: 0.0, evaluations: evals });
+        return Ok(Root {
+            x: a,
+            f_x: 0.0,
+            evaluations: evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, f_x: 0.0, evaluations: evals });
+        return Ok(Root {
+            x: b,
+            f_x: 0.0,
+            evaluations: evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(StatsError::InvalidBracket { lo, hi });
@@ -49,7 +60,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         let fm = f(mid);
         evals += 1;
         if fm == 0.0 || (b - a).abs() < tol {
-            return Ok(Root { x: mid, f_x: fm, evaluations: evals });
+            return Ok(Root {
+                x: mid,
+                f_x: fm,
+                evaluations: evals,
+            });
         }
         if fm.signum() == fa.signum() {
             a = mid;
@@ -58,7 +73,10 @@ pub fn bisect<F: FnMut(f64) -> f64>(
             b = mid;
         }
     }
-    Err(StatsError::NoConvergence { algorithm: "bisection", iterations: max_iter })
+    Err(StatsError::NoConvergence {
+        algorithm: "bisection",
+        iterations: max_iter,
+    })
 }
 
 /// Finds a root of `f` in `[lo, hi]` with Brent's method.
@@ -66,6 +84,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 /// Combines bisection, secant and inverse quadratic interpolation; converges
 /// superlinearly on smooth functions while keeping the bisection guarantee.
 /// `tol` is the absolute tolerance on the root location.
+#[allow(clippy::explicit_counter_loop)]
 pub fn brent<F: FnMut(f64) -> f64>(
     mut f: F,
     lo: f64,
@@ -79,10 +98,18 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut fb = f(b);
     let mut evals = 2;
     if fa == 0.0 {
-        return Ok(Root { x: a, f_x: 0.0, evaluations: evals });
+        return Ok(Root {
+            x: a,
+            f_x: 0.0,
+            evaluations: evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, f_x: 0.0, evaluations: evals });
+        return Ok(Root {
+            x: b,
+            f_x: 0.0,
+            evaluations: evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(StatsError::InvalidBracket { lo, hi });
@@ -98,7 +125,11 @@ pub fn brent<F: FnMut(f64) -> f64>(
 
     for _ in 0..max_iter {
         if fb == 0.0 || (b - a).abs() < tol {
-            return Ok(Root { x: b, f_x: fb, evaluations: evals });
+            return Ok(Root {
+                x: b,
+                f_x: fb,
+                evaluations: evals,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -145,7 +176,10 @@ pub fn brent<F: FnMut(f64) -> f64>(
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(StatsError::NoConvergence { algorithm: "brent", iterations: max_iter })
+    Err(StatsError::NoConvergence {
+        algorithm: "brent",
+        iterations: max_iter,
+    })
 }
 
 /// Finds the smallest `x` in `[lo, hi]` at which the non-increasing function

@@ -23,8 +23,9 @@ pub fn ln_gamma(x: f64) -> f64 {
     if !x.is_finite() || x <= 0.0 {
         return f64::NAN;
     }
-    // Lanczos coefficients for g = 7, n = 9.
+    // Lanczos coefficients for g = 7, n = 9, at full printed precision.
     const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -336,10 +337,7 @@ pub fn log_add_exp(a: f64, b: f64) -> f64 {
 ///
 /// Returns `f64::NEG_INFINITY` for an empty slice (the log of an empty sum).
 pub fn log_sum_exp(values: &[f64]) -> f64 {
-    let max = values
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
@@ -377,7 +375,7 @@ mod tests {
     #[test]
     fn ln_gamma_reflection_branch() {
         // Γ(0.25) = 3.6256099082219083..., exercised via x < 0.5 branch.
-        assert_close(ln_gamma(0.25), 3.6256099082219083_f64.ln(), 1e-12);
+        assert_close(ln_gamma(0.25), 3.625_609_908_221_908_f64.ln(), 1e-12);
     }
 
     #[test]

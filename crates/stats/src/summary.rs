@@ -103,8 +103,7 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -161,7 +160,8 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> StatsResult<Self> {
-        if !(hi > lo) || bins == 0 {
+        let increasing = matches!(hi.partial_cmp(&lo), Some(std::cmp::Ordering::Greater));
+        if !increasing || bins == 0 {
             return Err(StatsError::InvalidParameter {
                 name: "bins/range",
                 value: bins as f64,
@@ -233,7 +233,8 @@ impl LogHistogram {
     /// Creates a histogram with `bins` bins covering `[lo, hi)` where each
     /// bin's upper edge is `ratio` times its lower edge.
     pub fn new(lo: f64, hi: f64, bins: usize) -> StatsResult<Self> {
-        if !(hi > lo) || lo <= 0.0 || bins == 0 {
+        let increasing = matches!(hi.partial_cmp(&lo), Some(std::cmp::Ordering::Greater));
+        if !increasing || lo <= 0.0 || bins == 0 {
             return Err(StatsError::InvalidParameter {
                 name: "bins/range",
                 value: bins as f64,

@@ -39,7 +39,10 @@ impl TopKTracker for ExactTopK {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .map(|(key, &estimate)| TopKEntry {
+                key: *key,
+                estimate,
+            })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

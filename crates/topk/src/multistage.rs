@@ -124,7 +124,10 @@ impl TopKTracker for MultistageFilter {
         let mut entries: Vec<TopKEntry> = self
             .flow_memory
             .iter()
-            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .map(|(key, &estimate)| TopKEntry {
+                key: *key,
+                estimate,
+            })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);
@@ -166,7 +169,10 @@ mod tests {
             filter.observe(&key(i), &mut rng);
         }
         let top = filter.top(5);
-        assert!(top.iter().any(|e| e.key == key(0)), "elephant must be tracked");
+        assert!(
+            top.iter().any(|e| e.key == key(0)),
+            "elephant must be tracked"
+        );
         // The elephant's exact count after promotion is close to its size.
         let elephant = top.iter().find(|e| e.key == key(0)).unwrap();
         assert!(elephant.estimate >= 450, "estimate {}", elephant.estimate);

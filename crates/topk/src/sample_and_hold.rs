@@ -70,7 +70,10 @@ impl TopKTracker for SampleAndHold {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .map(|(key, &estimate)| TopKEntry {
+                key: *key,
+                estimate,
+            })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

@@ -44,9 +44,11 @@ impl SortedListMemory {
     }
 
     fn evict_smallest(&mut self) {
-        if let Some((&victim, _)) = self.counts.iter().min_by(|a, b| {
-            a.1.cmp(b.1).then(a.0.cmp(b.0))
-        }) {
+        if let Some((&victim, _)) = self
+            .counts
+            .iter()
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
+        {
             self.counts.remove(&victim);
             self.evictions += 1;
         }
@@ -69,7 +71,10 @@ impl TopKTracker for SortedListMemory {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry { key: *key, estimate })
+            .map(|(key, &estimate)| TopKEntry {
+                key: *key,
+                estimate,
+            })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

@@ -68,7 +68,10 @@ impl TopKTracker for SpaceSaving {
         let mut entries: Vec<TopKEntry> = self
             .counters
             .iter()
-            .map(|(key, &(estimate, _))| TopKEntry { key: *key, estimate })
+            .map(|(key, &(estimate, _))| TopKEntry {
+                key: *key,
+                estimate,
+            })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);
@@ -120,7 +123,10 @@ mod tests {
         for entry in tracker.top(50) {
             let true_count = exact.count(&entry.key).unwrap_or(0);
             let error = tracker.error_bound(&entry.key).unwrap();
-            assert!(entry.estimate >= true_count, "estimate must upper-bound truth");
+            assert!(
+                entry.estimate >= true_count,
+                "estimate must upper-bound truth"
+            );
             assert!(entry.estimate - error <= true_count, "error bound violated");
         }
     }

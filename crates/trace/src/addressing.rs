@@ -77,7 +77,7 @@ mod tests {
             assert_eq!(offset % 256, 0);
             assert!((offset / 256) < 100);
             let host = addr.octets()[3];
-            assert!(host >= 1 && host <= 254);
+            assert!((1..=254).contains(&host));
         }
     }
 

@@ -68,7 +68,9 @@ impl DeterministicArrivals {
     /// Panics if `rate` is not strictly positive.
     pub fn new(rate: f64) -> Self {
         assert!(rate > 0.0, "arrival rate must be positive");
-        DeterministicArrivals { interval: 1.0 / rate }
+        DeterministicArrivals {
+            interval: 1.0 / rate,
+        }
     }
 }
 
@@ -104,7 +106,10 @@ mod tests {
         let mut b = PoissonArrivals::new(10.0);
         let mut ra = Pcg64::seed_from_u64(7);
         let mut rb = Pcg64::seed_from_u64(7);
-        assert_eq!(a.arrivals_until(10.0, &mut ra), b.arrivals_until(10.0, &mut rb));
+        assert_eq!(
+            a.arrivals_until(10.0, &mut ra),
+            b.arrivals_until(10.0, &mut rb)
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@
 //! 3. each flow gets a destination address from the Zipf prefix-popularity
 //!    model so that /24 aggregation yields fewer, larger flows.
 
-use flowrank_stats::dist::{
-    BoundedPareto, ContinuousDistribution, Exponential, LogNormal, Pareto,
-};
+use flowrank_stats::dist::{BoundedPareto, ContinuousDistribution, Exponential, LogNormal, Pareto};
 use flowrank_stats::rng::{Pcg64, Rng, SeedableRng};
 
 use crate::addressing::PrefixAddresser;
@@ -53,7 +51,10 @@ impl SizeModel {
     /// Draws one flow size in packets (at least 1).
     pub fn sample_packets(&self, rng: &mut dyn Rng) -> u64 {
         let raw = match self {
-            SizeModel::Pareto { mean_packets, shape } => Pareto::with_mean(*mean_packets, *shape)
+            SizeModel::Pareto {
+                mean_packets,
+                shape,
+            } => Pareto::with_mean(*mean_packets, *shape)
                 .expect("invalid Pareto size model")
                 .sample(rng),
             SizeModel::BoundedPareto {
@@ -201,8 +202,7 @@ mod tests {
         let mut cfg = test_config();
         cfg.flow_rate = 2_000.0;
         let flows = generate_flow_population(&cfg, 5);
-        let mean =
-            flows.iter().map(|f| f.packets as f64).sum::<f64>() / flows.len() as f64;
+        let mean = flows.iter().map(|f| f.packets as f64).sum::<f64>() / flows.len() as f64;
         // Pareto(mean 9.6, β=1.5) has infinite variance, so the sample mean is
         // noisy; only check the right order of magnitude.
         assert!(mean > 4.0 && mean < 40.0, "mean packets {mean}");

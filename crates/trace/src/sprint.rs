@@ -39,24 +39,9 @@ impl SprintModel {
     /// `scale` (1.0 = full size; the figure harness defaults to 0.1 to keep
     /// benchmark runtimes reasonable; see EXPERIMENTS.md).
     pub fn paper(scale: f64) -> Self {
-        let config = FlowPopulationConfig {
-            duration_secs: SPRINT_TRACE_DURATION,
-            flow_rate: SPRINT_FLOW_RATE,
-            size_model: SizeModel::Pareto {
-                mean_packets: SPRINT_MEAN_PACKETS_5TUPLE,
-                shape: 1.5,
-            },
-            mean_flow_duration: SPRINT_MEAN_FLOW_DURATION,
-            packet_bytes: PACKET_BYTES,
-            // The pool size and exponent are chosen so that /24 aggregation
-            // reduces the number of flows by roughly the paper's factor ~7
-            // while keeping a long tail of rarely used prefixes.
-            prefix_count: 8_192,
-            prefix_zipf_exponent: 1.05,
-            ..Self::base_config()
+        SprintModel {
+            config: Self::base_config().scaled(scale),
         }
-        .scaled(scale);
-        SprintModel { config }
     }
 
     /// A small scenario for unit tests and examples: a few seconds of
@@ -85,6 +70,9 @@ impl SprintModel {
         FlowPopulationConfig {
             duration_secs: SPRINT_TRACE_DURATION,
             flow_rate: SPRINT_FLOW_RATE,
+            // The pool size and exponent are chosen so that /24 aggregation
+            // reduces the number of flows by roughly the paper's factor ~7
+            // while keeping a long tail of rarely used prefixes.
             size_model: SizeModel::Pareto {
                 mean_packets: SPRINT_MEAN_PACKETS_5TUPLE,
                 shape: 1.5,
@@ -115,7 +103,10 @@ mod tests {
         assert!((m.config.duration_secs - 1800.0).abs() < 1e-9);
         assert!((m.config.mean_flow_duration - 13.0).abs() < 1e-9);
         match m.config.size_model {
-            SizeModel::Pareto { mean_packets, shape } => {
+            SizeModel::Pareto {
+                mean_packets,
+                shape,
+            } => {
                 assert!((mean_packets - 9.6).abs() < 1e-9);
                 assert!((shape - 1.5).abs() < 1e-9);
             }
@@ -143,17 +134,22 @@ mod tests {
     fn small_scenario_generates_plausible_flows() {
         let m = SprintModel::small(20.0, 100.0);
         let flows = m.generate_flows(42);
-        assert!(flows.len() > 1_000 && flows.len() < 3_000, "{}", flows.len());
+        assert!(
+            flows.len() > 1_000 && flows.len() < 3_000,
+            "{}",
+            flows.len()
+        );
         // Prefix aggregation must reduce the number of distinct keys.
         let five: HashSet<FiveTuple> = flows.iter().map(|f| f.key).collect();
         let prefixes: HashSet<DstPrefix> = flows
             .iter()
-            .map(|f| {
-                DstPrefix::of(f.key.dst_ip, 24)
-            })
+            .map(|f| DstPrefix::of(f.key.dst_ip, 24))
             .collect();
         assert_eq!(five.len(), flows.len(), "synthetic 5-tuples must be unique");
-        assert!(prefixes.len() * 2 < five.len(), "prefix aggregation too weak");
+        assert!(
+            prefixes.len() * 2 < five.len(),
+            "prefix aggregation too weak"
+        );
         let _ = FiveTuple::definition_name();
     }
 }

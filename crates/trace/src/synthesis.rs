@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn packet_count_matches_flow_sizes() {
-        let flows = vec![flow(0, 5, 0.0, 2.0), flow(1, 1, 1.0, 0.0), flow(2, 12, 3.0, 8.0)];
+        let flows = vec![
+            flow(0, 5, 0.0, 2.0),
+            flow(1, 1, 1.0, 0.0),
+            flow(2, 12, 3.0, 8.0),
+        ];
         let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 1);
         assert_eq!(packets.len(), 18);
     }
@@ -106,7 +110,7 @@ mod tests {
         let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 2);
         for p in &packets {
             let t = p.timestamp.as_secs_f64();
-            assert!(t >= 2.0 - 1e-9 && t <= 6.0 + 1e-9, "packet at {t}");
+            assert!((2.0 - 1e-9..=6.0 + 1e-9).contains(&t), "packet at {t}");
         }
     }
 
@@ -121,7 +125,11 @@ mod tests {
 
     #[test]
     fn classification_recovers_flow_sizes() {
-        let flows = vec![flow(0, 7, 0.0, 3.0), flow(1, 19, 1.0, 5.0), flow(2, 2, 2.0, 1.0)];
+        let flows = vec![
+            flow(0, 7, 0.0, 3.0),
+            flow(1, 19, 1.0, 5.0),
+            flow(2, 2, 2.0, 1.0),
+        ];
         let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 4);
         let mut table: FlowTable<FiveTuple> = FlowTable::new();
         for p in &packets {

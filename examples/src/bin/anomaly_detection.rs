@@ -7,17 +7,21 @@
 //! asks, for both flow definitions, at which sampling rates the monitor still
 //! places the anomaly in its reported top flows.
 //!
+//! The whole sweep — 3 rates × 20 independent runs, for each flow
+//! definition — is one streaming `Monitor` per definition: every packet is
+//! pushed once, the ground truth is classified once, and all 60 sampling
+//! lanes ride on it. A lane "detects" the anomaly when its bin closes with
+//! zero detection swaps, i.e. no flow outside the true top-10 out-sampled a
+//! top-10 flow.
+//!
 //! Run with `cargo run --release -p flowrank-examples --bin anomaly_detection`.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use flowrank_core::metrics::{top_set_matches, SizedFlow};
-use flowrank_net::{AnyFlowKey, FlowDefinition, FlowTable};
-use flowrank_sampling::{sample_and_classify, RandomSampler};
+use flowrank_monitor::{Monitor, SamplerSpec};
+use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_trace::flow_record::{synthetic_key, FlowRecord};
 use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
-use flowrank_stats::rng::{Pcg64, SeedableRng};
 
 fn main() {
     println!("== anomaly detection: a hot /24 prefix under packet sampling ==\n");
@@ -40,52 +44,41 @@ fn main() {
     );
 
     let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 13);
+    let rates = [0.001, 0.01, 0.1];
+    let runs = 20;
 
     for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
         println!("Flow definition: {definition}");
-        // Ground truth.
-        let mut truth: FlowTable<AnyFlowKey> = FlowTable::new();
-        for p in &packets {
-            truth.observe_keyed(definition.key_of(p), p);
-        }
-        let original: Vec<SizedFlow<AnyFlowKey>> = truth
-            .iter()
-            .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
-            .collect();
-
-        for &rate in &[0.001, 0.01, 0.1] {
-            // Fraction of 20 independent sampling runs in which the sampled
-            // top-10 set equals the true top-10 set.
-            let mut successes = 0;
-            let runs = 20;
-            for seed in 0..runs {
-                let mut sampler = RandomSampler::new(rate);
-                let mut rng = Pcg64::seed_from_u64(seed);
-                let sampled: FlowTable<AnyFlowKey> = {
-                    let mut table = FlowTable::new();
-                    for p in &packets {
-                        if flowrank_sampling::PacketSampler::keep(&mut sampler, p, &mut rng) {
-                            table.observe_keyed(definition.key_of(p), p);
-                        }
-                    }
-                    table
-                };
-                let sampled_sizes: HashMap<AnyFlowKey, u64> =
-                    sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
-                if top_set_matches(&original, &sampled_sizes, 10) {
-                    successes += 1;
-                }
-            }
+        let mut monitor = Monitor::builder()
+            .flow_definition(definition)
+            .sampler(SamplerSpec::Random { rate: 0.01 })
+            .rates(&rates)
+            .runs(runs)
+            // One unbounded bin: the whole trace is the measurement period.
+            .bin_length(Timestamp::ZERO)
+            .top_t(10)
+            .seed(99)
+            .build();
+        let reports = monitor.run_trace(&packets);
+        let report = &reports[0];
+        for &rate in &rates {
+            let successes = report
+                .lanes_at_rate(rate)
+                .filter(|lane| lane.outcome.detection_swaps == 0)
+                .count();
             println!(
-                "  sampling {:>5.1}%: true top-10 set recovered in {successes}/{runs} runs",
-                rate * 100.0
+                "  sampling {:>5.1}%: top-10 set held in {successes}/{runs} runs \
+                 (mean missed top flows {:.1})",
+                rate * 100.0,
+                report
+                    .lanes_at_rate(rate)
+                    .map(|l| l.outcome.missed_top_flows as f64)
+                    .sum::<f64>()
+                    / runs as f64,
             );
         }
         println!();
     }
-    // Silence an unused-import warning path when the generic helper is not
-    // monomorphised above.
-    let _ = sample_and_classify::<AnyFlowKey, RandomSampler>;
     println!(
         "As in the paper (Sec. 6.4), the coarser /24 definition makes the individual\n\
          flows larger but does not dramatically reduce the sampling rate needed —\n\

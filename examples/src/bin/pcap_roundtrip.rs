@@ -1,20 +1,19 @@
 //! Pcap round-trip: export a synthetic trace as a standard capture file and
-//! run the ranking pipeline on what comes back.
+//! stream what comes back through the push-based monitor.
 //!
 //! Demonstrates that the monitor pipeline operates on ordinary libpcap
 //! captures (the format every production tap produces), not just on in-memory
-//! synthetic traces: generate → write pcap → read pcap → sample → rank.
+//! synthetic traces: generate → write pcap → read pcap → `monitor.push` each
+//! record → ranked bin reports, with three sampling rates riding on one
+//! shared ground-truth classification.
 //!
 //! Run with `cargo run --release -p flowrank-examples --bin pcap_roundtrip -- [output.pcap]`.
 
-use std::collections::HashMap;
 use std::fs;
 
-use flowrank_core::metrics::{compare_rankings, SizedFlow};
+use flowrank_monitor::{Monitor, SamplerSpec};
 use flowrank_net::pcap::pcap_bytes_to_records;
-use flowrank_net::{FiveTuple, FlowTable};
-use flowrank_sampling::{sample_and_classify, RandomSampler};
-use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_net::{FiveTuple, FlowDefinition, FlowTable, Timestamp};
 use flowrank_trace::export::export_flows_to_pcap;
 use flowrank_trace::{SprintModel, SynthesisConfig};
 
@@ -28,13 +27,16 @@ fn main() {
     let mut buffer = Vec::new();
     let written = export_flows_to_pcap(&flows, &SynthesisConfig::default(), 3, &mut buffer)
         .expect("pcap export failed");
-    println!("Exported {written} packets ({} bytes of pcap).", buffer.len());
+    println!(
+        "Exported {written} packets ({} bytes of pcap).",
+        buffer.len()
+    );
     if let Some(path) = std::env::args().nth(1) {
         fs::write(&path, &buffer).expect("failed to write capture file");
         println!("Capture written to {path}");
     }
 
-    // Read the capture back and rebuild the flow table.
+    // Read the capture back and sanity-check the flow structure.
     let records = pcap_bytes_to_records(&buffer).expect("pcap parse failed");
     let mut truth: FlowTable<FiveTuple> = FlowTable::new();
     for record in &records {
@@ -47,24 +49,36 @@ fn main() {
         truth.top_by_packets(1)[0].packets
     );
 
-    // Sample the re-imported capture and measure the ranking error.
-    let original: Vec<SizedFlow<FiveTuple>> = truth
-        .iter()
-        .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
-        .collect();
-    println!("{:>10} {:>18} {:>18}", "rate", "ranking swaps", "detection swaps");
-    for &rate in &[0.01, 0.1, 0.5] {
-        let mut sampler = RandomSampler::new(rate);
-        let mut rng = Pcg64::seed_from_u64(17);
-        let sampled: FlowTable<FiveTuple> = sample_and_classify(&records, &mut sampler, &mut rng);
-        let sampled_sizes: HashMap<FiveTuple, u64> =
-            sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
-        let outcome = compare_rankings(&original, &sampled_sizes, 10);
-        println!(
-            "{:>9.0}% {:>18} {:>18}",
-            rate * 100.0,
-            outcome.ranking_swaps,
-            outcome.detection_swaps
-        );
+    // Stream the re-imported capture through the monitor, one push per
+    // record, exactly as a live tap would drive it.
+    let rates = [0.01, 0.1, 0.5];
+    let mut monitor = Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&rates)
+        .runs(1)
+        .bin_length(Timestamp::ZERO)
+        .top_t(10)
+        .seed(17)
+        .build();
+    let mut reports = Vec::new();
+    for record in &records {
+        reports.extend(monitor.push(record));
+    }
+    reports.extend(monitor.finish());
+
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "rate", "ranking swaps", "detection swaps"
+    );
+    for report in &reports {
+        for lane in &report.lanes {
+            println!(
+                "{:>9.0}% {:>18} {:>18}",
+                lane.rate * 100.0,
+                lane.outcome.ranking_swaps,
+                lane.outcome.detection_swaps
+            );
+        }
     }
 }

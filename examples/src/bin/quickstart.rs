@@ -1,9 +1,32 @@
-//! Quickstart: the paper's question in fifty lines.
+//! Quickstart: the paper's question in under a hundred lines.
 //!
-//! Computes (1) the probability of misranking two flows under packet
-//! sampling, (2) the sampling rate needed to keep that probability below
-//! 0.1%, and (3) the paper's ranking/detection metrics for the Sprint
-//! backbone scenario — then prints the headline conclusion.
+//! Two things happen here:
+//!
+//! 1. **The analytical models** — the probability of misranking two flows
+//!    under packet sampling, the sampling rate that keeps it below 0.1%, and
+//!    the paper's ranking/detection metrics for the Sprint backbone scenario.
+//! 2. **The streaming monitor** — the workspace's front door for actual
+//!    packet streams. A [`flowrank_monitor::Monitor`] is configured once
+//!    through its fluent builder (flow definition, a runtime-selected
+//!    sampler, bin length, top-t, seed, and a fan-out of independent runs
+//!    per sampling rate), then driven with `monitor.push(&packet)` per
+//!    packet; it classifies ground truth once per bin, samples every lane,
+//!    and emits a `BinReport` whenever a bin closes:
+//!
+//!    ```no_run
+//!    use flowrank_monitor::{Monitor, SamplerSpec};
+//!    use flowrank_net::{FlowDefinition, Timestamp};
+//!
+//!    let mut monitor = Monitor::builder()
+//!        .flow_definition(FlowDefinition::FiveTuple)
+//!        .sampler(SamplerSpec::Random { rate: 0.01 })
+//!        .rates(&[0.001, 0.01, 0.1, 0.5])
+//!        .runs(30)
+//!        .bin_length(Timestamp::from_secs_f64(60.0))
+//!        .top_t(10)
+//!        .seed(2026)
+//!        .build();
+//!    ```
 //!
 //! Run with `cargo run --release -p flowrank-examples --bin quickstart`.
 
@@ -11,6 +34,9 @@ use flowrank_core::{
     misranking_probability_exact, misranking_probability_gaussian, optimal_sampling_rate,
     FlowSizeModel, PairwiseModel, Scenario,
 };
+use flowrank_monitor::{Monitor, SamplerSpec};
+use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
 
 fn main() {
     println!("== flowrank quickstart ==\n");
@@ -20,7 +46,10 @@ fn main() {
     let p = 0.01;
     let exact = misranking_probability_exact(s1, s2, p);
     let gauss = misranking_probability_gaussian(s1 as f64, s2 as f64, p);
-    println!("Two flows of {s1} and {s2} packets, sampled at {:.0}%:", p * 100.0);
+    println!(
+        "Two flows of {s1} and {s2} packets, sampled at {:.0}%:",
+        p * 100.0
+    );
     println!("  probability their order is swapped (exact, Eq. 1):    {exact:.4}");
     println!("  probability their order is swapped (Gaussian, Eq. 2): {gauss:.4}\n");
 
@@ -34,8 +63,15 @@ fn main() {
 
     // 3. The full ranking problem on the Sprint backbone scenario.
     let scenario = Scenario::sprint_five_tuple(1.5);
-    println!("Scenario: {} ({})", scenario.label, scenario.flow_sizes.describe());
-    println!("{:>10} {:>22} {:>22}", "rate", "ranking metric", "detection metric");
+    println!(
+        "Scenario: {} ({})",
+        scenario.label,
+        scenario.flow_sizes.describe()
+    );
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "rate", "ranking metric", "detection metric"
+    );
     for &p in &[0.001, 0.01, 0.1, 0.5] {
         let ranking = scenario.ranking_model(10).mean_swapped_pairs(p);
         let detection = scenario.detection_model(10).mean_swapped_pairs(p);
@@ -43,8 +79,42 @@ fn main() {
     }
     println!("\n(The ranking is acceptable when the metric is below 1.)");
 
+    // 4. The same question, empirically, through the streaming monitor: one
+    //    push-based pipeline samples a synthetic Sprint-like minute of
+    //    traffic at every rate simultaneously, sharing a single ground-truth
+    //    classification per bin.
+    let flows = SprintModel::small(60.0, 60.0).generate_flows(1);
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 1);
+    let rates = [0.001, 0.01, 0.1, 0.5];
+    let mut monitor = Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&rates)
+        .runs(10)
+        .bin_length(Timestamp::from_secs_f64(60.0))
+        .top_t(10)
+        .seed(2026)
+        .build();
+    let reports = monitor.run_trace(&packets);
+    println!(
+        "\nStreaming monitor on a synthetic minute ({} packets, {} flows, {} lanes):",
+        reports.iter().map(|r| r.packets).sum::<u64>(),
+        reports.first().map_or(0, |r| r.flows),
+        monitor.lane_count(),
+    );
+    println!("{:>10} {:>26}", "rate", "mean swapped pairs (bin 0)");
+    for &rate in &rates {
+        println!(
+            "{:>9.1}% {:>26.2}",
+            rate * 100.0,
+            reports[0].mean_ranking_at_rate(rate)
+        );
+    }
+
     let required_ranking = scenario.ranking_model(10).required_sampling_rate(1.0, 1e-3);
-    let required_detection = scenario.detection_model(10).required_sampling_rate(1.0, 1e-3);
+    let required_detection = scenario
+        .detection_model(10)
+        .required_sampling_rate(1.0, 1e-3);
     println!(
         "\nHeadline: ranking the top 10 flows needs a sampling rate of about {:.0}%,",
         required_ranking * 100.0

@@ -13,7 +13,7 @@
 use flowrank_core::Scenario;
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_summary_table;
-use flowrank_sim::{ExperimentConfig, TraceExperiment};
+use flowrank_sim::{ExperimentConfig, SamplerSpec, TraceExperiment};
 use flowrank_trace::{summary::summarize, synthesize_packets, SprintModel, SynthesisConfig};
 
 fn main() {
@@ -35,8 +35,11 @@ fn main() {
 
     let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 99);
 
+    // The experiment fans a runtime-selected sampler template out across the
+    // rate grid; every bin is classified once and shared by all 60 lanes.
     let config = ExperimentConfig {
         flow_definition: FlowDefinition::FiveTuple,
+        sampler: SamplerSpec::Random { rate: 0.01 },
         sampling_rates: vec![0.001, 0.01, 0.1, 0.5],
         bin_length: Timestamp::from_secs_f64(300.0),
         top_t: 10,
@@ -49,8 +52,14 @@ fn main() {
 
     // Model prediction for the same population size.
     let scenario = Scenario::sprint_five_tuple(1.5).with_flow_count(stats.flow_count as u64);
-    println!("Analytical model prediction for N = {} flows:", stats.flow_count);
-    println!("{:>10} {:>22} {:>22}", "rate", "ranking metric", "detection metric");
+    println!(
+        "Analytical model prediction for N = {} flows:",
+        stats.flow_count
+    );
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "rate", "ranking metric", "detection metric"
+    );
     for &p in &[0.001, 0.01, 0.1, 0.5] {
         println!(
             "{:>9.1}% {:>22.3} {:>22.3}",

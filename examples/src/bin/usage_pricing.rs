@@ -7,6 +7,11 @@
 //! the TCP sequence-number span estimator the paper proposes as future work —
 //! and shows how each affects the billing ranking of the top customers.
 //!
+//! The sampled table is built with `sample_and_classify`, the same
+//! single-pass stage the streaming monitor's lanes use (no intermediate
+//! packet copies): estimators need the per-flow [`flowrank_net::FlowStats`],
+//! which the full flow table retains.
+//!
 //! Run with `cargo run --release -p flowrank-examples --bin usage_pricing`.
 
 use flowrank_net::{FiveTuple, FlowTable};

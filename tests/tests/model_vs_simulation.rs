@@ -3,7 +3,7 @@
 
 use flowrank_core::Scenario;
 use flowrank_net::{FlowDefinition, Timestamp};
-use flowrank_sim::{ExperimentConfig, TraceExperiment};
+use flowrank_sim::{ExperimentConfig, SamplerSpec, TraceExperiment};
 use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
 
 fn small_trace(seed: u64) -> Vec<flowrank_net::PacketRecord> {
@@ -18,6 +18,7 @@ fn simulation_and_model_agree_on_rate_ordering() {
     let packets = small_trace(1);
     let config = ExperimentConfig {
         flow_definition: FlowDefinition::FiveTuple,
+        sampler: SamplerSpec::Random { rate: 0.01 },
         sampling_rates: vec![0.01, 0.1, 0.5],
         bin_length: Timestamp::from_secs_f64(300.0),
         top_t: 10,
@@ -32,7 +33,11 @@ fn simulation_and_model_agree_on_rate_ordering() {
         .len() as u64;
     let result = experiment.run();
 
-    let sim_means: Vec<f64> = result.series.iter().map(|s| s.overall_ranking_mean()).collect();
+    let sim_means: Vec<f64> = result
+        .series
+        .iter()
+        .map(|s| s.overall_ranking_mean())
+        .collect();
     assert!(sim_means[0] > sim_means[1]);
     assert!(sim_means[1] > sim_means[2]);
 
@@ -67,6 +72,7 @@ fn model_tracks_simulation_within_two_orders_of_magnitude() {
     let packets = small_trace(7);
     let config = ExperimentConfig {
         flow_definition: FlowDefinition::FiveTuple,
+        sampler: SamplerSpec::Random { rate: 0.01 },
         sampling_rates: vec![0.05],
         bin_length: Timestamp::from_secs_f64(300.0),
         top_t: 5,

@@ -1,22 +1,18 @@
 //! Cross-crate integration: the full monitor pipeline over a pcap capture —
-//! generate a trace, export it, re-import it, sample it, rank it.
+//! generate a trace, export it, re-import it, and stream it through the
+//! push-based monitor.
 
-use std::collections::HashMap;
-
-use flowrank_core::metrics::{compare_rankings, SizedFlow};
+use flowrank_monitor::{Monitor, SamplerSpec};
 use flowrank_net::pcap::pcap_bytes_to_records;
-use flowrank_net::{FiveTuple, FlowTable};
-use flowrank_sampling::{sample_and_classify, RandomSampler};
-use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_net::{FiveTuple, FlowDefinition, FlowTable, Timestamp};
 use flowrank_trace::export::export_flows_to_pcap;
 use flowrank_trace::{SprintModel, SynthesisConfig};
 
 #[test]
-fn pcap_export_import_sample_rank() {
+fn pcap_export_import_stream_rank() {
     let flows = SprintModel::small(30.0, 40.0).generate_flows(77);
     let mut pcap = Vec::new();
-    let written =
-        export_flows_to_pcap(&flows, &SynthesisConfig::default(), 77, &mut pcap).unwrap();
+    let written = export_flows_to_pcap(&flows, &SynthesisConfig::default(), 77, &mut pcap).unwrap();
     assert_eq!(written, flows.iter().map(|f| f.packets).sum::<u64>());
 
     let records = pcap_bytes_to_records(&pcap).unwrap();
@@ -32,30 +28,37 @@ fn pcap_export_import_sample_rank() {
         assert_eq!(truth.get(&f.key).unwrap().packets, f.packets);
     }
 
-    // Full sampling keeps the ranking perfect; 1% sampling does not.
-    let original: Vec<SizedFlow<FiveTuple>> = truth
-        .iter()
-        .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
-        .collect();
+    // Stream the capture through a monitor carrying a full-sampling lane and
+    // a 1% lane side by side: full sampling keeps the ranking perfect, 1%
+    // does not, and both ride on the same ground-truth classification.
+    let mut monitor = Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&[1.0, 0.01])
+        .runs(1)
+        .bin_length(Timestamp::ZERO)
+        .top_t(10)
+        .seed(1)
+        .build();
+    let mut reports = Vec::new();
+    for record in &records {
+        reports.extend(monitor.push(record));
+    }
+    reports.extend(monitor.finish());
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(report.packets, written);
+    assert_eq!(report.flows, flows.len());
 
-    let outcome_full = {
-        let mut sampler = RandomSampler::new(1.0);
-        let mut rng = Pcg64::seed_from_u64(1);
-        let sampled: FlowTable<FiveTuple> = sample_and_classify(&records, &mut sampler, &mut rng);
-        let sizes: HashMap<FiveTuple, u64> =
-            sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
-        compare_rankings(&original, &sizes, 10)
-    };
-    assert_eq!(outcome_full.ranking_swaps, 0);
-    assert_eq!(outcome_full.missed_top_flows, 0);
+    let full = report
+        .lanes_at_rate(1.0)
+        .next()
+        .expect("full-sampling lane");
+    assert_eq!(full.outcome.ranking_swaps, 0);
+    assert_eq!(full.outcome.missed_top_flows, 0);
+    assert_eq!(full.sampled_packets, written);
 
-    let outcome_sampled = {
-        let mut sampler = RandomSampler::new(0.01);
-        let mut rng = Pcg64::seed_from_u64(2);
-        let sampled: FlowTable<FiveTuple> = sample_and_classify(&records, &mut sampler, &mut rng);
-        let sizes: HashMap<FiveTuple, u64> =
-            sampled.iter().map(|(k, s)| (*k, s.packets)).collect();
-        compare_rankings(&original, &sizes, 10)
-    };
-    assert!(outcome_sampled.ranking_swaps > 0);
+    let sparse = report.lanes_at_rate(0.01).next().expect("1% lane");
+    assert!(sparse.outcome.ranking_swaps > 0);
+    assert!(sparse.sampled_packets < written);
 }

@@ -1,120 +1,150 @@
 //! Property-based integration tests over the cross-crate invariants.
+//!
+//! The properties are exercised with a small self-contained randomised
+//! harness (deterministic Pcg64 case generation — no external test-framework
+//! dependency): every case derives from a fixed master seed, so a failure
+//! message's case index reproduces the exact inputs.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use flowrank_core::metrics::{compare_rankings, SizedFlow};
 use flowrank_core::{misranking_probability_exact, misranking_probability_gaussian};
 use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
 use flowrank_net::{FiveTuple, FlowKey, FlowTable, PacketRecord, Protocol, Timestamp};
 use flowrank_sampling::{sample_and_classify, PacketSampler, RandomSampler};
-use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_stats::rng::{derive_seeds, Pcg64, Rng, SeedableRng};
 
-fn arbitrary_packet() -> impl Strategy<Value = PacketRecord> {
-    (
-        0u64..10_000_000,
-        any::<u32>(),
-        any::<u32>(),
-        any::<u16>(),
-        any::<u16>(),
-        prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)],
-        64u16..1500,
-        any::<u32>(),
-    )
-        .prop_map(|(us, src, dst, sport, dport, protocol, len, seq)| {
-            // ICMP has no transport ports: the frame encoder cannot carry
-            // them, so the generator never produces them either.
-            let has_ports = protocol != Protocol::Icmp;
-            PacketRecord {
-                timestamp: Timestamp::from_micros(us),
-                src_ip: src.into(),
-                dst_ip: dst.into(),
-                src_port: if has_ports { sport } else { 0 },
-                dst_port: if has_ports { dport } else { 0 },
-                protocol,
-                length: len,
-                tcp_seq: if protocol == Protocol::Tcp { Some(seq) } else { None },
-            }
-        })
+const CASES: usize = 64;
+const MASTER_SEED: u64 = 0xCA5E_5EED;
+
+/// Draws one arbitrary packet.
+fn arbitrary_packet(rng: &mut Pcg64) -> PacketRecord {
+    let protocol = match rng.next_below(3) {
+        0 => Protocol::Tcp,
+        1 => Protocol::Udp,
+        _ => Protocol::Icmp,
+    };
+    // ICMP has no transport ports: the frame encoder cannot carry them, so
+    // the generator never produces them either.
+    let has_ports = protocol != Protocol::Icmp;
+    PacketRecord {
+        timestamp: Timestamp::from_micros(rng.next_below(10_000_000)),
+        src_ip: (rng.next_u64() as u32).into(),
+        dst_ip: (rng.next_u64() as u32).into(),
+        src_port: if has_ports { rng.next_u64() as u16 } else { 0 },
+        dst_port: if has_ports { rng.next_u64() as u16 } else { 0 },
+        protocol,
+        length: 64 + rng.next_below(1436) as u16,
+        tcp_seq: if protocol == Protocol::Tcp {
+            Some(rng.next_u64() as u32)
+        } else {
+            None
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arbitrary_packets(rng: &mut Pcg64, min: usize, max: usize) -> Vec<PacketRecord> {
+    let len = min + rng.index(max - min + 1);
+    (0..len).map(|_| arbitrary_packet(rng)).collect()
+}
 
-    #[test]
-    fn pcap_round_trip_preserves_flow_identity(packets in prop::collection::vec(arbitrary_packet(), 0..40)) {
-        let bytes = records_to_pcap_bytes(&packets).unwrap();
-        let decoded = pcap_bytes_to_records(&bytes).unwrap();
-        prop_assert_eq!(decoded.len(), packets.len());
-        for (a, b) in packets.iter().zip(decoded.iter()) {
-            prop_assert_eq!(FiveTuple::from_packet(a), FiveTuple::from_packet(b));
-            prop_assert_eq!(a.timestamp.as_micros(), b.timestamp.as_micros());
+/// Runs `property` over [`CASES`] deterministic random cases.
+fn for_all_cases(name: &str, property: impl Fn(&mut Pcg64)) {
+    for (case, seed) in derive_seeds(MASTER_SEED, CASES).into_iter().enumerate() {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(panic) = result {
+            panic!("property `{name}` failed on case {case} (seed {seed:#x}): {panic:?}");
         }
     }
+}
 
-    #[test]
-    fn sampled_flow_sizes_never_exceed_originals(
-        packets in prop::collection::vec(arbitrary_packet(), 1..200),
-        rate in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pcap_round_trip_preserves_flow_identity() {
+    for_all_cases("pcap_round_trip", |rng| {
+        let packets = arbitrary_packets(rng, 0, 39);
+        let bytes = records_to_pcap_bytes(&packets).unwrap();
+        let decoded = pcap_bytes_to_records(&bytes).unwrap();
+        assert_eq!(decoded.len(), packets.len());
+        for (a, b) in packets.iter().zip(decoded.iter()) {
+            assert_eq!(FiveTuple::from_packet(a), FiveTuple::from_packet(b));
+            assert_eq!(a.timestamp.as_micros(), b.timestamp.as_micros());
+        }
+    });
+}
+
+#[test]
+fn sampled_flow_sizes_never_exceed_originals() {
+    for_all_cases("sampled_subset", |rng| {
+        let packets = arbitrary_packets(rng, 1, 199);
+        let rate = rng.next_f64();
+        let seed = rng.next_u64();
         let mut original: FlowTable<FiveTuple> = FlowTable::new();
         for p in &packets {
             original.observe(p);
         }
         let mut sampler = RandomSampler::new(rate);
-        let mut rng = Pcg64::seed_from_u64(seed);
-        let sampled: FlowTable<FiveTuple> = sample_and_classify(&packets, &mut sampler, &mut rng);
-        prop_assert!(sampled.flow_count() <= original.flow_count());
+        let mut sample_rng = Pcg64::seed_from_u64(seed);
+        let sampled: FlowTable<FiveTuple> =
+            sample_and_classify(&packets, &mut sampler, &mut sample_rng);
+        assert!(sampled.flow_count() <= original.flow_count());
         for (key, stats) in sampled.iter() {
-            prop_assert!(stats.packets <= original.get(key).unwrap().packets);
+            assert!(stats.packets <= original.get(key).unwrap().packets);
         }
-    }
+    });
+}
 
-    #[test]
-    fn full_sampling_never_produces_ranking_errors(
-        packets in prop::collection::vec(arbitrary_packet(), 1..150),
-        top_t in 1usize..12,
-    ) {
+#[test]
+fn full_sampling_never_produces_ranking_errors() {
+    for_all_cases("full_sampling_perfect", |rng| {
+        let packets = arbitrary_packets(rng, 1, 149);
+        let top_t = 1 + rng.index(11);
         let mut table: FlowTable<FiveTuple> = FlowTable::new();
         for p in &packets {
             table.observe(p);
         }
         let original: Vec<SizedFlow<FiveTuple>> = table
             .iter()
-            .map(|(k, s)| SizedFlow { key: *k, packets: s.packets })
+            .map(|(k, s)| SizedFlow {
+                key: *k,
+                packets: s.packets,
+            })
             .collect();
-        let sizes: HashMap<FiveTuple, u64> =
-            table.iter().map(|(k, s)| (*k, s.packets)).collect();
+        let sizes: HashMap<FiveTuple, u64> = table.iter().map(|(k, s)| (*k, s.packets)).collect();
         let outcome = compare_rankings(&original, &sizes, top_t);
-        prop_assert_eq!(outcome.ranking_swaps, 0);
-        prop_assert_eq!(outcome.detection_swaps, 0);
-        prop_assert_eq!(outcome.missed_top_flows, 0);
-    }
+        assert_eq!(outcome.ranking_swaps, 0);
+        assert_eq!(outcome.detection_swaps, 0);
+        assert_eq!(outcome.missed_top_flows, 0);
+    });
+}
 
-    #[test]
-    fn misranking_probabilities_are_valid_and_symmetric(
-        s1 in 1u64..800,
-        s2 in 1u64..800,
-        p in 0.001f64..0.999,
-    ) {
+#[test]
+fn misranking_probabilities_are_valid_and_symmetric() {
+    for_all_cases("misranking_valid", |rng| {
+        let s1 = 1 + rng.next_below(799);
+        let s2 = 1 + rng.next_below(799);
+        let p = 0.001 + rng.next_f64() * 0.998;
         let exact = misranking_probability_exact(s1, s2, p);
         let gauss = misranking_probability_gaussian(s1 as f64, s2 as f64, p);
-        prop_assert!((0.0..=1.0).contains(&exact));
-        prop_assert!((0.0..=1.0).contains(&gauss));
-        prop_assert!((misranking_probability_exact(s2, s1, p) - exact).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&exact));
+        assert!((0.0..=1.0).contains(&gauss));
+        assert!((misranking_probability_exact(s2, s1, p) - exact).abs() < 1e-12);
         // The Gaussian form is within its documented error band whenever at
         // least one flow is comfortably sampled.
         if (s1 as f64 * p).max(s2 as f64 * p) > 5.0 && s1 != s2 {
-            prop_assert!((exact - gauss).abs() < 0.25);
+            assert!((exact - gauss).abs() < 0.25);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sampler_empirical_rate_is_clamped(rate in -1.0f64..2.0) {
+#[test]
+fn sampler_empirical_rate_is_clamped() {
+    for_all_cases("rate_clamped", |rng| {
+        let rate = -1.0 + 3.0 * rng.next_f64();
         let mut sampler = RandomSampler::new(rate);
-        let mut rng = Pcg64::seed_from_u64(1);
+        let mut keep_rng = Pcg64::seed_from_u64(1);
         let packet = PacketRecord::udp(
             Timestamp::ZERO,
             std::net::Ipv4Addr::new(10, 0, 0, 1),
@@ -123,13 +153,13 @@ proptest! {
             2,
             100,
         );
-        let keep = sampler.keep(&packet, &mut rng);
+        let keep = sampler.keep(&packet, &mut keep_rng);
         if rate <= 0.0 {
-            prop_assert!(!keep);
+            assert!(!keep);
         }
         if rate >= 1.0 {
-            prop_assert!(keep);
+            assert!(keep);
         }
-        prop_assert!((0.0..=1.0).contains(&sampler.nominal_rate()));
-    }
+        assert!((0.0..=1.0).contains(&sampler.nominal_rate()));
+    });
 }

@@ -1,0 +1,148 @@
+//! Streaming/batch equivalence: the same trace and seed pushed through
+//! `Monitor::push` and run through the legacy `run_bin` wrapper must produce
+//! bit-identical `ComparisonOutcome`s, for both flow definitions.
+//!
+//! This is the contract that lets the workspace keep `run_bin` /
+//! `run_bin_random_sampling` as thin compatibility wrappers: the streaming
+//! pipeline is not "approximately" the batch pipeline, it *is* the batch
+//! pipeline, minus the redundant per-run ground-truth reclassifications.
+
+use flowrank_monitor::{Monitor, SamplerSpec};
+use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_sim::engine::run_bin_random_sampling;
+use flowrank_sim::split_into_bins;
+use flowrank_stats::rng::derive_seeds;
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+
+fn trace(seed: u64) -> Vec<flowrank_net::PacketRecord> {
+    let flows = SprintModel::small(180.0, 40.0).generate_flows(seed);
+    synthesize_packets(&flows, &SynthesisConfig::default(), seed)
+}
+
+const BIN_SECONDS: f64 = 60.0;
+const TOP_T: usize = 10;
+
+/// Pushes the whole trace through one single-lane monitor and collects the
+/// per-bin outcomes.
+fn streaming_outcomes(
+    packets: &[flowrank_net::PacketRecord],
+    definition: FlowDefinition,
+    rate: f64,
+    seed: u64,
+) -> Vec<flowrank_monitor::ComparisonOutcome> {
+    let mut monitor = Monitor::builder()
+        .flow_definition(definition)
+        .sampler(SamplerSpec::Random { rate })
+        .bin_length(Timestamp::from_secs_f64(BIN_SECONDS))
+        .top_t(TOP_T)
+        .seed(seed)
+        .build();
+    let mut reports = Vec::new();
+    for packet in packets {
+        reports.extend(monitor.push(packet));
+    }
+    reports.extend(monitor.finish());
+    reports
+        .iter()
+        .map(|report| {
+            assert_eq!(report.lanes.len(), 1);
+            report.lanes[0].outcome
+        })
+        .collect()
+}
+
+#[test]
+fn push_matches_run_bin_for_both_flow_definitions() {
+    let packets = trace(41);
+    let bins = split_into_bins(&packets, Timestamp::from_secs_f64(BIN_SECONDS));
+    assert!(bins.len() >= 3, "trace must span several bins");
+
+    for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
+        for (rate, seed) in [(0.01, 7u64), (0.1, 8), (0.5, 9)] {
+            let streamed = streaming_outcomes(&packets, definition, rate, seed);
+            assert_eq!(streamed.len(), bins.len(), "one report per bin");
+            for (bin_index, bin) in bins.iter().enumerate() {
+                let batch = run_bin_random_sampling(bin, definition, rate, TOP_T, seed);
+                assert_eq!(
+                    streamed[bin_index], batch.outcome,
+                    "{definition}, rate {rate}, bin {bin_index}: streaming and \
+                     batch outcomes must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fanned_out_lanes_match_independent_batch_runs() {
+    // The multi-run fan-out derives per-(rate, run) seeds exactly like the
+    // batch experiment; every lane of every bin must coincide with the
+    // corresponding run_bin call.
+    let packets = trace(42);
+    let bins = split_into_bins(&packets, Timestamp::from_secs_f64(BIN_SECONDS));
+    let rates = [0.02, 0.2];
+    let runs = 4;
+    let master = 4242u64;
+
+    let mut monitor = Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&rates)
+        .runs(runs)
+        .bin_length(Timestamp::from_secs_f64(BIN_SECONDS))
+        .top_t(TOP_T)
+        .seed(master)
+        .build();
+    let mut reports = Vec::new();
+    for packet in &packets {
+        reports.extend(monitor.push(packet));
+    }
+    reports.extend(monitor.finish());
+    assert_eq!(reports.len(), bins.len());
+
+    for (bin_index, report) in reports.iter().enumerate() {
+        for &rate in &rates {
+            let seeds = derive_seeds(master ^ rate.to_bits(), runs);
+            let lanes: Vec<_> = report.lanes_at_rate(rate).collect();
+            assert_eq!(lanes.len(), runs);
+            for (run, lane) in lanes.iter().enumerate() {
+                let batch = run_bin_random_sampling(
+                    &bins[bin_index],
+                    FlowDefinition::FiveTuple,
+                    rate,
+                    TOP_T,
+                    seeds[run],
+                );
+                assert_eq!(lane.outcome, batch.outcome);
+                assert_eq!(lane.sampled_flows, batch.sampled_flows);
+                assert_eq!(lane.run, run);
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_equivalence_holds_with_idle_gaps() {
+    // A trace with an idle middle bin: the monitor emits the empty bin's
+    // report in passing, and both paths agree on every bin.
+    let mut packets = trace(43);
+    let shift = Timestamp::from_secs_f64(3.0 * BIN_SECONDS);
+    let shifted: Vec<_> = packets
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.timestamp = Timestamp::from_micros(p.timestamp.as_micros() + shift.as_micros());
+            q
+        })
+        .collect();
+    packets.extend(shifted);
+    packets.sort_by_key(|p| p.timestamp);
+
+    let bins = split_into_bins(&packets, Timestamp::from_secs_f64(BIN_SECONDS));
+    let streamed = streaming_outcomes(&packets, FlowDefinition::FiveTuple, 0.1, 5);
+    assert_eq!(streamed.len(), bins.len());
+    for (bin_index, bin) in bins.iter().enumerate() {
+        let batch = run_bin_random_sampling(bin, FlowDefinition::FiveTuple, 0.1, TOP_T, 5);
+        assert_eq!(streamed[bin_index], batch.outcome, "bin {bin_index}");
+    }
+}
