@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use flowrank_monitor::{Monitor, SamplerSpec};
 use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
-use flowrank_net::{FiveTuple, FlowDefinition, FlowTable};
+use flowrank_net::{FiveTuple, FlowDefinition, FlowKey, FlowTable};
 use flowrank_sampling::{PacketSampler, RandomSampler};
 use flowrank_sim::engine::run_bin_random_sampling;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
@@ -38,6 +38,20 @@ fn bench(c: &mut Criterion) {
                 table.observe(p);
             }
             black_box(table.flow_count())
+        })
+    });
+
+    // What the flow table used to be: a SipHash-hashed std::HashMap keyed
+    // by the structural FiveTuple. Kept as a reference point for the
+    // compact-key/FxHash speedup.
+    group.bench_function("classify_5tuple_siphash_reference", |b| {
+        b.iter(|| {
+            let mut table: std::collections::HashMap<FiveTuple, u64> =
+                std::collections::HashMap::with_capacity(4096);
+            for p in &packets {
+                *table.entry(FiveTuple::from_packet(p)).or_insert(0) += 1;
+            }
+            black_box(table.len())
         })
     });
 
@@ -85,6 +99,30 @@ fn bench(c: &mut Criterion) {
                 .top_t(10)
                 .seed(FAN_OUT_SEED)
                 .bin_length(flowrank_net::Timestamp::ZERO)
+                .build();
+            let reports = monitor.run_trace(&packets);
+            let total_swaps: u64 = reports
+                .iter()
+                .flat_map(|r| r.lanes.iter())
+                .map(|lane| lane.outcome.ranking_swaps)
+                .sum();
+            black_box(total_swaps)
+        })
+    });
+
+    // The same grid with whole-bin worker threads (one shard per CPU):
+    // identical reports, wall-clock scaled by the available cores.
+    group.bench_function("multi_run_shared_ground_truth_threads", |b| {
+        b.iter(|| {
+            let mut monitor = Monitor::builder()
+                .flow_definition(FlowDefinition::FiveTuple)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&FAN_OUT_RATES)
+                .runs(FAN_OUT_RUNS)
+                .top_t(10)
+                .seed(FAN_OUT_SEED)
+                .bin_length(flowrank_net::Timestamp::ZERO)
+                .threads(0)
                 .build();
             let reports = monitor.run_trace(&packets);
             let total_swaps: u64 = reports

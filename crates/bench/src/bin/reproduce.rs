@@ -7,6 +7,7 @@
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 4  # a single figure
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scale 1.0 --runs 30
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --sampler stratified
+//! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --threads 8
 //! ```
 //!
 //! Output is CSV on stdout, one block per figure and line, directly
@@ -15,8 +16,10 @@
 //! paper's full parameters. `--sampler` selects the sampling discipline of
 //! the trace-driven Sprint figures at run time (`random`, `periodic`,
 //! `stratified`, `flow`, `smart`, `adaptive` — the monitor fans any of them
-//! out across the figure's rate grid). EXPERIMENTS.md records the settings
-//! used for the committed results.
+//! out across the figure's rate grid). `--threads` caps the worker threads
+//! of the trace-driven experiments (0 = one per CPU; the numbers are
+//! bit-identical for every value). EXPERIMENTS.md records the settings used
+//! for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
@@ -32,6 +35,7 @@ struct Options {
     scale: f64,
     runs: usize,
     sampler: SamplerSpec,
+    threads: usize,
 }
 
 fn sampler_by_name(name: &str) -> Option<SamplerSpec> {
@@ -61,6 +65,7 @@ fn parse_args() -> Options {
         scale: 0.02,
         runs: 10,
         sampler: SamplerSpec::Random { rate: 0.01 },
+        threads: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,6 +94,13 @@ fn parse_args() -> Options {
                     .get(i + 1)
                     .and_then(|v| sampler_by_name(v))
                     .unwrap_or(options.sampler);
+                i += 2;
+            }
+            "--threads" => {
+                options.threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(options.threads);
                 i += 2;
             }
             _ => i += 1,
@@ -219,7 +231,8 @@ fn fig_trace(figure: u32, definition: FlowDefinition, detection: bool, options: 
             options.runs,
             2026,
             options.sampler,
-        );
+        )
+        .with_threads(options.threads);
         let result = experiment.run();
         println!("{}", result_to_csv(&result, bin_seconds, detection));
     }
@@ -230,7 +243,9 @@ fn fig16_abilene(options: &Options) {
         "# Figure 16: trace-driven ranking vs time, Abilene-like trace, top 10, 60-second bins, scale {}, {} runs",
         options.scale, options.runs
     );
-    let result = abilene_experiment(options.scale, options.runs, 16).run();
+    let result = abilene_experiment(options.scale, options.runs, 16)
+        .with_threads(options.threads)
+        .run();
     println!("{}", result_to_csv(&result, 60.0, false));
 }
 

@@ -6,8 +6,7 @@
 //! that counting. They are generic over the flow key so both flow
 //! definitions (5-tuple and /24 prefix) use the same code.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use flowrank_flowtable::{CompactKey, FlowMap};
 
 /// A flow with its true (unsampled) size, as produced by ranking the original
 /// flow table.
@@ -52,7 +51,7 @@ pub struct GroundTruthRanking<K> {
     top_t: usize,
 }
 
-impl<K: Eq + Hash + Clone + Ord> GroundTruthRanking<K> {
+impl<K: Clone + Ord> GroundTruthRanking<K> {
     /// Ranks a flow population by decreasing true size (ties broken by key
     /// order so the ranking is identical across runs and platforms) and fixes
     /// the top-`t` boundary.
@@ -96,25 +95,33 @@ impl<K: Eq + Hash + Clone + Ord> GroundTruthRanking<K> {
         let mut detection_pairs = 0u64;
         let mut missed_top_flows = 0u64;
 
+        // One lookup per flow, in rank order. The pairwise scan below would
+        // otherwise look every non-top flow up once *per top flow* — `t·n`
+        // sampled-table probes per lane, which dominated multi-lane
+        // monitors before this cache. `sampled_size_of` must be pure; it is
+        // now called exactly once per flow.
+        let sampled: Vec<u64> = self
+            .ranked
+            .iter()
+            .map(|flow| sampled_size_of(&flow.key))
+            .collect();
+
         for (rank_a, top_flow) in self.ranked.iter().take(t).enumerate() {
-            let s_a = sampled_size_of(&top_flow.key);
+            let s_a = sampled[rank_a];
             if s_a == 0 {
                 missed_top_flows += 1;
             }
-            for (rank_b, other) in self.ranked.iter().enumerate() {
-                if rank_b <= rank_a {
-                    // Pairs are unordered: every pair is counted once, with
-                    // the higher-ranked flow as its first element. Pairs of
-                    // two top flows are therefore counted by the smaller rank
-                    // only.
-                    continue;
-                }
+            // Pairs are unordered: every pair is counted once, with the
+            // higher-ranked flow as its first element (pairs of two top
+            // flows are counted by the smaller rank only) — hence the scan
+            // starts below `rank_a`.
+            for (offset, other) in self.ranked[rank_a + 1..].iter().enumerate() {
+                let rank_b = rank_a + 1 + offset;
                 if top_flow.packets == other.packets {
                     continue;
                 }
-                let s_b = sampled_size_of(&other.key);
                 // top_flow.packets > other.packets by construction of the sort.
-                let swapped = s_b >= s_a;
+                let swapped = sampled[rank_b] >= s_a;
                 ranking_pairs += 1;
                 if swapped {
                     ranking_swaps += 1;
@@ -136,10 +143,12 @@ impl<K: Eq + Hash + Clone + Ord> GroundTruthRanking<K> {
             detection_pairs,
         }
     }
+}
 
+impl<K: CompactKey + Ord> GroundTruthRanking<K> {
     /// Scores a sampled size map against this truth (convenience over
     /// [`GroundTruthRanking::compare_with`]).
-    pub fn compare(&self, sampled_sizes: &HashMap<K, u64>) -> ComparisonOutcome {
+    pub fn compare(&self, sampled_sizes: &FlowMap<K, u64>) -> ComparisonOutcome {
         self.compare_with(|key| sampled_sizes.get(key).copied().unwrap_or(0))
     }
 }
@@ -154,9 +163,9 @@ impl<K: Eq + Hash + Clone + Ord> GroundTruthRanking<K> {
 /// One-shot convenience over [`GroundTruthRanking`]; callers that score many
 /// sampled tables against the same truth should build the ranking once
 /// instead.
-pub fn compare_rankings<K: Eq + Hash + Clone + Ord>(
+pub fn compare_rankings<K: CompactKey + Ord>(
     original: &[SizedFlow<K>],
-    sampled_sizes: &HashMap<K, u64>,
+    sampled_sizes: &FlowMap<K, u64>,
     top_t: usize,
 ) -> ComparisonOutcome {
     GroundTruthRanking::new(original.to_vec(), top_t).compare(sampled_sizes)
@@ -164,18 +173,14 @@ pub fn compare_rankings<K: Eq + Hash + Clone + Ord>(
 
 /// Convenience: whether the sampled top-`t` *set* matches the true top-`t`
 /// set (order ignored) — the "detection succeeded" criterion.
-pub fn top_set_matches<K: Eq + Hash + Clone + Ord>(
+pub fn top_set_matches<K: CompactKey + Ord>(
     original: &[SizedFlow<K>],
-    sampled_sizes: &HashMap<K, u64>,
+    sampled_sizes: &FlowMap<K, u64>,
     top_t: usize,
 ) -> bool {
     let mut true_ranked: Vec<&SizedFlow<K>> = original.iter().collect();
     true_ranked.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.key.cmp(&b.key)));
-    let mut true_top: Vec<K> = true_ranked
-        .iter()
-        .take(top_t)
-        .map(|f| f.key.clone())
-        .collect();
+    let mut true_top: Vec<K> = true_ranked.iter().take(top_t).map(|f| f.key).collect();
     true_top.sort();
 
     let mut sampled_ranked: Vec<(&K, u64)> = original
@@ -186,7 +191,7 @@ pub fn top_set_matches<K: Eq + Hash + Clone + Ord>(
     let mut sampled_top: Vec<K> = sampled_ranked
         .iter()
         .take(top_t)
-        .map(|(k, _)| (*k).clone())
+        .map(|(k, _)| **k)
         .collect();
     sampled_top.sort();
 
@@ -208,7 +213,7 @@ mod tests {
             .collect()
     }
 
-    fn sampled(pairs: &[(u32, u64)]) -> HashMap<u32, u64> {
+    fn sampled(pairs: &[(u32, u64)]) -> FlowMap<u32, u64> {
         pairs.iter().copied().collect()
     }
 
@@ -265,7 +270,7 @@ mod tests {
     #[test]
     fn both_flows_unsampled_is_a_swap() {
         let original = flows(&[100, 10]);
-        let nothing: HashMap<u32, u64> = HashMap::new();
+        let nothing: FlowMap<u32, u64> = FlowMap::new();
         let outcome = compare_rankings(&original, &nothing, 1);
         assert_eq!(outcome.ranking_swaps, 1);
         assert_eq!(outcome.detection_swaps, 1);
@@ -321,9 +326,9 @@ mod tests {
     #[test]
     fn empty_population() {
         let original: Vec<SizedFlow<u32>> = Vec::new();
-        let outcome = compare_rankings(&original, &HashMap::new(), 5);
+        let outcome = compare_rankings(&original, &FlowMap::new(), 5);
         assert_eq!(outcome.ranking_pairs, 0);
         assert_eq!(outcome.ranking_swaps, 0);
-        assert!(top_set_matches(&original, &HashMap::new(), 5));
+        assert!(top_set_matches(&original, &FlowMap::new(), 5));
     }
 }

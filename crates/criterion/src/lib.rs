@@ -9,6 +9,16 @@
 //! iteration together with the derived element throughput, which is all the
 //! flowrank benches need for before/after comparisons. Swapping in the real
 //! criterion is a one-line change in the workspace manifest.
+//!
+//! Two harness affordances mirror the real crate's workflow:
+//!
+//! * `--test` on the bench binary (i.e. `cargo bench -- --test`) runs every
+//!   benchmark once with a minimal budget — the CI smoke mode that proves
+//!   the benches still compile and execute without paying measurement time.
+//! * The `BENCH_JSON` environment variable names a file to append one JSON
+//!   line per benchmark to (`{"group":…,"name":…,"mean_ns":…,"std_ns":…,
+//!   "samples":…,"melem_per_s":…}`), which `scripts/bench_snapshot.sh` uses
+//!   to keep `BENCH_throughput.json` machine-readable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,20 +35,33 @@ pub enum Throughput {
 }
 
 /// Top-level benchmark driver. One instance is shared by every group.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // `cargo bench -- --test` parity with the real criterion: run
+            // every bench once, skip measurement.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\ngroup: {name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
             throughput: None,
+            test_mode,
         }
     }
 }
@@ -47,9 +70,11 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -77,13 +102,22 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let (samples, budget) = if self.test_mode {
+            (2, Duration::ZERO)
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
         let mut bencher = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
-            budget: self.measurement_time,
-            target_samples: self.sample_size,
+            samples: Vec::with_capacity(samples),
+            budget,
+            target_samples: samples,
         };
         f(&mut bencher);
-        report(name, &bencher.samples, self.throughput);
+        if self.test_mode {
+            println!("  {name:<40} ok (smoke)");
+        } else {
+            report(&self.name, name, &bencher.samples, self.throughput);
+        }
         self
     }
 
@@ -122,7 +156,7 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     let n = samples.len().max(1) as f64;
     let mean_ns = samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / n;
     let var_ns = samples
@@ -134,6 +168,10 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
         .sum::<f64>()
         / n;
     let std_ns = var_ns.sqrt();
+    let melem_per_s = throughput.and_then(|t| match t {
+        Throughput::Elements(e) => Some(e as f64 / mean_ns * 1e3),
+        Throughput::Bytes(_) => None,
+    });
     let rate = throughput.map(|t| match t {
         Throughput::Elements(e) => format!(" | {:.2} Melem/s", e as f64 / mean_ns * 1e3),
         Throughput::Bytes(b) => format!(
@@ -148,6 +186,65 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
         samples.len(),
         rate.unwrap_or_default()
     );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        append_json_line(
+            &path,
+            group,
+            name,
+            mean_ns,
+            std_ns,
+            samples.len(),
+            melem_per_s,
+        );
+    }
+}
+
+/// Appends one machine-readable result line to `path` (ndjson; the snapshot
+/// script assembles the final document). Errors are reported but never fail
+/// the bench run.
+fn append_json_line(
+    path: &str,
+    group: &str,
+    name: &str,
+    mean_ns: f64,
+    std_ns: f64,
+    samples: usize,
+    melem_per_s: Option<f64>,
+) {
+    use std::io::Write;
+    let melem = melem_per_s.map_or("null".to_string(), |m| format!("{m:.4}"));
+    let group = json_escape(group);
+    let name = json_escape(name);
+    let line = format!(
+        "{{\"group\":\"{group}\",\"name\":\"{name}\",\"mean_ns\":{mean_ns:.1},\"std_ns\":{std_ns:.1},\"samples\":{samples},\"melem_per_s\":{melem}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("BENCH_JSON append to {path} failed: {error}");
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (names are
+/// arbitrary `&str`s, so quotes, backslashes and control characters must
+/// not corrupt the ndjson stream).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -199,6 +296,14 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| runs += 1));
         group.finish();
         assert!(runs >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The open-addressing keyed accumulator.
+//!
+//! [`FlowMap`] maps a [`CompactKey`] to a value through a two-part layout:
+//!
+//! * a power-of-two **slot array** of `u32` indices, probed linearly from
+//!   the key's mixed hash (with tombstones for removals), and
+//! * a **slab** (`Vec`) of `(packed key, value)` entries in insertion
+//!   order.
+//!
+//! The split buys the two properties the workspace needs from its flow
+//! tables. First, *reuse*: [`FlowMap::clear`] empties both parts but keeps
+//! their allocations, so a streaming monitor pays the table's growth once
+//! and then recycles it bin after bin. Second, *determinism*: iteration
+//! walks the slab, so the order every consumer drains flows in is a pure
+//! function of the operation sequence (insertion order, with
+//! [`FlowMap::remove`] swapping the last entry into the vacated position) —
+//! never of hash-table internals. See the crate docs for the full contract.
+
+use crate::key::{CompactKey, PackedKey};
+
+/// Slot marker: never occupied.
+const EMPTY: u32 = u32::MAX;
+/// Slot marker: previously occupied, removed (probe chains continue past it).
+const TOMBSTONE: u32 = u32::MAX - 1;
+/// Largest representable entry index.
+const MAX_ENTRIES: usize = (u32::MAX - 2) as usize;
+
+/// Maximum slot load (live entries plus tombstones) is 7/8.
+#[inline]
+fn slots_for(entries: usize) -> usize {
+    (entries * 8 / 7 + 1).max(16).next_power_of_two()
+}
+
+/// An open-addressing map from compact flow keys to slab-backed values.
+#[derive(Debug, Clone)]
+pub struct FlowMap<K: CompactKey, V> {
+    slots: Vec<u32>,
+    entries: Vec<(K::Packed, V)>,
+    tombstones: usize,
+}
+
+impl<K: CompactKey, V> Default for FlowMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: CompactKey, V> FlowMap<K, V> {
+    /// Creates an empty map. No allocation happens until the first insert.
+    pub fn new() -> Self {
+        FlowMap {
+            slots: Vec::new(),
+            entries: Vec::new(),
+            tombstones: 0,
+        }
+    }
+
+    /// Creates an empty map pre-sized for `n` entries: both the slot array
+    /// and the entry slab are allocated up front, so the first `n` inserts
+    /// never reallocate.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut map = Self::new();
+        if n > 0 {
+            map.slots = vec![EMPTY; slots_for(n)];
+            map.entries = Vec::with_capacity(n);
+        }
+        map
+    }
+
+    /// Number of entries in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries the map can hold before the slot array grows.
+    pub fn capacity(&self) -> usize {
+        self.slots.len() * 7 / 8
+    }
+
+    /// Ensures room for `additional` more entries without slot growth.
+    pub fn reserve(&mut self, additional: usize) {
+        let target = self.entries.len() + additional;
+        if slots_for(target) > self.slots.len() {
+            self.rehash(slots_for(target));
+        }
+        self.entries.reserve(additional);
+    }
+
+    /// Removes every entry but keeps both allocations for reuse — the
+    /// start-of-bin reset of the paper's binning methodology, without the
+    /// per-bin rehash-from-zero a fresh map would pay.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.slots.fill(EMPTY);
+        self.tombstones = 0;
+    }
+
+    /// Returns a reference to the value of `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find_entry(key.pack()).map(|i| &self.entries[i].1)
+    }
+
+    /// Returns a mutable reference to the value of `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find_entry(key.pack()).map(|i| &mut self.entries[i].1)
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find_entry(key.pack()).is_some()
+    }
+
+    /// Returns the value of `key`, inserting `default()` first when absent.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let packed = key.pack();
+        match self.find_entry(packed) {
+            Some(i) => &mut self.entries[i].1,
+            None => {
+                let i = self.push_new(packed, default());
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// The one-lookup update-or-insert every per-packet hot path uses:
+    /// applies `update` when the key is present, inserts `insert()`
+    /// otherwise, and returns the entry's value either way.
+    #[inline]
+    pub fn upsert(
+        &mut self,
+        key: K,
+        insert: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V),
+    ) -> &mut V {
+        let packed = key.pack();
+        match self.find_entry(packed) {
+            Some(i) => {
+                let value = &mut self.entries[i].1;
+                update(value);
+                value
+            }
+            None => {
+                let i = self.push_new(packed, insert());
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// Inserts or replaces the value of `key`; returns the previous value
+    /// when the key was already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let packed = key.pack();
+        match self.find_entry(packed) {
+            Some(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            None => {
+                self.push_new(packed, value);
+                None
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value when present.
+    ///
+    /// The last-inserted entry is swapped into the removed entry's slab
+    /// position, so subsequent iteration order changes deterministically
+    /// (a pure function of the operation sequence, never of hashing).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let packed = key.pack();
+        let slot = self.find_slot(packed)?;
+        let entry_index = self.slots[slot] as usize;
+        self.slots[slot] = TOMBSTONE;
+        self.tombstones += 1;
+        let (_, value) = self.entries.swap_remove(entry_index);
+        let moved_from = self.entries.len();
+        if entry_index < moved_from {
+            // The entry that lived at the slab's end moved into the hole;
+            // repoint its slot.
+            let moved_packed = self.entries[entry_index].0;
+            let moved_slot = self
+                .slot_of_entry(moved_packed, moved_from as u32)
+                .expect("moved entry must have a slot");
+            self.slots[moved_slot] = entry_index as u32;
+        }
+        Some(value)
+    }
+
+    /// Iterates over `(key, &value)` pairs in deterministic slab order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.entries.iter().map(|(p, v)| (K::unpack(*p), v))
+    }
+
+    /// Iterates over the keys in deterministic slab order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|(p, _)| K::unpack(*p))
+    }
+
+    /// Iterates over the values in deterministic slab order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Finds the entry index of `packed`, if present.
+    #[inline]
+    fn find_entry(&self, packed: K::Packed) -> Option<usize> {
+        self.find_slot(packed).map(|s| self.slots[s] as usize)
+    }
+
+    /// Finds the slot index holding `packed`, if present.
+    #[inline]
+    fn find_slot(&self, packed: K::Packed) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut index = packed.mix() as usize & mask;
+        loop {
+            match self.slots[index] {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                entry => {
+                    if self.entries[entry as usize].0 == packed {
+                        return Some(index);
+                    }
+                }
+            }
+            index = (index + 1) & mask;
+        }
+    }
+
+    /// Finds the slot currently pointing at entry index `entry_index` along
+    /// `packed`'s probe chain (used to fix up a swap-removed entry).
+    fn slot_of_entry(&self, packed: K::Packed, entry_index: u32) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut index = packed.mix() as usize & mask;
+        loop {
+            match self.slots[index] {
+                EMPTY => return None,
+                slot_entry if slot_entry == entry_index => return Some(index),
+                _ => {}
+            }
+            index = (index + 1) & mask;
+        }
+    }
+
+    /// Appends a new entry and links it from the slot array. The caller
+    /// guarantees `packed` is absent.
+    fn push_new(&mut self, packed: K::Packed, value: V) -> usize {
+        assert!(self.entries.len() < MAX_ENTRIES, "FlowMap is full");
+        if (self.entries.len() + self.tombstones + 1) * 8 > self.slots.len() * 7 {
+            // Rehashing rebuilds the slots from the slab, which also purges
+            // tombstones; size for the live entries only.
+            self.rehash(slots_for(self.entries.len() + 1));
+        }
+        let entry_index = self.entries.len();
+        self.entries.push((packed, value));
+        let slot = self.free_slot(packed);
+        if self.slots[slot] == TOMBSTONE {
+            self.tombstones -= 1;
+        }
+        self.slots[slot] = entry_index as u32;
+        entry_index
+    }
+
+    /// First reusable slot (tombstone or empty) on `packed`'s probe chain.
+    /// The caller guarantees `packed` is absent from the map.
+    #[inline]
+    fn free_slot(&self, packed: K::Packed) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut index = packed.mix() as usize & mask;
+        loop {
+            if self.slots[index] == EMPTY || self.slots[index] == TOMBSTONE {
+                return index;
+            }
+            index = (index + 1) & mask;
+        }
+    }
+
+    /// Extends the map from `(key, value)` pairs; later pairs replace
+    /// earlier values for the same key (like `HashMap`).
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = (K, V)>) {
+        for (key, value) in pairs {
+            self.insert(key, value);
+        }
+    }
+
+    /// Rebuilds the slot array at `new_len` slots from the entry slab.
+    fn rehash(&mut self, new_len: usize) {
+        let mask = new_len - 1;
+        let mut slots = vec![EMPTY; new_len];
+        for (entry_index, (packed, _)) in self.entries.iter().enumerate() {
+            let mut index = packed.mix() as usize & mask;
+            while slots[index] != EMPTY {
+                index = (index + 1) & mask;
+            }
+            slots[index] = entry_index as u32;
+        }
+        self.slots = slots;
+        self.tombstones = 0;
+    }
+}
+
+impl<K: CompactKey, V> FromIterator<(K, V)> for FlowMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(pairs: I) -> Self {
+        let mut map = FlowMap::new();
+        map.extend(pairs);
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_map() {
+        let map: FlowMap<u64, u32> = FlowMap::new();
+        assert_eq!(map.len(), 0);
+        assert!(map.is_empty());
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut map: FlowMap<u64, u32> = FlowMap::new();
+        assert_eq!(map.insert(10, 1), None);
+        assert_eq!(map.insert(20, 2), None);
+        assert_eq!(map.insert(10, 3), Some(1));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&10), Some(&3));
+        *map.get_mut(&20).unwrap() += 5;
+        assert_eq!(map.get(&20), Some(&7));
+        assert!(map.contains_key(&10));
+        assert!(!map.contains_key(&30));
+    }
+
+    #[test]
+    fn upsert_counts() {
+        let mut map: FlowMap<u32, u64> = FlowMap::new();
+        for _ in 0..5 {
+            map.upsert(9, || 1, |c| *c += 1);
+        }
+        assert_eq!(map.get(&9), Some(&5));
+        assert_eq!(*map.get_or_insert_with(9, || 100), 5);
+        assert_eq!(*map.get_or_insert_with(10, || 100), 100);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut map: FlowMap<u64, usize> = FlowMap::new();
+        let keys: Vec<u64> = (0..200).map(|i| i * 7 + 3).collect();
+        for (rank, &k) in keys.iter().enumerate() {
+            map.insert(k, rank);
+        }
+        let seen: Vec<u64> = map.keys().collect();
+        assert_eq!(seen, keys);
+        let values: Vec<usize> = map.values().copied().collect();
+        assert_eq!(values, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_swaps_last_entry_into_hole() {
+        let mut map: FlowMap<u64, u32> = FlowMap::new();
+        for k in 0..6u64 {
+            map.insert(k, k as u32 * 10);
+        }
+        assert_eq!(map.remove(&1), Some(10));
+        assert_eq!(map.remove(&1), None);
+        assert_eq!(map.len(), 5);
+        // Entry 5 moved into position 1.
+        assert_eq!(map.keys().collect::<Vec<_>>(), vec![0, 5, 2, 3, 4]);
+        assert_eq!(map.get(&5), Some(&50));
+        assert_eq!(map.get(&0), Some(&0));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_content() {
+        let mut map: FlowMap<u64, u32> = FlowMap::with_capacity(100);
+        let cap = map.capacity();
+        assert!(cap >= 100);
+        for k in 0..100u64 {
+            map.insert(k, 0);
+        }
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.capacity(), cap, "clear must not shrink the table");
+        for k in 0..100u64 {
+            map.insert(k, 1);
+        }
+        assert_eq!(map.capacity(), cap, "reuse must not regrow");
+        assert_eq!(map.len(), 100);
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let map: FlowMap<u128, u8> = FlowMap::with_capacity(1000);
+        assert!(map.capacity() >= 1000);
+        let none: FlowMap<u128, u8> = FlowMap::with_capacity(0);
+        assert_eq!(none.capacity(), 0);
+    }
+
+    #[test]
+    fn reserve_grows_once() {
+        let mut map: FlowMap<u64, u8> = FlowMap::new();
+        map.reserve(500);
+        let cap = map.capacity();
+        assert!(cap >= 500);
+        for k in 0..500u64 {
+            map.insert(k, 0);
+        }
+        assert_eq!(map.capacity(), cap);
+    }
+
+    #[test]
+    fn heavy_churn_matches_reference_hashmap() {
+        // Deterministic pseudo-random op sequence (no external RNG): an LCG
+        // drives inserts, upserts and removals; the map must agree with
+        // std::HashMap on contents at every step.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let mut map: FlowMap<u64, u64> = FlowMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for op in 0..20_000 {
+            let key = next() % 512; // force collisions and revisits
+            match next() % 4 {
+                0 => {
+                    let value = next();
+                    assert_eq!(map.insert(key, value), reference.insert(key, value));
+                }
+                1 => {
+                    map.upsert(key, || 1, |v| *v += 1);
+                    reference.entry(key).and_modify(|v| *v += 1).or_insert(1);
+                }
+                2 => {
+                    assert_eq!(map.remove(&key), reference.remove(&key), "op {op}");
+                }
+                _ => {
+                    assert_eq!(map.get(&key), reference.get(&key), "op {op}");
+                }
+            }
+            assert_eq!(map.len(), reference.len(), "op {op}");
+        }
+        // Final full-content comparison.
+        for (k, v) in map.iter() {
+            assert_eq!(reference.get(&k), Some(v));
+        }
+    }
+
+    #[test]
+    fn tombstone_buildup_triggers_purging_rehash() {
+        let mut map: FlowMap<u64, u64> = FlowMap::with_capacity(64);
+        // Insert/remove cycles far beyond the slot count: without tombstone
+        // purging the probe chains would fill up and loop forever.
+        for round in 0..10_000u64 {
+            map.insert(round, round);
+            assert_eq!(map.remove(&round), Some(round));
+        }
+        assert!(map.is_empty());
+        map.insert(7, 7);
+        assert_eq!(map.get(&7), Some(&7));
+    }
+}

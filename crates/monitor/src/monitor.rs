@@ -11,7 +11,8 @@
 
 use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
 use flowrank_net::{
-    AnyFlowKey, FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketRecord, Timestamp,
+    AnyFlowKey, FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketRecord, ShardedFlowTable,
+    Timestamp,
 };
 use flowrank_sampling::SamplerStage;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
@@ -51,6 +52,7 @@ pub struct MonitorBuilder {
     bin_length: Timestamp,
     top_t: usize,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for MonitorBuilder {
@@ -64,6 +66,7 @@ impl Default for MonitorBuilder {
             bin_length: Timestamp::from_secs_f64(60.0),
             top_t: 10,
             seed: 0xF10A_4A9C,
+            threads: 1,
         }
     }
 }
@@ -134,6 +137,27 @@ impl MonitorBuilder {
         self
     }
 
+    /// Worker threads for whole-bin processing (default 1).
+    ///
+    /// The ground truth becomes a [`ShardedFlowTable`] with one shard per
+    /// thread, and [`Monitor::run_trace`] classifies each buffered bin in
+    /// parallel — shards over the key hash, lanes partitioned across
+    /// workers — before scoring lanes concurrently at bin close. Every
+    /// lane still sees every packet in order with its own RNG, so reports
+    /// are **bit-identical** across thread counts (pinned by the
+    /// `streaming_equivalence` suite). [`Monitor::push`] stays
+    /// single-threaded: one packet cannot be fanned out profitably, so
+    /// threads only pay off on buffered traces. `0` means one thread per
+    /// available CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Builds the monitor.
     pub fn build(self) -> Monitor {
         let mut lanes = Vec::new();
@@ -174,10 +198,11 @@ impl MonitorBuilder {
             flow_definition: self.flow_definition,
             bin_length: self.bin_length,
             top_t: self.top_t,
-            ground_truth: FlowTable::new(),
+            ground_truth: ShardedFlowTable::new(self.threads),
             lanes,
             current_bin: 0,
             saw_packet: false,
+            threads: self.threads.max(1),
         }
     }
 }
@@ -279,10 +304,11 @@ pub struct Monitor {
     flow_definition: FlowDefinition,
     bin_length: Timestamp,
     top_t: usize,
-    ground_truth: FlowTable<AnyFlowKey>,
+    ground_truth: ShardedFlowTable<AnyFlowKey>,
     lanes: Vec<Lane>,
     current_bin: u64,
     saw_packet: bool,
+    threads: usize,
 }
 
 impl Monitor {
@@ -314,6 +340,11 @@ impl Monitor {
     /// Index of the bin currently being filled.
     pub fn current_bin(&self) -> u64 {
         self.current_bin
+    }
+
+    /// Worker threads used for buffered-bin processing.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Observes one packet.
@@ -353,32 +384,123 @@ impl Monitor {
 
     /// Runs a whole in-memory trace through the monitor: pushes every packet
     /// and closes the final bin.
+    ///
+    /// With [`MonitorBuilder::threads`] above 1 each bin is processed as a
+    /// buffered batch: the ground truth classifies in parallel across its
+    /// shards, the lanes split across workers, and bin close scores lanes
+    /// concurrently — with reports bit-identical to the single-threaded
+    /// packet-by-packet path.
     pub fn run_trace(&mut self, packets: &[PacketRecord]) -> Vec<BinReport> {
         let mut reports = Vec::new();
-        for packet in packets {
-            reports.extend(self.push(packet));
+        if self.threads > 1 {
+            let mut start = 0;
+            while start < packets.len() {
+                // A packet older than the current bin is counted into the
+                // current bin, matching `push`.
+                let bin = packets[start]
+                    .timestamp
+                    .bin_index(self.bin_length)
+                    .max(self.current_bin);
+                while bin > self.current_bin {
+                    reports.push(self.close_current_bin());
+                }
+                let mut end = start + 1;
+                while end < packets.len()
+                    && packets[end].timestamp.bin_index(self.bin_length) <= self.current_bin
+                {
+                    end += 1;
+                }
+                self.process_bin_parallel(&packets[start..end]);
+                start = end;
+            }
+        } else {
+            for packet in packets {
+                reports.extend(self.push(packet));
+            }
         }
         reports.extend(self.finish());
         reports
+    }
+
+    /// Classifies one buffered bin with `self.threads` workers: keys are
+    /// derived once, the sharded ground truth absorbs them in parallel, and
+    /// every lane (split across workers, each lane sequential over the full
+    /// bin) consumes the same key/packet stream it would see under `push`.
+    fn process_bin_parallel(&mut self, bin_packets: &[PacketRecord]) {
+        self.saw_packet = true;
+        let definition = self.flow_definition;
+        let keys: Vec<AnyFlowKey> = bin_packets.iter().map(|p| definition.key_of(p)).collect();
+        self.ground_truth.observe_bin_parallel(&keys, bin_packets);
+        let keys = &keys;
+        Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
+            for lane in lane_chunk {
+                for (key, packet) in keys.iter().zip(bin_packets) {
+                    lane.offer(*key, packet);
+                }
+            }
+        });
+    }
+
+    /// Partitions the lanes into at most `threads` contiguous chunks and
+    /// runs `work` over each chunk concurrently, returning per-chunk
+    /// results in lane order. This is the single home of the partitioning
+    /// rule — the parallel bin fill and the parallel bin close must agree
+    /// on it so both preserve the sequential path's lane order.
+    fn map_lane_chunks<T: Send>(
+        lanes: &mut [Lane],
+        threads: usize,
+        work: impl Fn(&mut [Lane]) -> T + Sync,
+    ) -> Vec<T> {
+        let chunk = lanes.len().div_ceil(threads).max(1);
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .chunks_mut(chunk)
+                .map(|lane_chunk| scope.spawn(move || work(lane_chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("lane worker panicked"))
+                .collect()
+        })
     }
 
     /// Ranks the ground truth once, scores every lane against it, emits the
     /// bin report and resets all per-bin state.
     fn close_current_bin(&mut self) -> BinReport {
         // One classification and one sort per bin, regardless of lane count:
-        // this is the entire point of the shared-ground-truth design.
+        // this is the entire point of the shared-ground-truth design. The
+        // sharded drain order differs from single-table insertion order, but
+        // `GroundTruthRanking::new` re-sorts with a total (size, key) order,
+        // so the ranking — and every outcome derived from it — does not
+        // depend on the shard count.
         let truth = GroundTruthRanking::new(
             self.ground_truth
                 .iter_sizes()
-                .map(|(key, packets)| SizedFlow { key: *key, packets })
+                .map(|(key, packets)| SizedFlow { key, packets })
                 .collect(),
             self.top_t,
         );
-        let lanes = self
-            .lanes
-            .iter_mut()
-            .map(|lane| lane.close_bin(&truth, self.top_t))
-            .collect();
+        let top_t = self.top_t;
+        let lanes: Vec<LaneReport> = if self.threads > 1 && self.lanes.len() > 1 {
+            // Lanes are independent given the shared truth; score them in
+            // chunk order so the report order matches the sequential path.
+            let truth = &truth;
+            Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
+                lane_chunk
+                    .iter_mut()
+                    .map(|lane| lane.close_bin(truth, top_t))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.lanes
+                .iter_mut()
+                .map(|lane| lane.close_bin(&truth, top_t))
+                .collect()
+        };
         let report = BinReport {
             bin_index: self.current_bin,
             bin_start: Timestamp::from_micros(
@@ -603,5 +725,66 @@ mod tests {
     fn empty_trace_produces_no_reports() {
         let mut monitor = Monitor::builder().build();
         assert!(monitor.run_trace(&[]).is_empty());
+        let mut parallel = Monitor::builder().threads(4).build();
+        assert!(parallel.run_trace(&[]).is_empty());
+    }
+
+    #[test]
+    fn multi_thread_run_trace_is_bit_identical() {
+        // Two populated bins separated by an idle bin, several rates × runs,
+        // and a top-k backend: the parallel whole-bin path must reproduce
+        // the packet-by-packet reports exactly, for any thread count.
+        let mut packets = skewed_bin(12, 0.0);
+        packets.extend(skewed_bin(9, 130.0));
+        let build = |threads: usize| {
+            Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&[0.05, 0.3])
+                .runs(3)
+                .topk(crate::spec::TopKSpec::SpaceSaving { capacity: 16 })
+                .bin_length(Timestamp::from_secs_f64(60.0))
+                .seed(7)
+                .threads(threads)
+                .build()
+        };
+        let baseline = build(1).run_trace(&packets);
+        assert_eq!(baseline.len(), 3, "bins 0, 1 (idle) and 2");
+        for threads in [2, 3, 8] {
+            let mut monitor = build(threads);
+            assert_eq!(monitor.threads(), threads);
+            assert_eq!(monitor.run_trace(&packets), baseline, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_run_trace_continues_a_pushed_bin() {
+        // Mixing the entry points: packets pushed one at a time, then the
+        // rest of the trace run as a buffered batch, must match a pure
+        // sequential monitor.
+        let packets = skewed_bin(10, 0.0);
+        let build = |threads: usize| {
+            Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.4 })
+                .bin_length(Timestamp::from_secs_f64(60.0))
+                .seed(5)
+                .threads(threads)
+                .build()
+        };
+        let mut sequential = build(1);
+        let mut mixed = build(2);
+        let mut seq_reports = Vec::new();
+        for p in &packets[..25] {
+            seq_reports.extend(sequential.push(p));
+            mixed.push(p);
+        }
+        seq_reports.extend(sequential.run_trace(&packets[25..]));
+        let mixed_reports = mixed.run_trace(&packets[25..]);
+        assert_eq!(seq_reports, mixed_reports);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let monitor = Monitor::builder().threads(0).build();
+        assert!(monitor.threads() >= 1);
     }
 }

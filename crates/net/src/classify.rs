@@ -5,8 +5,16 @@
 //! unsampled ("ground truth") and sampled streams of the trace-driven
 //! experiments are classified with the same table, after which the two
 //! rankings are compared by the metrics in `flowrank-core`.
+//!
+//! The table is a [`FlowMap`] keyed by the packed
+//! [`flowrank_flowtable::CompactKey`] form of the flow identity, so the
+//! per-packet lookup is an integer hash and
+//! compare rather than a structural SipHash pass, and `clear()` recycles
+//! the allocation across measurement bins. [`ShardedFlowTable`] partitions
+//! the same accumulator by key hash so one bin can be classified in
+//! parallel and still drain into a single deterministic ranking.
 
-use std::collections::HashMap;
+use flowrank_flowtable::{shard_of, FlowMap};
 
 use crate::flowkey::FlowKey;
 use crate::packet::{PacketRecord, Timestamp};
@@ -88,7 +96,7 @@ pub struct RankedFlow<K> {
 /// A flow cache keyed by an arbitrary [`FlowKey`].
 #[derive(Debug, Clone)]
 pub struct FlowTable<K: FlowKey> {
-    flows: HashMap<K, FlowStats>,
+    flows: FlowMap<K, FlowStats>,
     total_packets: u64,
     total_bytes: u64,
 }
@@ -103,19 +111,25 @@ impl<K: FlowKey> FlowTable<K> {
     /// Creates an empty flow table.
     pub fn new() -> Self {
         FlowTable {
-            flows: HashMap::new(),
+            flows: FlowMap::new(),
             total_packets: 0,
             total_bytes: 0,
         }
     }
 
-    /// Creates an empty flow table with capacity for `n` flows.
+    /// Creates an empty flow table pre-sized for `n` flows: the first `n`
+    /// distinct flows never trigger a table growth.
     pub fn with_capacity(n: usize) -> Self {
         FlowTable {
-            flows: HashMap::with_capacity(n),
+            flows: FlowMap::with_capacity(n),
             total_packets: 0,
             total_bytes: 0,
         }
+    }
+
+    /// Flows the table can hold before growing.
+    pub fn capacity(&self) -> usize {
+        self.flows.capacity()
     }
 
     /// Observes one packet: classifies it and updates its flow's counters.
@@ -132,12 +146,9 @@ impl<K: FlowKey> FlowTable<K> {
     pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) -> u64 {
         self.total_packets += 1;
         self.total_bytes += packet.length as u64;
-        let stats = self
-            .flows
-            .entry(key)
-            .and_modify(|s| s.update(packet))
-            .or_insert_with(|| FlowStats::new(packet));
-        stats.packets
+        self.flows
+            .upsert(key, || FlowStats::new(packet), |s| s.update(packet))
+            .packets
     }
 
     /// Number of distinct flows seen.
@@ -169,30 +180,30 @@ impl<K: FlowKey> FlowTable<K> {
     }
 
     /// Iterates over `(key, packets)` pairs — the minimal view the ranking
-    /// metrics consume, without exposing the full [`FlowStats`].
-    pub fn iter_sizes(&self) -> impl Iterator<Item = (&K, u64)> {
+    /// metrics consume, without exposing the full [`FlowStats`]. Order is
+    /// the table's deterministic drain order (first observation of each
+    /// flow).
+    pub fn iter_sizes(&self) -> impl Iterator<Item = (K, u64)> + '_ {
         self.flows.iter().map(|(k, s)| (k, s.packets))
     }
 
-    /// Iterates over all flows and their counters.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &FlowStats)> {
+    /// Iterates over all flows and their counters, in deterministic drain
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &FlowStats)> + '_ {
         self.flows.iter()
     }
 
     /// Returns all flows ranked by decreasing packet count.
     ///
-    /// Ties are broken deterministically by byte count and then by key order
-    /// where available through hashing — callers that need a fully stable
-    /// order across runs should sort on their own key ordering; the
-    /// simulator uses packet count then bytes, which is stable for the
-    /// synthetic traces because keys with identical (packets, bytes) pairs
-    /// are interchangeable for the swapped-pair metric.
+    /// Ties are broken by byte count; remaining ties keep the table's
+    /// deterministic drain order (first observation), so the full ranking
+    /// is a pure function of the observed packet sequence.
     pub fn ranked_by_packets(&self) -> Vec<RankedFlow<K>> {
         let mut flows: Vec<RankedFlow<K>> = self
             .flows
             .iter()
             .map(|(k, s)| RankedFlow {
-                key: k.clone(),
+                key: k,
                 packets: s.packets,
                 bytes: s.bytes,
             })
@@ -214,11 +225,137 @@ impl<K: FlowKey> FlowTable<K> {
     }
 
     /// Removes all flows and resets the totals (start of a new measurement
-    /// bin in the paper's "binning" methodology).
+    /// bin in the paper's "binning" methodology). The allocation is kept,
+    /// so the next bin classifies into warm memory.
     pub fn clear(&mut self) {
         self.flows.clear();
         self.total_packets = 0;
         self.total_bytes = 0;
+    }
+}
+
+/// A flow table partitioned by key hash into N disjoint shards.
+///
+/// Every key deterministically owns exactly one shard
+/// ([`flowrank_flowtable::shard_of`] on its packed form), so per-key
+/// counters never need cross-shard merging: the sharded table observes a
+/// packet stream to exactly the same per-flow counts as a sequential
+/// [`FlowTable`], whether it is driven packet-by-packet
+/// ([`ShardedFlowTable::observe_keyed`]) or classifies a whole buffered bin
+/// with one worker thread per shard
+/// ([`ShardedFlowTable::observe_bin_parallel`]). Draining iterates the
+/// shards in index order (each in its own deterministic drain order), which
+/// is deterministic but *different* from a single table's global insertion
+/// order — consumers that rank flows re-sort with total tie-breaks, so
+/// rankings and comparison outcomes stay bit-identical across shard counts
+/// (pinned by `streaming_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct ShardedFlowTable<K: FlowKey> {
+    shards: Vec<FlowTable<K>>,
+}
+
+impl<K: FlowKey> ShardedFlowTable<K> {
+    /// Creates a table with `shards` partitions (at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedFlowTable {
+            shards: (0..shards.max(1)).map(|_| FlowTable::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes `key` to its owning shard.
+    #[inline]
+    fn shard_index(&self, key: &K) -> usize {
+        shard_of(key.pack(), self.shards.len())
+    }
+
+    /// Observes a packet with a precomputed key into its owning shard.
+    /// Returns the flow's updated packet count.
+    pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) -> u64 {
+        let shard = self.shard_index(&key);
+        self.shards[shard].observe_keyed(key, packet)
+    }
+
+    /// Classifies a whole bin in parallel: one worker per shard scans the
+    /// precomputed `keys` (parallel to `packets`) and observes the subset
+    /// the hash routes to it. The result is element-for-element identical
+    /// to feeding every `(key, packet)` pair through
+    /// [`ShardedFlowTable::observe_keyed`] sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` and `packets` have different lengths.
+    pub fn observe_bin_parallel(&mut self, keys: &[K], packets: &[PacketRecord]) {
+        assert_eq!(keys.len(), packets.len(), "one key per packet");
+        let shard_count = self.shards.len();
+        if shard_count == 1 {
+            for (key, packet) in keys.iter().zip(packets) {
+                self.shards[0].observe_keyed(*key, packet);
+            }
+            return;
+        }
+        // Route once up front: every worker still scans the whole bin, but
+        // it compares a small integer per packet instead of re-hashing
+        // every key in every shard (which would make total hashing work
+        // grow with the shard count).
+        let routes: Vec<u16> = keys
+            .iter()
+            .map(|key| shard_of(key.pack(), shard_count) as u16)
+            .collect();
+        let routes = &routes;
+        std::thread::scope(|scope| {
+            for (index, shard) in self.shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    let index = index as u16;
+                    for (packet_index, route) in routes.iter().enumerate() {
+                        if *route == index {
+                            shard.observe_keyed(keys[packet_index], &packets[packet_index]);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Number of distinct flows across all shards.
+    pub fn flow_count(&self) -> usize {
+        self.shards.iter().map(FlowTable::flow_count).sum()
+    }
+
+    /// Total packets observed across all shards.
+    pub fn total_packets(&self) -> u64 {
+        self.shards.iter().map(FlowTable::total_packets).sum()
+    }
+
+    /// Total bytes observed across all shards.
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(FlowTable::total_bytes).sum()
+    }
+
+    /// The counters of a specific flow, looked up in its owning shard.
+    pub fn get(&self, key: &K) -> Option<&FlowStats> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    /// Size in packets of a specific flow, 0 when never seen.
+    pub fn size_of(&self, key: &K) -> u64 {
+        self.shards[self.shard_index(key)].size_of(key)
+    }
+
+    /// Iterates over `(key, packets)` pairs, shards in index order.
+    pub fn iter_sizes(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.shards.iter().flat_map(FlowTable::iter_sizes)
+    }
+
+    /// Clears every shard, keeping their allocations for the next bin.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
     }
 }
 
@@ -362,6 +499,56 @@ mod tests {
         let mut counts = table.packet_counts();
         counts.sort_unstable();
         assert_eq!(counts, vec![2, 4]);
+    }
+
+    #[test]
+    fn sharded_table_matches_sequential_counts() {
+        let mut packets = Vec::new();
+        for i in 0..40u8 {
+            for j in 0..(1 + i as usize % 7) {
+                packets.push(packet(i % 8, i % 5, 80, 500, j as f64));
+            }
+        }
+        let keys: Vec<FiveTuple> = packets.iter().map(FiveTuple::from_packet).collect();
+
+        let mut sequential: FlowTable<FiveTuple> = FlowTable::new();
+        for (key, p) in keys.iter().zip(&packets) {
+            sequential.observe_keyed(*key, p);
+        }
+
+        for shards in [1, 2, 4, 7] {
+            let mut sharded: ShardedFlowTable<FiveTuple> = ShardedFlowTable::new(shards);
+            sharded.observe_bin_parallel(&keys, &packets);
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.flow_count(), sequential.flow_count());
+            assert_eq!(sharded.total_packets(), sequential.total_packets());
+            assert_eq!(sharded.total_bytes(), sequential.total_bytes());
+            for (key, stats) in sequential.iter() {
+                assert_eq!(sharded.get(&key), Some(stats), "{shards} shards");
+                assert_eq!(sharded.size_of(&key), stats.packets);
+            }
+            let mut sizes: Vec<(FiveTuple, u64)> = sharded.iter_sizes().collect();
+            sizes.sort();
+            let mut expected: Vec<(FiveTuple, u64)> = sequential.iter_sizes().collect();
+            expected.sort();
+            assert_eq!(sizes, expected);
+        }
+    }
+
+    #[test]
+    fn sharded_table_streams_and_clears() {
+        let mut sharded: ShardedFlowTable<FiveTuple> = ShardedFlowTable::new(3);
+        let p = packet(1, 1, 80, 500, 0.0);
+        assert_eq!(sharded.observe_keyed(FiveTuple::from_packet(&p), &p), 1);
+        assert_eq!(sharded.observe_keyed(FiveTuple::from_packet(&p), &p), 2);
+        let missing = FiveTuple::from_packet(&packet(9, 9, 9, 9, 0.0));
+        assert_eq!(sharded.size_of(&missing), 0);
+        assert!(sharded.get(&missing).is_none());
+        sharded.clear();
+        assert_eq!(sharded.flow_count(), 0);
+        assert_eq!(sharded.total_packets(), 0);
+        // Zero shards clamps to one.
+        assert_eq!(ShardedFlowTable::<FiveTuple>::new(0).shard_count(), 1);
     }
 
     #[test]

@@ -11,10 +11,17 @@ use std::fmt;
 use std::hash::Hash;
 use std::net::Ipv4Addr;
 
+use flowrank_flowtable::CompactKey;
+
 use crate::packet::PacketRecord;
 
 /// Transport-layer protocol carried in the IPv4 protocol field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Equality, ordering and hashing all compare the IANA protocol number, so
+/// a hand-built `Protocol::Other(6)` is the same protocol as
+/// [`Protocol::Tcp`] — which keeps the [`CompactKey`] packing (that stores
+/// only the number) a faithful bijection of key equality.
+#[derive(Debug, Clone, Copy)]
 pub enum Protocol {
     /// Transmission Control Protocol (6).
     Tcp,
@@ -24,6 +31,32 @@ pub enum Protocol {
     Icmp,
     /// Any other protocol, identified by its IANA number.
     Other(u8),
+}
+
+impl PartialEq for Protocol {
+    fn eq(&self, other: &Self) -> bool {
+        self.number() == other.number()
+    }
+}
+
+impl Eq for Protocol {}
+
+impl Hash for Protocol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.number().hash(state);
+    }
+}
+
+impl PartialOrd for Protocol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Protocol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.number().cmp(&other.number())
+    }
 }
 
 impl Protocol {
@@ -61,9 +94,13 @@ impl fmt::Display for Protocol {
 
 /// A flow identity that can be derived from a packet.
 ///
-/// Implementations must be cheap to clone and hashable so that the flow
-/// table can key on them directly.
-pub trait FlowKey: Clone + Eq + Hash + fmt::Debug {
+/// Implementations are small `Copy` values and — through the
+/// [`CompactKey`] supertrait — pack losslessly into a single machine
+/// integer, so the flow tables hash and compare keys as plain integers
+/// instead of running a structural hasher over the fields. `Hash` is still
+/// required for interoperability with standard collections off the hot
+/// path.
+pub trait FlowKey: Copy + Eq + Hash + fmt::Debug + CompactKey {
     /// Extracts the flow key of a packet.
     fn from_packet(packet: &PacketRecord) -> Self;
 
@@ -103,6 +140,32 @@ impl FlowKey for FiveTuple {
     }
 }
 
+/// A 5-tuple packs into 104 of a `u128`'s bits:
+/// `src(32) · dst(32) · sport(16) · dport(16) · proto(8)`.
+impl CompactKey for FiveTuple {
+    type Packed = u128;
+
+    #[inline]
+    fn pack(self) -> u128 {
+        (u128::from(u32::from(self.src_ip)) << 72)
+            | (u128::from(u32::from(self.dst_ip)) << 40)
+            | (u128::from(self.src_port) << 24)
+            | (u128::from(self.dst_port) << 8)
+            | u128::from(self.protocol.number())
+    }
+
+    #[inline]
+    fn unpack(packed: u128) -> Self {
+        FiveTuple {
+            src_ip: Ipv4Addr::from((packed >> 72) as u32),
+            dst_ip: Ipv4Addr::from((packed >> 40) as u32),
+            src_port: (packed >> 24) as u16,
+            dst_port: (packed >> 8) as u16,
+            protocol: Protocol::from_number(packed as u8),
+        }
+    }
+}
+
 impl fmt::Display for FiveTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -136,6 +199,46 @@ impl DstPrefix {
         DstPrefix {
             network: Ipv4Addr::from(masked),
             prefix_len: len,
+        }
+    }
+}
+
+/// A prefix packs with the classic marker-bit trick: the `prefix_len`
+/// significant network bits, preceded by a set marker bit, so prefixes of
+/// every length share one injective integer encoding
+/// (`packed = (1 << len) | (network >> (32 − len))`). The paper's /24
+/// definition therefore occupies only the low 25 bits — a `u32`-class key —
+/// while the `u64` representation keeps /25–/32 lossless too.
+///
+/// The encoding assumes the [`DstPrefix::of`] invariants (host bits
+/// cleared, length ≤ 32); hand-built values violating them would alias in
+/// the packed domain.
+impl CompactKey for DstPrefix {
+    type Packed = u64;
+
+    #[inline]
+    fn pack(self) -> u64 {
+        let len = u32::from(self.prefix_len.min(32));
+        let bits = if len == 0 {
+            0
+        } else {
+            u64::from(u32::from(self.network) >> (32 - len))
+        };
+        (1u64 << len) | bits
+    }
+
+    #[inline]
+    fn unpack(packed: u64) -> Self {
+        let len = 63 - packed.leading_zeros();
+        let bits = packed & !(1u64 << len);
+        let network = if len == 0 {
+            0
+        } else {
+            (bits as u32) << (32 - len)
+        };
+        DstPrefix {
+            network: Ipv4Addr::from(network),
+            prefix_len: len as u8,
         }
     }
 }
@@ -215,6 +318,30 @@ impl FlowKey for AnyFlowKey {
 
     fn definition_name() -> &'static str {
         "any"
+    }
+}
+
+/// Bit 127 tags the variant: set for 5-tuples (whose own packing tops out
+/// at bit 103), clear for prefixes (bit 32 at most) — so the two key spaces
+/// never collide in the packed domain, mirroring the enum's `Eq`.
+impl CompactKey for AnyFlowKey {
+    type Packed = u128;
+
+    #[inline]
+    fn pack(self) -> u128 {
+        match self {
+            AnyFlowKey::FiveTuple(k) => (1u128 << 127) | k.pack(),
+            AnyFlowKey::DstPrefix(k) => u128::from(k.pack()),
+        }
+    }
+
+    #[inline]
+    fn unpack(packed: u128) -> Self {
+        if packed >> 127 == 1 {
+            AnyFlowKey::FiveTuple(FiveTuple::unpack(packed & !(1u128 << 127)))
+        } else {
+            AnyFlowKey::DstPrefix(DstPrefix::unpack(packed as u64))
+        }
     }
 }
 
@@ -310,6 +437,70 @@ mod tests {
         assert_eq!(FlowDefinition::FiveTuple.name(), "5-tuple");
         assert_eq!(FlowDefinition::PREFIX24.name(), "/24 dst prefix");
         assert_eq!(FlowDefinition::DstPrefix(16).to_string(), "/16 dst prefix");
+    }
+
+    #[test]
+    fn protocol_equality_is_canonical() {
+        // A hand-built Other(6) is the same protocol as Tcp: equality,
+        // ordering, hashing and the compact packing must all agree.
+        assert_eq!(Protocol::Other(6), Protocol::Tcp);
+        assert_eq!(
+            Protocol::Other(6).cmp(&Protocol::Tcp),
+            std::cmp::Ordering::Equal
+        );
+        let p = sample_packet();
+        let canonical = FiveTuple::from_packet(&p);
+        let mut aliased = canonical;
+        aliased.protocol = Protocol::Other(6);
+        assert_eq!(aliased, canonical);
+        assert_eq!(aliased.pack(), canonical.pack());
+        // Ordering ranks by IANA number.
+        assert!(Protocol::Icmp < Protocol::Tcp && Protocol::Tcp < Protocol::Udp);
+    }
+
+    #[test]
+    fn five_tuple_pack_round_trips() {
+        let p = sample_packet();
+        let key = FiveTuple::from_packet(&p);
+        assert_eq!(FiveTuple::unpack(key.pack()), key);
+        // Every field participates in the packing.
+        for mutate in [
+            |k: &mut FiveTuple| k.src_ip = Ipv4Addr::new(1, 2, 3, 4),
+            |k: &mut FiveTuple| k.dst_ip = Ipv4Addr::new(4, 3, 2, 1),
+            |k: &mut FiveTuple| k.src_port = 1,
+            |k: &mut FiveTuple| k.dst_port = 2,
+            |k: &mut FiveTuple| k.protocol = Protocol::Other(200),
+        ] {
+            let mut other = key;
+            mutate(&mut other);
+            assert_ne!(other.pack(), key.pack());
+            assert_eq!(FiveTuple::unpack(other.pack()), other);
+        }
+    }
+
+    #[test]
+    fn prefix_pack_round_trips_at_every_length() {
+        for len in 0..=32u8 {
+            let key = DstPrefix::of(Ipv4Addr::new(203, 0, 113, 77), len);
+            assert_eq!(DstPrefix::unpack(key.pack()), key, "len {len}");
+        }
+        // Same network bits at different lengths stay distinct.
+        let a = DstPrefix::of(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let b = DstPrefix::of(Ipv4Addr::new(10, 0, 0, 0), 16);
+        assert_ne!(a.pack(), b.pack());
+        // The paper's /24 keys fit in 32 bits.
+        let k24 = DstPrefix::of(Ipv4Addr::new(255, 255, 255, 255), 24);
+        assert!(k24.pack() <= u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn any_key_pack_separates_variants() {
+        let p = sample_packet();
+        let five = AnyFlowKey::FiveTuple(FiveTuple::from_packet(&p));
+        let prefix = AnyFlowKey::DstPrefix(DstPrefix::from_packet(&p));
+        assert_eq!(AnyFlowKey::unpack(five.pack()), five);
+        assert_eq!(AnyFlowKey::unpack(prefix.pack()), prefix);
+        assert_ne!(five.pack(), prefix.pack());
     }
 
     #[test]

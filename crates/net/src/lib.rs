@@ -34,7 +34,11 @@ pub mod headers;
 pub mod packet;
 pub mod pcap;
 
-pub use classify::{FlowStats, FlowTable, RankedFlow};
+pub use classify::{FlowStats, FlowTable, RankedFlow, ShardedFlowTable};
 pub use error::{NetError, NetResult};
 pub use flowkey::{AnyFlowKey, DstPrefix, FiveTuple, FlowDefinition, FlowKey, Protocol};
 pub use packet::{PacketRecord, Timestamp};
+
+// The compact-key substrate the flow tables are built on, re-exported so
+// downstream crates can name the traits without a direct dependency.
+pub use flowrank_flowtable::{CompactKey, FlowMap};

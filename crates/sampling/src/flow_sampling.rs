@@ -2,7 +2,7 @@
 //!
 //! Under flow sampling, the keep/discard decision is made once per *flow*: if
 //! a flow is selected, every one of its packets is retained (footnote 2 of
-//! the paper, after references [8] and [11]). The paper does not adopt this
+//! the paper, after references \[8\] and \[11\]). The paper does not adopt this
 //! scheme — it requires per-packet flow-state lookups at line rate — but it is
 //! the natural comparison point: flow sampling preserves exact flow sizes for
 //! the flows it keeps, so ranking errors come only from missing flows
@@ -98,7 +98,7 @@ mod tests {
         }
         // Every sampled flow keeps its exact original size.
         for (key, stats) in sampled.iter() {
-            assert_eq!(stats.packets, original.get(key).unwrap().packets);
+            assert_eq!(stats.packets, original.get(&key).unwrap().packets);
         }
         // Roughly 30% of the 100 flows survive.
         let kept = sampled.flow_count();

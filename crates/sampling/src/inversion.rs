@@ -4,7 +4,7 @@
 //! The introduction of the paper contrasts the easy inversions (total packet
 //! count: multiply by `1/p`) with the hard ones (per-flow properties). This
 //! module implements the aggregate estimators the paper builds on, in the
-//! spirit of Duffield, Lund & Thorup (reference [9]):
+//! spirit of Duffield, Lund & Thorup (reference \[9\]):
 //!
 //! * [`scale_count`] / [`estimate_flow_size`] — unbiased `1/p` scaling of
 //!   packet counts (per link or per flow).
@@ -12,7 +12,7 @@
 //!   seen at all, `1 − (1−p)^S`, which drives the detection results of Sec. 7.
 //! * [`evasion_probability_for_sizes`] — the complementary quantity averaged
 //!   over a flow-size population, `π₀ = E[(1−p)^S]`: the fraction of flows
-//!   expected to disappear entirely from the sampled stream. Reference [9]
+//!   expected to disappear entirely from the sampled stream. Reference \[9\]
 //!   points out that this unseen population is what makes flow counting and
 //!   size-distribution inversion hard.
 //! * [`estimate_original_flow_count`] — corrects the sampled flow count for

@@ -13,7 +13,7 @@
 //! * [`random`] — independent Bernoulli(p) packet sampling (the paper's model).
 //! * [`periodic`] — deterministic 1-in-N packet sampling (what routers ship).
 //! * [`stratified`] — one uniformly chosen packet per stratum of N packets.
-//! * [`flow_sampling`] — whole-flow sampling (reference [8]/[11] discussion in
+//! * [`flow_sampling`] — whole-flow sampling (reference \[8\]/\[11\] discussion in
 //!   Sec. 1): if a flow is sampled, all of its packets are kept.
 //! * [`smart`] — size-dependent sampling ("smart sampling", Duffield–Lund):
 //!   the record-level [`smart::SmartSampler`] plus the packet-level

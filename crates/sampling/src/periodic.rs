@@ -1,7 +1,7 @@
 //! Periodic (deterministic 1-in-N) packet sampling.
 //!
 //! Production routers typically implement "keep one packet out of every N".
-//! The paper cites [10] for the observation that periodic and random sampling
+//! The paper cites \[10\] for the observation that periodic and random sampling
 //! give essentially the same inversion results on high-speed links, which is
 //! why the analysis uses random sampling; this implementation lets the
 //! `ablation_random_vs_periodic` bench verify that equivalence empirically.

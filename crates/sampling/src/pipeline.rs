@@ -213,7 +213,7 @@ mod tests {
         assert!(sampled.flow_count() <= original.flow_count());
         assert!(sampled.total_packets() < original.total_packets());
         for (key, stats) in sampled.iter() {
-            let orig = original.get(key).expect("sampled flow must exist");
+            let orig = original.get(&key).expect("sampled flow must exist");
             assert!(stats.packets <= orig.packets);
         }
     }

@@ -1,6 +1,6 @@
 //! Size-dependent flow-record sampling ("smart sampling").
 //!
-//! Reference [8] of the paper (Duffield & Lund) selects *flow records* for
+//! Reference \[8\] of the paper (Duffield & Lund) selects *flow records* for
 //! export with a probability that increases with the flow's size:
 //! `p(x) = min(1, x/z)` for a threshold `z`. Large flows are always exported;
 //! small flows are exported rarely but, when they are, their size is scaled
@@ -9,9 +9,7 @@
 //! implement it so the `ablation_topk_under_sampling` bench can compare heavy-
 //! hitter detection with and without record-level thresholding.
 
-use std::collections::HashMap;
-
-use flowrank_net::{FiveTuple, FlowKey, PacketRecord};
+use flowrank_net::{FiveTuple, FlowKey, FlowMap, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
@@ -89,7 +87,7 @@ impl SmartSampler {
 #[derive(Debug, Clone)]
 pub struct SmartPacketSampler {
     threshold: f64,
-    counts: HashMap<FiveTuple, u64>,
+    counts: FlowMap<FiveTuple, u64>,
     seen: u64,
     kept: u64,
 }
@@ -100,7 +98,7 @@ impl SmartPacketSampler {
     pub fn new(threshold: f64) -> Self {
         SmartPacketSampler {
             threshold: threshold.max(0.0),
-            counts: HashMap::new(),
+            counts: FlowMap::new(),
             seen: 0,
             kept: 0,
         }
@@ -128,9 +126,7 @@ impl PacketSampler for SmartPacketSampler {
     fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool {
         let count = self
             .counts
-            .entry(FiveTuple::from_packet(packet))
-            .and_modify(|c| *c += 1)
-            .or_insert(1);
+            .upsert(FiveTuple::from_packet(packet), || 1, |c| *c += 1);
         self.seen += 1;
         let probability = if self.threshold <= 0.0 {
             1.0

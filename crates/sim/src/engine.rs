@@ -55,8 +55,13 @@ pub fn run_bin<S: PacketSampler + ?Sized>(
     rng: &mut dyn Rng,
 ) -> BinResult {
     sampler.reset();
-    let mut original: FlowTable<AnyFlowKey> = FlowTable::new();
-    let mut sampled: FlowTable<AnyFlowKey> = FlowTable::new();
+    // One batch call processes one bin, so the per-bin reuse the streaming
+    // monitor gets from `clear()` does not apply here; pre-size the tables
+    // instead so classification never rehashes mid-bin. Real bins hold a
+    // few flows per dozen packets; the sampled table sees a fraction of
+    // them.
+    let mut original: FlowTable<AnyFlowKey> = FlowTable::with_capacity(packets.len() / 8);
+    let mut sampled: FlowTable<AnyFlowKey> = FlowTable::with_capacity(packets.len() / 32);
     for packet in packets {
         let key = flow_definition.key_of(packet);
         original.observe_keyed(key, packet);
@@ -68,7 +73,7 @@ pub fn run_bin<S: PacketSampler + ?Sized>(
     let truth = GroundTruthRanking::new(
         original
             .iter_sizes()
-            .map(|(key, packets)| SizedFlow { key: *key, packets })
+            .map(|(key, packets)| SizedFlow { key, packets })
             .collect(),
         top_t,
     );

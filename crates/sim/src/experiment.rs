@@ -6,7 +6,7 @@
 //! together with its standard deviation.
 //!
 //! Since the streaming redesign, each bin is processed by one fanned-out
-//! [`Monitor`]: the bin's ground truth is classified and ranked **once** and
+//! [`flowrank_monitor::Monitor`]: the bin's ground truth is classified and ranked **once** and
 //! every `runs × rates` lane is scored against it, instead of reclassifying
 //! the bin from scratch for every run at every rate as the old per-run
 //! engine did. Bins are independent measurements, so they are parallelised
@@ -38,6 +38,9 @@ pub struct ExperimentConfig {
     pub runs: usize,
     /// Master seed; per-run seeds are derived deterministically from it.
     pub seed: u64,
+    /// Worker threads (0 = one per available CPU). Seeds depend only on
+    /// (master seed, rate, run), so results are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -50,6 +53,7 @@ impl Default for ExperimentConfig {
             top_t: 10,
             runs: 30,
             seed: 0xF10A_4A9C,
+            threads: 0,
         }
     }
 }
@@ -117,6 +121,13 @@ impl TraceExperiment {
         self.bins.len()
     }
 
+    /// Overrides the worker-thread count (0 = one per available CPU).
+    /// Results are bit-identical for every value — only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// The monitor configuration a work item is processed with: the sampler
     /// template fanned out across `rates`, with the whole bin as a single
     /// unbounded monitor interval (the experiment has already cut the trace
@@ -149,9 +160,13 @@ impl TraceExperiment {
         let bin_count = self.bins.len();
         let rates = &self.config.sampling_rates;
 
-        let worker_count = thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
+        let worker_count = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        };
         let split_rates = bin_count < worker_count && rates.len() > 1;
         let mut items: Vec<(usize, Vec<f64>)> = Vec::new();
         for bin_index in 0..bin_count {
@@ -270,6 +285,7 @@ mod tests {
             top_t: 10,
             runs,
             seed: 7,
+            threads: 0,
         }
     }
 

@@ -61,6 +61,7 @@ pub fn sprint_experiment_with_sampler(
         top_t: 10,
         runs,
         seed,
+        threads: 0,
     };
     TraceExperiment::new(&packets, config)
 }
@@ -79,6 +80,7 @@ pub fn abilene_experiment(scale: f64, runs: usize, seed: u64) -> TraceExperiment
         top_t: 10,
         runs,
         seed,
+        threads: 0,
     };
     TraceExperiment::new(&packets, config)
 }

@@ -13,7 +13,7 @@
 //!   model of Sec. 8.3).
 //!
 //! All constructors validate their parameters and return a
-//! [`StatsResult`](crate::StatsResult); sampling draws from a caller-supplied
+//! [`crate::StatsResult`]; sampling draws from a caller-supplied
 //! [`Rng`] so that every experiment stays reproducible under a fixed seed.
 
 use crate::error::{

@@ -3,7 +3,7 @@
 //! Numerics substrate for the `flowrank` workspace — the reproduction of
 //! *"Ranking flows from sampled traffic"* (Barakat, Iannaccone, Diot, 2004).
 //!
-//! The analytical models in [`flowrank-core`] need a small but carefully
+//! The analytical models in `flowrank-core` need a small but carefully
 //! implemented numerical toolbox:
 //!
 //! * [`special`] — log-gamma, error functions, regularised incomplete

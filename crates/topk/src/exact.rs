@@ -5,9 +5,7 @@
 //! memory and no sampling the ranking is perfect, so any error measured in
 //! the trace-driven experiments is attributable to sampling alone.
 
-use std::collections::HashMap;
-
-use flowrank_net::FiveTuple;
+use flowrank_net::{FiveTuple, FlowMap};
 use flowrank_stats::rng::Rng;
 
 use crate::tracker::{TopKEntry, TopKTracker};
@@ -15,7 +13,7 @@ use crate::tracker::{TopKEntry, TopKTracker};
 /// Unbounded exact per-flow counters.
 #[derive(Debug, Clone, Default)]
 pub struct ExactTopK {
-    counts: HashMap<FiveTuple, u64>,
+    counts: FlowMap<FiveTuple, u64>,
 }
 
 impl ExactTopK {
@@ -32,17 +30,14 @@ impl ExactTopK {
 
 impl TopKTracker for ExactTopK {
     fn observe(&mut self, key: &FiveTuple, _rng: &mut dyn Rng) {
-        *self.counts.entry(*key).or_insert(0) += 1;
+        self.counts.upsert(*key, || 1, |c| *c += 1);
     }
 
     fn top(&self, t: usize) -> Vec<TopKEntry> {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry {
-                key: *key,
-                estimate,
-            })
+            .map(|(key, &estimate)| TopKEntry { key, estimate })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

@@ -4,16 +4,16 @@
 //!
 //! The related-work section of the paper (Sec. 2) surveys mechanisms that
 //! rank the largest flows *under memory constraints* — maintaining a small
-//! sorted list (Jedwab, Phaal & Pinna, HP Labs 1992, reference [13]) or the
+//! sorted list (Jedwab, Phaal & Pinna, HP Labs 1992, reference \[13\]) or the
 //! sample-and-hold / multistage-filter techniques of Estan & Varghese
-//! (reference [11]) — and its first future-work direction is to feed *sampled*
+//! (reference \[11\]) — and its first future-work direction is to feed *sampled*
 //! traffic into those mechanisms. This crate implements them so that the
 //! `ablation_topk_under_sampling` bench can run exactly that experiment:
 //!
 //! * [`exact`] — unbounded exact counting (the ground truth the paper uses).
-//! * [`sorted_list`] — bounded sorted list with bottom eviction ([13]).
-//! * [`sample_and_hold`] — Estan–Varghese sample-and-hold ([11]).
-//! * [`multistage`] — Estan–Varghese parallel multistage filter ([11]).
+//! * [`sorted_list`] — bounded sorted list with bottom eviction (\[13\]).
+//! * [`sample_and_hold`] — Estan–Varghese sample-and-hold (\[11\]).
+//! * [`multistage`] — Estan–Varghese parallel multistage filter (\[11\]).
 //! * [`space_saving`] — the Space-Saving algorithm (Metwally et al. 2005), a
 //!   later baseline included as an extension because it strictly dominates
 //!   the bounded sorted list on the same memory budget.

@@ -1,6 +1,6 @@
 //! Parallel multistage filter (Estan & Varghese, SIGCOMM 2002).
 //!
-//! The second mechanism of reference [11]: every packet hashes into one
+//! The second mechanism of reference \[11\]: every packet hashes into one
 //! counter per stage (different hash functions per stage); when *all* of a
 //! flow's counters exceed a threshold, the flow is promoted into exact flow
 //! memory. Small flows almost never exceed the threshold in every stage
@@ -8,11 +8,8 @@
 //! conservative-update optimisation from the paper is implemented as an
 //! option.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-
-use flowrank_net::FiveTuple;
+use flowrank_flowtable::{fx_fold, fx_mix64, CompactKey};
+use flowrank_net::{FiveTuple, FlowMap};
 use flowrank_stats::rng::Rng;
 
 use crate::tracker::{TopKEntry, TopKTracker};
@@ -24,7 +21,7 @@ pub struct MultistageFilter {
     counters_per_stage: usize,
     threshold: u64,
     conservative_update: bool,
-    flow_memory: HashMap<FiveTuple, u64>,
+    flow_memory: FlowMap<FiveTuple, u64>,
     memory_capacity: usize,
 }
 
@@ -47,7 +44,7 @@ impl MultistageFilter {
             counters_per_stage: counters_per_stage.max(1),
             threshold: threshold.max(1),
             conservative_update: false,
-            flow_memory: HashMap::new(),
+            flow_memory: FlowMap::new(),
             memory_capacity: memory_capacity.max(1),
         }
     }
@@ -65,10 +62,16 @@ impl MultistageFilter {
     }
 
     fn stage_index(&self, stage: usize, key: &FiveTuple) -> usize {
-        let mut hasher = DefaultHasher::new();
-        (stage as u64).hash(&mut hasher);
-        key.hash(&mut hasher);
-        (hasher.finish() % self.counters_per_stage as u64) as usize
+        // Per-stage hash family over the packed key: fold the stage number
+        // in first so every stage maps flows to independent counters. Same
+        // integer-hash family as the flow tables — the filter's input is a
+        // trusted trace, not adversarial keys.
+        let packed = key.pack();
+        let folded = fx_fold(
+            fx_fold(stage as u64 + 1, (packed >> 64) as u64),
+            packed as u64,
+        );
+        (fx_mix64(folded) % self.counters_per_stage as u64) as usize
     }
 
     /// Returns the minimum counter value across stages for a key (the
@@ -124,10 +127,7 @@ impl TopKTracker for MultistageFilter {
         let mut entries: Vec<TopKEntry> = self
             .flow_memory
             .iter()
-            .map(|(key, &estimate)| TopKEntry {
-                key: *key,
-                estimate,
-            })
+            .map(|(key, &estimate)| TopKEntry { key, estimate })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

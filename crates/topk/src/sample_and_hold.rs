@@ -1,15 +1,13 @@
 //! Sample-and-hold (Estan & Varghese, SIGCOMM 2002).
 //!
-//! Reference [11] of the paper. Packets of flows that are *not* in the flow
+//! Reference \[11\] of the paper. Packets of flows that are *not* in the flow
 //! memory are sampled with a small probability; once a flow is sampled it is
 //! *held*: every subsequent packet of that flow is counted exactly. Large
 //! flows are therefore caught early and counted almost exactly, while most
 //! small flows never enter the memory. The estimate for a held flow is its
 //! count since insertion — a slight undercount of the true size.
 
-use std::collections::HashMap;
-
-use flowrank_net::FiveTuple;
+use flowrank_net::{FiveTuple, FlowMap};
 use flowrank_stats::rng::Rng;
 
 use crate::tracker::{TopKEntry, TopKTracker};
@@ -19,7 +17,7 @@ use crate::tracker::{TopKEntry, TopKTracker};
 pub struct SampleAndHold {
     sampling_probability: f64,
     capacity: usize,
-    counts: HashMap<FiveTuple, u64>,
+    counts: FlowMap<FiveTuple, u64>,
     dropped_inserts: u64,
 }
 
@@ -35,7 +33,7 @@ impl SampleAndHold {
         SampleAndHold {
             sampling_probability: sampling_probability.clamp(0.0, 1.0),
             capacity: capacity.max(1),
-            counts: HashMap::new(),
+            counts: FlowMap::new(),
             dropped_inserts: 0,
         }
     }
@@ -70,10 +68,7 @@ impl TopKTracker for SampleAndHold {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry {
-                key: *key,
-                estimate,
-            })
+            .map(|(key, &estimate)| TopKEntry { key, estimate })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

@@ -1,6 +1,6 @@
 //! Bounded sorted-list flow memory (Jedwab, Phaal & Pinna, HP Labs 1992).
 //!
-//! Reference [13] of the paper: keep a small list of flow records sorted by
+//! Reference \[13\] of the paper: keep a small list of flow records sorted by
 //! count; when a packet arrives for a flow not in the list and the list is
 //! full, evict a record at the bottom of the list to make room. The paper
 //! (Sec. 2) notes that these mechanisms rank the *observed* (possibly
@@ -8,9 +8,7 @@
 //! which is exactly what the combined `ablation_topk_under_sampling` bench
 //! demonstrates.
 
-use std::collections::HashMap;
-
-use flowrank_net::FiveTuple;
+use flowrank_net::{FiveTuple, FlowMap};
 use flowrank_stats::rng::Rng;
 
 use crate::tracker::{TopKEntry, TopKTracker};
@@ -19,7 +17,7 @@ use crate::tracker::{TopKEntry, TopKTracker};
 #[derive(Debug, Clone)]
 pub struct SortedListMemory {
     capacity: usize,
-    counts: HashMap<FiveTuple, u64>,
+    counts: FlowMap<FiveTuple, u64>,
     evictions: u64,
 }
 
@@ -28,7 +26,7 @@ impl SortedListMemory {
     pub fn new(capacity: usize) -> Self {
         SortedListMemory {
             capacity: capacity.max(1),
-            counts: HashMap::with_capacity(capacity.max(1)),
+            counts: FlowMap::with_capacity(capacity.max(1)),
             evictions: 0,
         }
     }
@@ -44,10 +42,12 @@ impl SortedListMemory {
     }
 
     fn evict_smallest(&mut self) {
-        if let Some((&victim, _)) = self
+        // The (count, key) tie-break totally orders the candidates, so the
+        // victim is independent of the map's iteration order.
+        if let Some((victim, _)) = self
             .counts
             .iter()
-            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
         {
             self.counts.remove(&victim);
             self.evictions += 1;
@@ -71,10 +71,7 @@ impl TopKTracker for SortedListMemory {
         let mut entries: Vec<TopKEntry> = self
             .counts
             .iter()
-            .map(|(key, &estimate)| TopKEntry {
-                key: *key,
-                estimate,
-            })
+            .map(|(key, &estimate)| TopKEntry { key, estimate })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

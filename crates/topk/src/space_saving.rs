@@ -8,9 +8,7 @@
 //! the bottom-eviction sorted list for heavy-hitter identification, which
 //! makes it the natural "modern" comparison point in the top-k ablation.
 
-use std::collections::HashMap;
-
-use flowrank_net::FiveTuple;
+use flowrank_net::{FiveTuple, FlowMap};
 use flowrank_stats::rng::Rng;
 
 use crate::tracker::{TopKEntry, TopKTracker};
@@ -20,7 +18,7 @@ use crate::tracker::{TopKEntry, TopKTracker};
 pub struct SpaceSaving {
     capacity: usize,
     /// count and overestimation error per tracked flow.
-    counters: HashMap<FiveTuple, (u64, u64)>,
+    counters: FlowMap<FiveTuple, (u64, u64)>,
 }
 
 impl SpaceSaving {
@@ -28,7 +26,7 @@ impl SpaceSaving {
     pub fn new(capacity: usize) -> Self {
         SpaceSaving {
             capacity: capacity.max(1),
-            counters: HashMap::with_capacity(capacity.max(1)),
+            counters: FlowMap::with_capacity(capacity.max(1)),
         }
     }
 
@@ -54,11 +52,12 @@ impl TopKTracker for SpaceSaving {
             return;
         }
         // Replace the minimum counter; the newcomer inherits its value as the
-        // overestimation error.
-        let (&victim, &(min_count, _)) = self
+        // overestimation error. The (count, key) tie-break totally orders
+        // the candidates, so the victim is independent of iteration order.
+        let (victim, &(min_count, _)) = self
             .counters
             .iter()
-            .min_by(|a, b| a.1 .0.cmp(&b.1 .0).then(a.0.cmp(b.0)))
+            .min_by(|a, b| a.1 .0.cmp(&b.1 .0).then(a.0.cmp(&b.0)))
             .expect("capacity >= 1 guarantees a victim");
         self.counters.remove(&victim);
         self.counters.insert(*key, (min_count + 1, min_count));
@@ -68,10 +67,7 @@ impl TopKTracker for SpaceSaving {
         let mut entries: Vec<TopKEntry> = self
             .counters
             .iter()
-            .map(|(key, &(estimate, _))| TopKEntry {
-                key: *key,
-                estimate,
-            })
+            .map(|(key, &(estimate, _))| TopKEntry { key, estimate })
             .collect();
         entries.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
         entries.truncate(t);

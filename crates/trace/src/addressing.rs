@@ -62,9 +62,8 @@ impl PrefixAddresser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowrank_net::DstPrefix;
+    use flowrank_net::{DstPrefix, FlowMap};
     use flowrank_stats::rng::{Pcg64, SeedableRng};
-    use std::collections::HashMap;
 
     #[test]
     fn draws_stay_in_pool() {
@@ -85,10 +84,10 @@ mod tests {
     fn popular_prefix_receives_most_flows() {
         let addresser = PrefixAddresser::new(50, 1.2);
         let mut rng = Pcg64::seed_from_u64(5);
-        let mut counts: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut counts: FlowMap<Ipv4Addr, usize> = FlowMap::new();
         for _ in 0..20_000 {
             let addr = addresser.draw(&mut rng);
-            *counts.entry(DstPrefix::of(addr, 24).network).or_default() += 1;
+            counts.upsert(DstPrefix::of(addr, 24).network, || 1, |c| *c += 1);
         }
         let rank0 = counts
             .get(&addresser.prefix_network(0))

@@ -1,7 +1,7 @@
 //! Sprint-backbone-like synthetic trace model.
 //!
 //! Calibrated to the measurements the paper takes from the Sprint IP
-//! backbone (its reference [1], Fig. 9, restated in Sec. 6 and Sec. 8.1):
+//! backbone (its reference \[1\], Fig. 9, restated in Sec. 6 and Sec. 8.1):
 //!
 //! * flow arrival rate 2360 flows/s under the 5-tuple definition
 //!   (≈ 350 prefix flows/s under /24 aggregation);

@@ -45,6 +45,7 @@ fn main() {
         top_t: 10,
         runs: 15,
         seed: 4,
+        threads: 0,
     };
     let result = TraceExperiment::new(&packets, config).run();
     println!("Trace-driven simulation (top 10 flows, 5-minute bin, 15 runs):");

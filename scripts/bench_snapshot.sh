@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the criterion throughput numbers in BENCH_throughput.json so the
+# perf trajectory is machine-readable PR over PR.
+#
+# Usage: scripts/bench_snapshot.sh
+#
+# Runs the flowrank-bench `throughput` bench with BENCH_JSON set (the
+# in-tree criterion shim appends one JSON line per benchmark) and assembles
+# the lines into a single document at the repo root. Compare two snapshots
+# with e.g. `jq '.results[] | {name, mean_ns}' BENCH_throughput.json`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench throughput
+
+if [ ! -s "$tmp" ]; then
+    echo "error: bench run produced no BENCH_JSON lines" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput",'
+    echo "  \"recorded_at\": \"$(date -u +%FT%TZ)\","
+    echo "  \"host_cpus\": $(nproc),"
+    echo '  "results": ['
+    sed 's/^/    /; $!s/$/,/' "$tmp"
+    echo '  ]'
+    echo '}'
+} > BENCH_throughput.json
+
+echo "wrote BENCH_throughput.json ($(grep -c '"name"' BENCH_throughput.json) entries)"

@@ -24,6 +24,7 @@ fn simulation_and_model_agree_on_rate_ordering() {
         top_t: 10,
         runs: 8,
         seed: 99,
+        threads: 0,
     };
     let experiment = TraceExperiment::new(&packets, config);
     let n_flows = packets
@@ -78,6 +79,7 @@ fn model_tracks_simulation_within_two_orders_of_magnitude() {
         top_t: 5,
         runs: 10,
         seed: 5,
+        threads: 0,
     };
     let experiment = TraceExperiment::new(&packets, config);
     let result = experiment.run();

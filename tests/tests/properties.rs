@@ -5,12 +5,10 @@
 //! dependency): every case derives from a fixed master seed, so a failure
 //! message's case index reproduces the exact inputs.
 
-use std::collections::HashMap;
-
 use flowrank_core::metrics::{compare_rankings, SizedFlow};
 use flowrank_core::{misranking_probability_exact, misranking_probability_gaussian};
 use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
-use flowrank_net::{FiveTuple, FlowKey, FlowTable, PacketRecord, Protocol, Timestamp};
+use flowrank_net::{FiveTuple, FlowKey, FlowMap, FlowTable, PacketRecord, Protocol, Timestamp};
 use flowrank_sampling::{sample_and_classify, PacketSampler, RandomSampler};
 use flowrank_stats::rng::{derive_seeds, Pcg64, Rng, SeedableRng};
 
@@ -91,7 +89,7 @@ fn sampled_flow_sizes_never_exceed_originals() {
             sample_and_classify(&packets, &mut sampler, &mut sample_rng);
         assert!(sampled.flow_count() <= original.flow_count());
         for (key, stats) in sampled.iter() {
-            assert!(stats.packets <= original.get(key).unwrap().packets);
+            assert!(stats.packets <= original.get(&key).unwrap().packets);
         }
     });
 }
@@ -108,15 +106,99 @@ fn full_sampling_never_produces_ranking_errors() {
         let original: Vec<SizedFlow<FiveTuple>> = table
             .iter()
             .map(|(k, s)| SizedFlow {
-                key: *k,
+                key: k,
                 packets: s.packets,
             })
             .collect();
-        let sizes: HashMap<FiveTuple, u64> = table.iter().map(|(k, s)| (*k, s.packets)).collect();
+        let sizes: FlowMap<FiveTuple, u64> = table.iter().map(|(k, s)| (k, s.packets)).collect();
         let outcome = compare_rankings(&original, &sizes, top_t);
         assert_eq!(outcome.ranking_swaps, 0);
         assert_eq!(outcome.detection_swaps, 0);
         assert_eq!(outcome.missed_top_flows, 0);
+    });
+}
+
+#[test]
+fn compact_key_pack_round_trips_for_arbitrary_keys() {
+    use flowrank_net::{CompactKey, DstPrefix};
+    for_all_cases("compact_key_round_trip", |rng| {
+        for _ in 0..50 {
+            let packet = arbitrary_packet(rng);
+            let five = FiveTuple::from_packet(&packet);
+            assert_eq!(FiveTuple::unpack(five.pack()), five);
+            let prefix = DstPrefix::from_packet(&packet);
+            assert_eq!(DstPrefix::unpack(prefix.pack()), prefix);
+            // An arbitrary (not just /24) prefix length round-trips too.
+            let len = rng.next_below(33) as u8;
+            let any_len = DstPrefix::of(packet.dst_ip, len);
+            assert_eq!(DstPrefix::unpack(any_len.pack()), any_len);
+            // Packing is injective on inequal keys (spot check against the
+            // previous draw).
+            let other = FiveTuple::from_packet(&arbitrary_packet(rng));
+            assert_eq!(five == other, five.pack() == other.pack());
+        }
+    });
+}
+
+#[test]
+fn flow_map_agrees_with_std_hashmap_reference() {
+    use std::collections::HashMap;
+    for_all_cases("flow_map_reference", |rng| {
+        let mut map: FlowMap<FiveTuple, u64> = FlowMap::new();
+        let mut reference: HashMap<FiveTuple, u64> = HashMap::new();
+        // A small key universe forces collisions, updates and re-inserts.
+        let universe: Vec<FiveTuple> = (0..40)
+            .map(|_| FiveTuple::from_packet(&arbitrary_packet(rng)))
+            .collect();
+        for _ in 0..400 {
+            let key = universe[rng.index(universe.len())];
+            match rng.next_below(4) {
+                0 => {
+                    let value = rng.next_u64();
+                    assert_eq!(map.insert(key, value), reference.insert(key, value));
+                }
+                1 => {
+                    map.upsert(key, || 1, |v| *v += 1);
+                    reference.entry(key).and_modify(|v| *v += 1).or_insert(1);
+                }
+                2 => assert_eq!(map.remove(&key), reference.remove(&key)),
+                _ => assert_eq!(map.get(&key), reference.get(&key)),
+            }
+            assert_eq!(map.len(), reference.len());
+        }
+        // Drain comparison: element-for-element equality (order aside).
+        let mut drained: Vec<(FiveTuple, u64)> = map.iter().map(|(k, v)| (k, *v)).collect();
+        let mut expected: Vec<(FiveTuple, u64)> = reference.into_iter().collect();
+        drained.sort();
+        expected.sort();
+        assert_eq!(drained, expected);
+    });
+}
+
+#[test]
+fn flow_map_drain_order_is_deterministic_and_clear_reuses() {
+    for_all_cases("flow_map_drain_order", |rng| {
+        let keys: Vec<FiveTuple> = (0..60)
+            .map(|_| FiveTuple::from_packet(&arbitrary_packet(rng)))
+            .collect();
+        let run = |keys: &[FiveTuple]| {
+            let mut map: FlowMap<FiveTuple, u64> = FlowMap::new();
+            for key in keys {
+                map.upsert(*key, || 1, |v| *v += 1);
+            }
+            map.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>()
+        };
+        // Same operation sequence → same drain order, twice over.
+        assert_eq!(run(&keys), run(&keys));
+        // And clear() preserves capacity while resetting contents.
+        let mut map: FlowMap<FiveTuple, u64> = FlowMap::with_capacity(keys.len());
+        for key in &keys {
+            map.insert(*key, 0);
+        }
+        let capacity = map.capacity();
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.capacity(), capacity);
     });
 }
 

@@ -122,6 +122,42 @@ fn fanned_out_lanes_match_independent_batch_runs() {
 }
 
 #[test]
+fn sharded_monitor_is_bit_identical_to_single_thread() {
+    // The compact-key refactor's parallel path: a monitor with worker
+    // threads classifies each bin through a hash-sharded flow table and
+    // scores lanes concurrently. Reports — outcomes, flow counts, lane
+    // order, everything — must be bit-identical to the single-threaded
+    // monitor (and therefore, via the tests above, to the legacy batch
+    // path) for both flow definitions and any thread count.
+    let packets = trace(44);
+    let rates = [0.02, 0.2];
+    for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
+        let build = |threads: usize| {
+            Monitor::builder()
+                .flow_definition(definition)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&rates)
+                .runs(3)
+                .bin_length(Timestamp::from_secs_f64(BIN_SECONDS))
+                .top_t(TOP_T)
+                .seed(4242)
+                .threads(threads)
+                .build()
+        };
+        let baseline = build(1).run_trace(&packets);
+        assert!(baseline.len() >= 3, "trace must span several bins");
+        for threads in [2, 4, 7] {
+            let sharded = build(threads).run_trace(&packets);
+            assert_eq!(
+                sharded, baseline,
+                "{definition}, {threads} threads: sharded reports must be \
+                 bit-identical to single-threaded ones"
+            );
+        }
+    }
+}
+
+#[test]
 fn streaming_equivalence_holds_with_idle_gaps() {
     // A trace with an idle middle bin: the monitor emits the empty bin's
     // report in passing, and both paths agree on every bin.
