@@ -9,8 +9,10 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use flowrank_monitor::{Monitor, SamplerSpec};
-use flowrank_net::pcap::{pcap_bytes_to_records, records_to_pcap_bytes};
-use flowrank_net::{FiveTuple, FlowDefinition, FlowKey, FlowTable};
+use flowrank_net::pcap::{
+    pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, records_to_pcap_bytes_into,
+};
+use flowrank_net::{FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketBatch};
 use flowrank_sampling::{PacketSampler, RandomSampler};
 use flowrank_sim::engine::run_bin_random_sampling;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
@@ -55,12 +57,33 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Per-packet entry point: one virtual `keep` per packet (the sampler
+    // itself runs its skip countdown, so RNG draws scale with kept packets).
     group.bench_function("random_sampling_1pct", |b| {
         b.iter(|| {
             let mut rng = Pcg64::seed_from_u64(5);
             let mut sampler = RandomSampler::new(0.01);
             let kept = packets.iter().filter(|p| sampler.keep(p, &mut rng)).count();
             black_box(kept)
+        })
+    });
+
+    // Skip-based batch entry point: the sampler indexes straight to the
+    // packets it keeps, so cost is O(p·n) instead of O(n).
+    let sampling_batch = PacketBatch::from_records(&packets);
+    group.bench_function("random_sampling_1pct_skip", |b| {
+        let mut kept = Vec::new();
+        b.iter(|| {
+            let mut rng = Pcg64::seed_from_u64(5);
+            let mut sampler = RandomSampler::new(0.01);
+            kept.clear();
+            sampler.keep_batch(
+                &sampling_batch,
+                0..sampling_batch.len(),
+                &mut rng,
+                &mut kept,
+            );
+            black_box(kept.len())
         })
     });
 
@@ -134,13 +157,51 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The whole grid through one push_batch call on a prebuilt SoA batch —
+    // what a zero-copy replay loop pays once decode has produced a batch.
+    group.bench_function("push_batch_multi_run", |b| {
+        let batch = PacketBatch::from_records(&packets);
+        b.iter(|| {
+            let mut monitor = Monitor::builder()
+                .flow_definition(FlowDefinition::FiveTuple)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&FAN_OUT_RATES)
+                .runs(FAN_OUT_RUNS)
+                .top_t(10)
+                .seed(FAN_OUT_SEED)
+                .bin_length(flowrank_net::Timestamp::ZERO)
+                .build();
+            let reports = monitor.run_batch(&batch);
+            let total_swaps: u64 = reports
+                .iter()
+                .flat_map(|r| r.lanes.iter())
+                .map(|lane| lane.outcome.ranking_swaps)
+                .sum();
+            black_box(total_swaps)
+        })
+    });
+
+    // The encode buffer is reused across iterations: the bench measures
+    // encoding, not the allocator (the old fresh-Vec loop put a capture-sized
+    // allocation in every sample and dominated the std-dev).
     group.bench_function("pcap_encode", |b| {
-        b.iter(|| black_box(records_to_pcap_bytes(&packets).unwrap().len()))
+        let mut buffer = Vec::new();
+        b.iter(|| black_box(records_to_pcap_bytes_into(&packets, &mut buffer).unwrap()))
     });
 
     let pcap = records_to_pcap_bytes(&packets).unwrap();
     group.bench_function("pcap_decode", |b| {
         b.iter(|| black_box(pcap_bytes_to_records(&pcap).unwrap().len()))
+    });
+
+    // Zero-copy decode into a reusable SoA batch: no per-packet frame
+    // buffers, no PacketRecord materialisation.
+    group.bench_function("decode_to_batch", |b| {
+        let mut batch = PacketBatch::with_capacity(packets.len());
+        b.iter(|| {
+            batch.clear();
+            black_box(pcap_bytes_to_batch(&pcap, &mut batch).unwrap())
+        })
     });
 
     group.finish();

@@ -60,6 +60,7 @@ impl Criterion {
             name: name.to_string(),
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
             throughput: None,
             test_mode,
         }
@@ -73,6 +74,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    warm_up_time: Duration,
     throughput: Option<Throughput>,
     test_mode: bool,
 }
@@ -90,6 +92,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the warm-up budget run before measurement starts (default
+    /// 500 ms), mirroring criterion's `warm_up_time`. Warm-up iterations
+    /// populate caches, fault in freshly allocated memory and let the
+    /// allocator reach steady state, which is what keeps the first measured
+    /// samples from dominating the reported standard deviation.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
     /// Annotates the group with a per-iteration throughput.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
         self.throughput = Some(t);
@@ -102,14 +114,15 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let (samples, budget) = if self.test_mode {
-            (2, Duration::ZERO)
+        let (samples, budget, warmup) = if self.test_mode {
+            (2, Duration::ZERO, Duration::ZERO)
         } else {
-            (self.sample_size, self.measurement_time)
+            (self.sample_size, self.measurement_time, self.warm_up_time)
         };
         let mut bencher = Bencher {
             samples: Vec::with_capacity(samples),
             budget,
+            warmup,
             target_samples: samples,
         };
         f(&mut bencher);
@@ -130,15 +143,27 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     budget: Duration,
+    warmup: Duration,
     target_samples: usize,
 }
 
 impl Bencher {
     /// Runs `routine` repeatedly, recording one wall-clock sample per run,
-    /// until the configured sample count or time budget is reached. One
-    /// warm-up run is discarded.
+    /// until the configured sample count or time budget is reached.
+    ///
+    /// Before measurement the routine is run unrecorded until the group's
+    /// warm-up budget elapses (at least once): cold caches, lazily faulted
+    /// allocations and allocator warm-up land in the discarded iterations
+    /// instead of inflating the first samples' variance.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let _warmup = routine();
+        let warmup_started = Instant::now();
+        loop {
+            let out = routine();
+            drop(out);
+            if warmup_started.elapsed() >= self.warmup {
+                break;
+            }
+        }
         let started = Instant::now();
         while self.samples.len() < self.target_samples && started.elapsed() < self.budget {
             let t0 = Instant::now();
@@ -291,11 +316,32 @@ mod tests {
         group
             .sample_size(3)
             .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::ZERO)
             .throughput(Throughput::Elements(10));
         let mut runs = 0u32;
         group.bench_function("noop", |b| b.iter(|| runs += 1));
         group.finish();
         assert!(runs >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn warm_up_budget_runs_unmeasured_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-warmup");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(30));
+        let mut runs = 0u32;
+        group.bench_function("sleepy", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            })
+        });
+        group.finish();
+        // ~6 warm-up iterations before the 2 measured samples.
+        assert!(runs >= 5, "expected warm-up iterations, got {runs} runs");
     }
 
     #[test]

@@ -28,6 +28,17 @@
 //! (`flowrank_sim::run_bin`, `TraceExperiment`) are now thin wrappers over
 //! this crate.
 //!
+//! For high-volume replay, [`Monitor::push_batch`] accepts a whole SoA
+//! [`flowrank_net::PacketBatch`] (e.g. straight from the zero-copy pcap
+//! decoder): the monitor splits it on bin boundaries, derives flow keys
+//! once per segment, classifies the ground truth in one pass and offers
+//! every lane the batch at a time — skip-based samplers then touch only the
+//! packets they keep. The **equivalence contract** is that `push` *is* a
+//! one-element `push_batch`: cutting the stream into batches of any size
+//! produces bit-identical [`BinReport`]s, including under
+//! [`MonitorBuilder::threads`] sharding (pinned by the
+//! `streaming_equivalence` integration suite).
+//!
 //! ```
 //! use flowrank_monitor::{Monitor, SamplerSpec};
 //! use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};

@@ -9,10 +9,11 @@
 //! single ranking — with `runs × rates` lanes this removes the
 //! `runs × rates` redundant reclassifications the batch API used to pay.
 
+use std::ops::Range;
+
 use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
 use flowrank_net::{
-    AnyFlowKey, FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketRecord, ShardedFlowTable,
-    Timestamp,
+    AnyFlowKey, FlowDefinition, FlowTable, PacketBatch, PacketRecord, ShardedFlowTable, Timestamp,
 };
 use flowrank_sampling::SamplerStage;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
@@ -203,6 +204,8 @@ impl MonitorBuilder {
             current_bin: 0,
             saw_packet: false,
             threads: self.threads.max(1),
+            scratch_batch: PacketBatch::with_capacity(1),
+            scratch_keys: Vec::new(),
         }
     }
 }
@@ -218,6 +221,9 @@ struct Lane {
     table: FlowTable<AnyFlowKey>,
     tracker: Option<Box<dyn TopKTracker + Send>>,
     tracker_rng: Pcg64,
+    /// Per-lane scratch for the kept-packet indices of one batch segment;
+    /// owned by the lane so lanes can run on worker threads without sharing.
+    kept: Vec<u32>,
 }
 
 impl Lane {
@@ -237,15 +243,28 @@ impl Lane {
             table: FlowTable::new(),
             tracker: topk.map(|t| t.build()),
             tracker_rng: Pcg64::seed_from_u64(seed ^ TRACKER_SEED_SALT),
+            kept: Vec::new(),
         }
     }
 
-    /// Offers one packet (with its precomputed flow key) to the lane.
-    fn offer(&mut self, key: AnyFlowKey, packet: &PacketRecord) {
-        if self.stage.admit(packet) {
-            self.table.observe_keyed(key, packet);
+    /// Offers the packets `batch[range]` (with their precomputed flow keys,
+    /// `keys[i - range.start]` for batch index `i`) to the lane in one call:
+    /// the sampler stage appends the indices it keeps — skipping directly
+    /// from keep to keep for skip-capable samplers — and only the retained
+    /// packets touch the lane's flow table and top-k backend.
+    fn offer_batch(&mut self, keys: &[AnyFlowKey], batch: &PacketBatch, range: Range<usize>) {
+        self.kept.clear();
+        self.stage.admit_batch(batch, range.clone(), &mut self.kept);
+        for slot in 0..self.kept.len() {
+            let i = self.kept[slot] as usize;
+            self.table.observe_keyed_parts(
+                keys[i - range.start],
+                batch.timestamp(i),
+                batch.length(i),
+                batch.tcp_seq(i),
+            );
             if let Some(tracker) = &mut self.tracker {
-                tracker.observe(&FiveTuple::from_packet(packet), &mut self.tracker_rng);
+                tracker.observe(&batch.five_tuple(i), &mut self.tracker_rng);
             }
         }
     }
@@ -309,6 +328,10 @@ pub struct Monitor {
     current_bin: u64,
     saw_packet: bool,
     threads: usize,
+    /// Reusable one-element batch backing [`Monitor::push`], and a reusable
+    /// key buffer for batch segments — per-packet pushes never allocate.
+    scratch_batch: PacketBatch,
+    scratch_keys: Vec<AnyFlowKey>,
 }
 
 impl Monitor {
@@ -355,19 +378,98 @@ impl Monitor {
     /// timestamp closed — normally none or one; more when the trace has idle
     /// gaps, in which case the intervening empty bins are reported too, so
     /// bin indices always correspond to wall-clock intervals.
+    ///
+    /// `push` *is* [`Monitor::push_batch`] with a one-element batch (backed
+    /// by a reusable scratch batch, so no allocation happens per packet):
+    /// because every sampler's per-packet and batch paths share state, the
+    /// two entry points are bit-identical for any way of cutting the stream
+    /// into batches.
     pub fn push(&mut self, packet: &PacketRecord) -> Vec<BinReport> {
+        let mut batch = std::mem::take(&mut self.scratch_batch);
+        batch.clear();
+        batch.push_record(packet);
+        let closed = self.push_batch(&batch);
+        self.scratch_batch = batch;
+        closed
+    }
+
+    /// Observes a whole batch of packets (timestamps non-decreasing, as with
+    /// [`Monitor::push`]), splitting it on measurement-bin boundaries:
+    /// each contiguous segment is classified into the ground truth in one
+    /// pass and offered to every lane batch-at-a-time, and every bin closed
+    /// by the batch's timestamps is reported, in order.
+    ///
+    /// With [`MonitorBuilder::threads`] above 1, each segment's ground truth
+    /// classifies in parallel across its shards and the lanes split across
+    /// workers — with reports bit-identical to the single-threaded and
+    /// per-packet paths (pinned by the `streaming_equivalence` suite).
+    pub fn push_batch(&mut self, batch: &PacketBatch) -> Vec<BinReport> {
         let mut closed = Vec::new();
-        let packet_bin = packet.timestamp.bin_index(self.bin_length);
-        while packet_bin > self.current_bin {
-            closed.push(self.close_current_bin());
-        }
-        self.saw_packet = true;
-        let key = self.flow_definition.key_of(packet);
-        self.ground_truth.observe_keyed(key, packet);
-        for lane in &mut self.lanes {
-            lane.offer(key, packet);
+        let mut start = 0;
+        while start < batch.len() {
+            // A packet older than the current bin is counted into the
+            // current bin, matching `push`.
+            let bin = batch
+                .timestamp(start)
+                .bin_index(self.bin_length)
+                .max(self.current_bin);
+            while bin > self.current_bin {
+                closed.push(self.close_current_bin());
+            }
+            let mut end = start + 1;
+            while end < batch.len()
+                && batch.timestamp(end).bin_index(self.bin_length) <= self.current_bin
+            {
+                end += 1;
+            }
+            self.process_segment(batch, start..end);
+            start = end;
         }
         closed
+    }
+
+    /// Feeds one within-bin segment of a batch to the ground truth and the
+    /// lanes. Keys are derived once per segment and shared by every
+    /// consumer; ground truth and lanes run on worker threads when the
+    /// monitor has them and the segment is large enough to amortise the
+    /// thread spawns.
+    fn process_segment(&mut self, batch: &PacketBatch, range: Range<usize>) {
+        /// Smallest segment worth fanning out: below this, the scoped-thread
+        /// spawns of the sharded ground truth and the lane chunks cost more
+        /// than the classification they parallelise (a spawn is tens of
+        /// microseconds; a packet costs tens of nanoseconds per lane), so
+        /// small pushes on a threaded monitor stay sequential. Results are
+        /// bit-identical either way.
+        const PARALLEL_SEGMENT_MIN: usize = 1024;
+        self.saw_packet = true;
+        let definition = self.flow_definition;
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        keys.clear();
+        keys.extend(range.clone().map(|i| batch.flow_key(i, definition)));
+        if self.threads > 1 && range.len() >= PARALLEL_SEGMENT_MIN {
+            self.ground_truth
+                .observe_batch_parallel(&keys, batch, range.clone());
+            let keys_ref = &keys;
+            let range_ref = &range;
+            Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
+                for lane in lane_chunk {
+                    lane.offer_batch(keys_ref, batch, range_ref.clone());
+                }
+            });
+        } else {
+            for (slot, i) in range.clone().enumerate() {
+                self.ground_truth.observe_keyed_parts(
+                    keys[slot],
+                    batch.timestamp(i),
+                    batch.length(i),
+                    batch.tcp_seq(i),
+                );
+            }
+            for lane in &mut self.lanes {
+                lane.offer_batch(&keys, batch, range.clone());
+            }
+        }
+        self.scratch_keys = keys;
     }
 
     /// Closes the bin currently being filled and returns its report, or
@@ -382,63 +484,21 @@ impl Monitor {
         Some(report)
     }
 
-    /// Runs a whole in-memory trace through the monitor: pushes every packet
-    /// and closes the final bin.
-    ///
-    /// With [`MonitorBuilder::threads`] above 1 each bin is processed as a
-    /// buffered batch: the ground truth classifies in parallel across its
-    /// shards, the lanes split across workers, and bin close scores lanes
-    /// concurrently — with reports bit-identical to the single-threaded
-    /// packet-by-packet path.
+    /// Runs a whole in-memory trace through the monitor: converts it to one
+    /// [`PacketBatch`], pushes it through [`Monitor::push_batch`] and closes
+    /// the final bin. Reports are bit-identical to pushing every packet
+    /// individually, for any thread count.
     pub fn run_trace(&mut self, packets: &[PacketRecord]) -> Vec<BinReport> {
-        let mut reports = Vec::new();
-        if self.threads > 1 {
-            let mut start = 0;
-            while start < packets.len() {
-                // A packet older than the current bin is counted into the
-                // current bin, matching `push`.
-                let bin = packets[start]
-                    .timestamp
-                    .bin_index(self.bin_length)
-                    .max(self.current_bin);
-                while bin > self.current_bin {
-                    reports.push(self.close_current_bin());
-                }
-                let mut end = start + 1;
-                while end < packets.len()
-                    && packets[end].timestamp.bin_index(self.bin_length) <= self.current_bin
-                {
-                    end += 1;
-                }
-                self.process_bin_parallel(&packets[start..end]);
-                start = end;
-            }
-        } else {
-            for packet in packets {
-                reports.extend(self.push(packet));
-            }
-        }
-        reports.extend(self.finish());
-        reports
+        let batch = PacketBatch::from_records(packets);
+        self.run_batch(&batch)
     }
 
-    /// Classifies one buffered bin with `self.threads` workers: keys are
-    /// derived once, the sharded ground truth absorbs them in parallel, and
-    /// every lane (split across workers, each lane sequential over the full
-    /// bin) consumes the same key/packet stream it would see under `push`.
-    fn process_bin_parallel(&mut self, bin_packets: &[PacketRecord]) {
-        self.saw_packet = true;
-        let definition = self.flow_definition;
-        let keys: Vec<AnyFlowKey> = bin_packets.iter().map(|p| definition.key_of(p)).collect();
-        self.ground_truth.observe_bin_parallel(&keys, bin_packets);
-        let keys = &keys;
-        Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
-            for lane in lane_chunk {
-                for (key, packet) in keys.iter().zip(bin_packets) {
-                    lane.offer(*key, packet);
-                }
-            }
-        });
+    /// Runs a whole in-memory batch through the monitor and closes the final
+    /// bin — [`Monitor::push_batch`] plus [`Monitor::finish`].
+    pub fn run_batch(&mut self, batch: &PacketBatch) -> Vec<BinReport> {
+        let mut reports = self.push_batch(batch);
+        reports.extend(self.finish());
+        reports
     }
 
     /// Partitions the lanes into at most `threads` contiguous chunks and
@@ -733,8 +793,10 @@ mod tests {
     fn multi_thread_run_trace_is_bit_identical() {
         // Two populated bins separated by an idle bin, several rates × runs,
         // and a top-k backend: the parallel whole-bin path must reproduce
-        // the packet-by-packet reports exactly, for any thread count.
-        let mut packets = skewed_bin(12, 0.0);
+        // the packet-by-packet reports exactly, for any thread count. The
+        // first bin's 1200 packets cross the parallel-segment threshold, so
+        // the fan-out branch really runs.
+        let mut packets = skewed_bin(15, 0.0);
         packets.extend(skewed_bin(9, 130.0));
         let build = |threads: usize| {
             Monitor::builder()

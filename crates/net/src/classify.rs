@@ -16,8 +16,10 @@
 
 use flowrank_flowtable::{shard_of, FlowMap};
 
+use crate::batch::PacketBatch;
 use crate::flowkey::FlowKey;
 use crate::packet::{PacketRecord, Timestamp};
+use std::ops::Range;
 
 /// Per-flow counters maintained by the flow table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,27 +39,29 @@ pub struct FlowStats {
 }
 
 impl FlowStats {
-    fn new(packet: &PacketRecord) -> Self {
+    #[inline]
+    fn new(timestamp: Timestamp, length: u16, tcp_seq: Option<u32>) -> Self {
         FlowStats {
             packets: 1,
-            bytes: packet.length as u64,
-            first_seen: packet.timestamp,
-            last_seen: packet.timestamp,
-            min_tcp_seq: packet.tcp_seq,
-            max_tcp_seq: packet.tcp_seq,
+            bytes: length as u64,
+            first_seen: timestamp,
+            last_seen: timestamp,
+            min_tcp_seq: tcp_seq,
+            max_tcp_seq: tcp_seq,
         }
     }
 
-    fn update(&mut self, packet: &PacketRecord) {
+    #[inline]
+    fn update(&mut self, timestamp: Timestamp, length: u16, tcp_seq: Option<u32>) {
         self.packets += 1;
-        self.bytes += packet.length as u64;
-        if packet.timestamp < self.first_seen {
-            self.first_seen = packet.timestamp;
+        self.bytes += length as u64;
+        if timestamp < self.first_seen {
+            self.first_seen = timestamp;
         }
-        if packet.timestamp > self.last_seen {
-            self.last_seen = packet.timestamp;
+        if timestamp > self.last_seen {
+            self.last_seen = timestamp;
         }
-        if let Some(seq) = packet.tcp_seq {
+        if let Some(seq) = tcp_seq {
             self.min_tcp_seq = Some(self.min_tcp_seq.map_or(seq, |m| m.min(seq)));
             self.max_tcp_seq = Some(self.max_tcp_seq.map_or(seq, |m| m.max(seq)));
         }
@@ -134,6 +138,7 @@ impl<K: FlowKey> FlowTable<K> {
 
     /// Observes one packet: classifies it and updates its flow's counters.
     /// Returns the flow's updated packet count.
+    #[inline]
     pub fn observe(&mut self, packet: &PacketRecord) -> u64 {
         self.observe_keyed(K::from_packet(packet), packet)
     }
@@ -143,12 +148,47 @@ impl<K: FlowKey> FlowTable<K> {
     /// definitions at once). Returns the flow's updated packet count — the
     /// streaming monitor uses this to maintain top-k structures without a
     /// second lookup.
+    #[inline]
     pub fn observe_keyed(&mut self, key: K, packet: &PacketRecord) -> u64 {
+        self.observe_keyed_parts(key, packet.timestamp, packet.length, packet.tcp_seq)
+    }
+
+    /// Observes one packet from its rank-relevant columns — the entry point
+    /// the batched pipeline uses, so a [`PacketBatch`] never has to
+    /// materialise a [`PacketRecord`] to be classified. Produces exactly the
+    /// same counters as [`FlowTable::observe_keyed`] on the equivalent
+    /// record.
+    #[inline]
+    pub fn observe_keyed_parts(
+        &mut self,
+        key: K,
+        timestamp: Timestamp,
+        length: u16,
+        tcp_seq: Option<u32>,
+    ) -> u64 {
         self.total_packets += 1;
-        self.total_bytes += packet.length as u64;
+        self.total_bytes += length as u64;
         self.flows
-            .upsert(key, || FlowStats::new(packet), |s| s.update(packet))
+            .upsert(
+                key,
+                || FlowStats::new(timestamp, length, tcp_seq),
+                |s| s.update(timestamp, length, tcp_seq),
+            )
             .packets
+    }
+
+    /// Classifies a contiguous range of a [`PacketBatch`] in one pass.
+    ///
+    /// `keys` holds the flow key of every packet in `range`, in order
+    /// (`keys[i - range.start]` belongs to batch index `i`) — the caller
+    /// derives keys once per batch and every consumer shares them. The
+    /// resulting counters are element-for-element identical to observing the
+    /// same packets one at a time.
+    pub fn observe_batch(&mut self, keys: &[K], batch: &PacketBatch, range: Range<usize>) {
+        assert_eq!(keys.len(), range.len(), "one key per packet in range");
+        for (key, i) in keys.iter().zip(range) {
+            self.observe_keyed_parts(*key, batch.timestamp(i), batch.length(i), batch.tcp_seq(i));
+        }
     }
 
     /// Number of distinct flows seen.
@@ -280,26 +320,39 @@ impl<K: FlowKey> ShardedFlowTable<K> {
         self.shards[shard].observe_keyed(key, packet)
     }
 
-    /// Classifies a whole bin in parallel: one worker per shard scans the
-    /// precomputed `keys` (parallel to `packets`) and observes the subset
-    /// the hash routes to it. The result is element-for-element identical
-    /// to feeding every `(key, packet)` pair through
-    /// [`ShardedFlowTable::observe_keyed`] sequentially.
+    /// Observes one packet from its columns into its owning shard (the
+    /// batched counterpart of [`ShardedFlowTable::observe_keyed`]).
+    #[inline]
+    pub fn observe_keyed_parts(
+        &mut self,
+        key: K,
+        timestamp: Timestamp,
+        length: u16,
+        tcp_seq: Option<u32>,
+    ) -> u64 {
+        let shard = self.shard_index(&key);
+        self.shards[shard].observe_keyed_parts(key, timestamp, length, tcp_seq)
+    }
+
+    /// Classifies a contiguous range of a [`PacketBatch`] with one worker
+    /// per shard — the batch counterpart of
+    /// [`ShardedFlowTable::observe_bin_parallel`]. `keys` covers `range` in
+    /// order (`keys[i - range.start]` belongs to batch index `i`). Counters
+    /// are element-for-element identical to feeding every `(key, packet)`
+    /// pair through [`ShardedFlowTable::observe_keyed_parts`] sequentially.
     ///
     /// # Panics
     ///
-    /// Panics when `keys` and `packets` have different lengths.
-    pub fn observe_bin_parallel(&mut self, keys: &[K], packets: &[PacketRecord]) {
-        assert_eq!(keys.len(), packets.len(), "one key per packet");
+    /// Panics when `keys` and `range` have different lengths.
+    pub fn observe_batch_parallel(&mut self, keys: &[K], batch: &PacketBatch, range: Range<usize>) {
+        assert_eq!(keys.len(), range.len(), "one key per packet in range");
         let shard_count = self.shards.len();
         if shard_count == 1 {
-            for (key, packet) in keys.iter().zip(packets) {
-                self.shards[0].observe_keyed(*key, packet);
-            }
+            self.shards[0].observe_batch(keys, batch, range);
             return;
         }
-        // Route once up front: every worker still scans the whole bin, but
-        // it compares a small integer per packet instead of re-hashing
+        // Route once up front: every worker still scans the whole range,
+        // but it compares a small integer per packet instead of re-hashing
         // every key in every shard (which would make total hashing work
         // grow with the shard count).
         let routes: Vec<u16> = keys
@@ -307,18 +360,42 @@ impl<K: FlowKey> ShardedFlowTable<K> {
             .map(|key| shard_of(key.pack(), shard_count) as u16)
             .collect();
         let routes = &routes;
+        let start = range.start;
         std::thread::scope(|scope| {
             for (index, shard) in self.shards.iter_mut().enumerate() {
                 scope.spawn(move || {
                     let index = index as u16;
-                    for (packet_index, route) in routes.iter().enumerate() {
+                    for (slot, route) in routes.iter().enumerate() {
                         if *route == index {
-                            shard.observe_keyed(keys[packet_index], &packets[packet_index]);
+                            let i = start + slot;
+                            shard.observe_keyed_parts(
+                                keys[slot],
+                                batch.timestamp(i),
+                                batch.length(i),
+                                batch.tcp_seq(i),
+                            );
                         }
                     }
                 });
             }
         });
+    }
+
+    /// Classifies a whole bin of packet records in parallel — a
+    /// compatibility shim over [`ShardedFlowTable::observe_batch_parallel`]
+    /// that columnarises the records first. The result is
+    /// element-for-element identical to feeding every `(key, packet)` pair
+    /// through [`ShardedFlowTable::observe_keyed`] sequentially; callers on
+    /// the hot path should build the [`PacketBatch`] themselves and reuse
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` and `packets` have different lengths.
+    pub fn observe_bin_parallel(&mut self, keys: &[K], packets: &[PacketRecord]) {
+        assert_eq!(keys.len(), packets.len(), "one key per packet");
+        let batch = PacketBatch::from_records(packets);
+        self.observe_batch_parallel(keys, &batch, 0..batch.len());
     }
 
     /// Number of distinct flows across all shards.
@@ -549,6 +626,49 @@ mod tests {
         assert_eq!(sharded.total_packets(), 0);
         // Zero shards clamps to one.
         assert_eq!(ShardedFlowTable::<FiveTuple>::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn batch_observation_matches_per_packet_observation() {
+        let mut packets = Vec::new();
+        for i in 0..30u8 {
+            for j in 0..(1 + i as usize % 5) {
+                packets.push(packet(i % 6, i % 4, 80, 500 + i as u16, j as f64));
+            }
+        }
+        let batch = PacketBatch::from_records(&packets);
+        let keys: Vec<FiveTuple> = packets.iter().map(FiveTuple::from_packet).collect();
+
+        let mut sequential: FlowTable<FiveTuple> = FlowTable::new();
+        for (key, p) in keys.iter().zip(&packets) {
+            sequential.observe_keyed(*key, p);
+        }
+
+        // Whole-batch and split-range classification agree with per-packet.
+        let mut whole: FlowTable<FiveTuple> = FlowTable::new();
+        whole.observe_batch(&keys, &batch, 0..batch.len());
+        let mut split: FlowTable<FiveTuple> = FlowTable::new();
+        let mid = batch.len() / 3;
+        split.observe_batch(&keys[..mid], &batch, 0..mid);
+        split.observe_batch(&keys[mid..], &batch, mid..batch.len());
+        for table in [&whole, &split] {
+            assert_eq!(table.flow_count(), sequential.flow_count());
+            assert_eq!(table.total_packets(), sequential.total_packets());
+            assert_eq!(table.total_bytes(), sequential.total_bytes());
+            for (key, stats) in sequential.iter() {
+                assert_eq!(table.get(&key), Some(stats));
+            }
+        }
+
+        // And the sharded parallel batch path agrees too, per shard count.
+        for shards in [1, 2, 5] {
+            let mut sharded: ShardedFlowTable<FiveTuple> = ShardedFlowTable::new(shards);
+            sharded.observe_batch_parallel(&keys, &batch, 0..batch.len());
+            assert_eq!(sharded.total_packets(), sequential.total_packets());
+            for (key, stats) in sequential.iter() {
+                assert_eq!(sharded.get(&key), Some(stats), "{shards} shards");
+            }
+        }
     }
 
     #[test]

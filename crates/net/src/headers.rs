@@ -111,12 +111,58 @@ pub fn encode_frame(record: &PacketRecord) -> NetResult<Vec<u8>> {
     Ok(frame)
 }
 
-/// Parses an Ethernet II / IPv4 frame back into a [`PacketRecord`].
+/// The classification-relevant fields of one parsed frame, before they are
+/// materialised as a [`PacketRecord`] or appended to a packet batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FrameFields {
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: Protocol,
+    pub length: u16,
+    pub tcp_seq: Option<u32>,
+}
+
+impl FrameFields {
+    /// Attaches a timestamp, producing the classic packet record.
+    #[inline]
+    pub fn into_record(self, timestamp: Timestamp) -> PacketRecord {
+        PacketRecord {
+            timestamp,
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            protocol: self.protocol,
+            length: self.length,
+            tcp_seq: self.tcp_seq,
+        }
+    }
+
+    /// The packed 5-tuple of the frame (see [`crate::flowkey::FiveTuple`]).
+    #[inline]
+    pub fn packed_five_tuple(self) -> u128 {
+        use flowrank_flowtable::CompactKey;
+        crate::flowkey::FiveTuple {
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            protocol: self.protocol,
+        }
+        .pack()
+    }
+}
+
+/// Parses the header fields of an Ethernet II / IPv4 frame in place.
 ///
-/// `timestamp` is supplied by the caller (pcap record header). Frames that
-/// are not IPv4, or that are too short to carry the expected headers, yield a
-/// [`NetError::MalformedPacket`].
-pub fn decode_frame(timestamp: Timestamp, frame: &[u8]) -> NetResult<PacketRecord> {
+/// This is the single home of the frame-parsing rules: the record decoder
+/// ([`decode_frame`]) and the zero-copy batch decoder
+/// ([`crate::pcap::pcap_bytes_to_batch`]) both ride on it, so the two paths
+/// cannot drift apart.
+#[inline]
+pub(crate) fn parse_frame_fields(frame: &[u8]) -> NetResult<FrameFields> {
     if frame.len() < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN {
         return Err(NetError::MalformedPacket {
             reason: "frame shorter than Ethernet + IPv4 headers",
@@ -179,8 +225,7 @@ pub fn decode_frame(timestamp: Timestamp, frame: &[u8]) -> NetResult<PacketRecor
         _ => (0, 0, None),
     };
 
-    Ok(PacketRecord {
-        timestamp,
+    Ok(FrameFields {
         src_ip,
         dst_ip,
         src_port,
@@ -189,6 +234,63 @@ pub fn decode_frame(timestamp: Timestamp, frame: &[u8]) -> NetResult<PacketRecor
         length: total_len,
         tcp_seq,
     })
+}
+
+/// The columns of one fast-parsed frame: the packed 5-tuple plus the two
+/// non-key columns, exactly what [`crate::batch::PacketBatch::push_columns`]
+/// consumes — no `Ipv4Addr`/`FiveTuple` round trip on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FastFrameColumns {
+    pub packed_key: u128,
+    pub length: u16,
+    pub tcp_seq: Option<u32>,
+}
+
+/// Common-case specialisation of [`parse_frame_fields`]: an Ethernet II /
+/// IPv4 frame with no IP options (IHL = 5) carrying TCP or UDP, long enough
+/// that all parsed fields sit in the first 54 bytes. One bounds check covers
+/// every field read and the 5-tuple is packed straight from the wire bytes,
+/// so the batch decoder's hot loop stays branch-lean; anything else (IP
+/// options, ICMP, minimal UDP frames) returns `None` and falls back to the
+/// general parser. Must agree with [`parse_frame_fields`] wherever it
+/// returns `Some` — pinned by a unit test over assorted frames.
+#[inline(always)]
+pub(crate) fn parse_frame_fields_fast(frame: &[u8]) -> Option<FastFrameColumns> {
+    let head: &[u8; 54] = frame.get(..54)?.try_into().ok()?;
+    // EtherType IPv4, version 4, IHL 5.
+    if head[12] != 0x08 || head[13] != 0x00 || head[14] != 0x45 {
+        return None;
+    }
+    let protocol = head[23];
+    let tcp_seq = match protocol {
+        6 => Some(u32::from_be_bytes([head[38], head[39], head[40], head[41]])),
+        17 => None,
+        _ => return None,
+    };
+    // Same layout as `FiveTuple::pack`:
+    // src(32) · dst(32) · sport(16) · dport(16) · proto(8).
+    let src = u32::from_be_bytes([head[26], head[27], head[28], head[29]]);
+    let dst = u32::from_be_bytes([head[30], head[31], head[32], head[33]]);
+    let src_port = u16::from_be_bytes([head[34], head[35]]);
+    let dst_port = u16::from_be_bytes([head[36], head[37]]);
+    Some(FastFrameColumns {
+        packed_key: (u128::from(src) << 72)
+            | (u128::from(dst) << 40)
+            | (u128::from(src_port) << 24)
+            | (u128::from(dst_port) << 8)
+            | u128::from(protocol),
+        length: u16::from_be_bytes([head[16], head[17]]),
+        tcp_seq,
+    })
+}
+
+/// Parses an Ethernet II / IPv4 frame back into a [`PacketRecord`].
+///
+/// `timestamp` is supplied by the caller (pcap record header). Frames that
+/// are not IPv4, or that are too short to carry the expected headers, yield a
+/// [`NetError::MalformedPacket`].
+pub fn decode_frame(timestamp: Timestamp, frame: &[u8]) -> NetResult<PacketRecord> {
+    Ok(parse_frame_fields(frame)?.into_record(timestamp))
 }
 
 #[cfg(test)]
@@ -289,6 +391,64 @@ mod tests {
         frame[12] = 0x86; // EtherType → IPv6
         frame[13] = 0xDD;
         assert!(decode_frame(Timestamp::ZERO, &frame).is_err());
+    }
+
+    #[test]
+    fn fast_parse_agrees_with_the_general_parser() {
+        // Wherever the fast path answers, it must answer exactly like
+        // parse_frame_fields; wherever it bows out, the general parser
+        // decides alone. Exercised over TCP/UDP/ICMP records of assorted
+        // lengths plus corrupted variants.
+        let mut records = Vec::new();
+        for length in [10u16, 40, 42, 54, 60, 500, 1500] {
+            let mut tcp = tcp_record();
+            tcp.length = length;
+            records.push(tcp);
+            let udp = PacketRecord::udp(
+                Timestamp::from_secs_f64(0.5),
+                Ipv4Addr::new(172, 16, 5, 9),
+                5353,
+                Ipv4Addr::new(8, 8, 8, 8),
+                53,
+                length,
+            );
+            records.push(udp);
+            let mut icmp = tcp_record();
+            icmp.protocol = Protocol::Icmp;
+            icmp.tcp_seq = None;
+            icmp.src_port = 0;
+            icmp.dst_port = 0;
+            icmp.length = length;
+            records.push(icmp);
+        }
+        let agrees = |fast: FastFrameColumns, general: FrameFields| {
+            fast.packed_key == general.packed_five_tuple()
+                && fast.length == general.length
+                && fast.tcp_seq == general.tcp_seq
+        };
+        for record in &records {
+            let frame = encode_frame(record).unwrap();
+            let general = parse_frame_fields(&frame).unwrap();
+            if let Some(fast) = parse_frame_fields_fast(&frame) {
+                assert!(agrees(fast, general), "{record:?}");
+            }
+            // Corruptions must never make the fast path answer differently
+            // from the general one.
+            for (byte, value) in [(12usize, 0x86u8), (14, 0x46), (14, 0x65), (23, 89)] {
+                let mut bad = frame.clone();
+                if bad.len() > byte {
+                    bad[byte] = value;
+                    match (parse_frame_fields_fast(&bad), parse_frame_fields(&bad)) {
+                        (Some(fast), Ok(general)) => assert!(agrees(fast, general)),
+                        (Some(_), Err(_)) => panic!("fast path accepted a bad frame"),
+                        (None, _) => {}
+                    }
+                }
+            }
+        }
+        // Common case actually takes the fast path.
+        let frame = encode_frame(&tcp_record()).unwrap();
+        assert!(parse_frame_fields_fast(&frame).is_some());
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! without any I/O beyond a from-scratch libpcap file reader/writer:
 //!
 //! * [`packet`] — the in-memory packet record all other crates operate on.
+//! * [`batch`] — the SoA [`PacketBatch`]: column vectors of timestamps,
+//!   packed keys, lengths and sequence numbers, the batched unit of work the
+//!   zero-copy pcap decoder, batch classification and skip-based sampling
+//!   all share.
 //! * [`flowkey`] — flow identities: [`flowkey::FiveTuple`],
 //!   [`flowkey::DstPrefix`], and the runtime-selectable
 //!   [`flowkey::FlowDefinition`] (Sec. 6 compares both definitions).
@@ -27,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod classify;
 pub mod error;
 pub mod flowkey;
@@ -34,6 +39,7 @@ pub mod headers;
 pub mod packet;
 pub mod pcap;
 
+pub use batch::PacketBatch;
 pub use classify::{FlowStats, FlowTable, RankedFlow, ShardedFlowTable};
 pub use error::{NetError, NetResult};
 pub use flowkey::{AnyFlowKey, DstPrefix, FiveTuple, FlowDefinition, FlowKey, Protocol};

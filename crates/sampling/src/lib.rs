@@ -10,9 +10,14 @@
 //! This crate implements that sampler along with the alternatives the paper
 //! discusses or cites, so the benches can compare them:
 //!
-//! * [`random`] — independent Bernoulli(p) packet sampling (the paper's model).
-//! * [`periodic`] — deterministic 1-in-N packet sampling (what routers ship).
-//! * [`stratified`] — one uniformly chosen packet per stratum of N packets.
+//! * [`random`] — independent Bernoulli(p) packet sampling (the paper's
+//!   model), implemented in skip-based form: the gap to the next retained
+//!   packet is drawn from the geometric distribution, so cost scales with
+//!   the packets *kept* instead of the packets offered.
+//! * [`periodic`] — deterministic 1-in-N packet sampling (what routers ship),
+//!   with a skip-based batch path that is pure counter arithmetic.
+//! * [`stratified`] — one uniformly chosen packet per stratum of N packets,
+//!   skipping whole strata in batch form.
 //! * [`flow_sampling`] — whole-flow sampling (reference \[8\]/\[11\] discussion in
 //!   Sec. 1): if a flow is sampled, all of its packets are kept.
 //! * [`smart`] — size-dependent sampling ("smart sampling", Duffield–Lund):
@@ -32,7 +37,11 @@
 //! Every sampler implements the object-safe [`PacketSampler`] trait, so a
 //! monitor can select its sampling discipline at run time
 //! (`Box<dyn PacketSampler>`) without monomorphising the whole pipeline per
-//! sampler; blanket impls forward through `Box` and `&mut`.
+//! sampler; blanket impls forward through `Box` and `&mut`. The trait's
+//! batched entry point ([`PacketSampler::keep_batch`]) shares each
+//! sampler's state with the per-packet path, so cutting a stream into
+//! batches of any size never changes the decisions — the contract the
+//! streaming monitor's `push`/`push_batch` equivalence rides on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,7 +6,9 @@
 //! why the analysis uses random sampling; this implementation lets the
 //! `ablation_random_vs_periodic` bench verify that equivalence empirically.
 
-use flowrank_net::PacketRecord;
+use std::ops::Range;
+
+use flowrank_net::{PacketBatch, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
@@ -68,6 +70,37 @@ impl PacketSampler for PeriodicSampler {
         let keep = self.counter == 0;
         self.counter = (self.counter + 1) % self.period;
         keep
+    }
+
+    /// Skip form: the retained positions of a 1-in-N stream are pure
+    /// counter arithmetic, so the batch path jumps from keep to keep without
+    /// visiting the packets between them. Decisions and RNG consumption
+    /// (the optional phase draw) are identical to the per-packet path.
+    fn keep_batch(
+        &mut self,
+        _batch: &PacketBatch,
+        range: Range<usize>,
+        rng: &mut dyn Rng,
+        kept: &mut Vec<u32>,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        if !self.phase_initialized {
+            self.counter = rng.next_below(self.period);
+            self.phase_initialized = true;
+        }
+        let len = (range.end - range.start) as u64;
+        // First keep happens when the counter wraps to zero.
+        let mut offset = (self.period - self.counter) % self.period;
+        while offset < len {
+            kept.push((range.start as u64 + offset) as u32);
+            match offset.checked_add(self.period) {
+                Some(next) => offset = next,
+                None => break,
+            }
+        }
+        self.counter = ((self.counter as u128 + len as u128) % self.period as u128) as u64;
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -135,6 +168,45 @@ mod tests {
         }
         first_indices.dedup();
         assert!(first_indices.len() > 1, "phases should differ across seeds");
+    }
+
+    #[test]
+    fn batch_path_preserves_decisions_and_rng_stream() {
+        let packets = packet_stream(5_000, 10, 1.0);
+        let batch = PacketBatch::from_records(&packets);
+        for (period, random_phase) in [(1u64, false), (7, false), (100, true), (6_000, true)] {
+            let build = || {
+                let sampler = PeriodicSampler::new(period);
+                if random_phase {
+                    sampler.with_random_phase()
+                } else {
+                    sampler
+                }
+            };
+            let mut per_packet = build();
+            let mut rng_a = Pcg64::seed_from_u64(17);
+            let expected: Vec<u32> = packets
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| per_packet.keep(p, &mut rng_a))
+                .map(|(i, _)| i as u32)
+                .collect();
+
+            let mut skip = build();
+            let mut rng_b = Pcg64::seed_from_u64(17);
+            let mut kept = Vec::new();
+            let mut start = 0usize;
+            for chunk in [3usize, 1, 500, usize::MAX] {
+                let end = batch.len().min(start.saturating_add(chunk));
+                skip.keep_batch(&batch, start..end, &mut rng_b, &mut kept);
+                start = end;
+                if start == batch.len() {
+                    break;
+                }
+            }
+            assert_eq!(kept, expected, "period {period}");
+            assert_eq!(rng_a, rng_b, "period {period}: identical RNG stream");
+        }
     }
 
     #[test]

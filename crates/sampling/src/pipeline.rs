@@ -12,7 +12,9 @@
 //!   lanes from: an owned sampler plus its RNG, driven one packet at a time.
 //! * [`sample_and_classify`] / [`classify_all`] — single-pass table builders.
 
-use flowrank_net::{FlowKey, FlowTable, PacketRecord};
+use std::ops::Range;
+
+use flowrank_net::{FlowKey, FlowTable, PacketBatch, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
@@ -80,6 +82,16 @@ impl<R: Rng> SamplerStage<R> {
     /// keeps it.
     pub fn admit(&mut self, packet: &PacketRecord) -> bool {
         self.sampler.keep(packet, &mut self.rng)
+    }
+
+    /// Offers `batch[range]` to the stage and appends the batch indices of
+    /// the retained packets to `kept` — the batched form of
+    /// [`SamplerStage::admit`], with identical decisions and RNG consumption
+    /// for any way of cutting the stream into batches (see
+    /// [`PacketSampler::keep_batch`]). Skip-capable samplers make the cost
+    /// of this call proportional to the packets *kept*.
+    pub fn admit_batch(&mut self, batch: &PacketBatch, range: Range<usize>, kept: &mut Vec<u32>) {
+        self.sampler.keep_batch(batch, range, &mut self.rng, kept)
     }
 
     /// The sampler's nominal rate (see [`PacketSampler::nominal_rate`]).

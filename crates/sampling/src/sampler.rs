@@ -5,14 +5,49 @@
 //! (periodic counters, per-flow decisions, adaptive rates) and receive a
 //! caller-supplied RNG so that entire experiments stay deterministic under a
 //! fixed seed.
+//!
+//! Since the batched-ingestion redesign the trait also carries a *batch*
+//! entry point, [`PacketSampler::keep_batch`]: given a [`PacketBatch`] range
+//! it appends the indices of the retained packets. The contract is that
+//! splitting a packet stream into arbitrary batches never changes the
+//! decisions or the RNG consumption — `keep` and `keep_batch` share the
+//! sampler's state, so a one-element batch *is* the per-packet call. The
+//! default implementation loops over [`PacketSampler::keep`]; skip-capable
+//! samplers (random, periodic, stratified) override it to jump directly to
+//! the next retained packet, making their per-batch cost proportional to the
+//! number of *sampled* packets rather than the number offered.
 
-use flowrank_net::PacketRecord;
+use std::ops::Range;
+
+use flowrank_net::{PacketBatch, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 /// Decides which packets the monitor retains.
 pub trait PacketSampler {
     /// Returns `true` when `packet` is retained by the monitor.
     fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool;
+
+    /// Offers the packets `batch[range]` to the sampler and appends the
+    /// batch indices of the retained ones to `kept`, in order.
+    ///
+    /// Equivalent to calling [`PacketSampler::keep`] on every packet of the
+    /// range — same decisions, same RNG consumption — because both entry
+    /// points share the sampler's state. Implementations that can skip
+    /// (draw the gap to their next retained packet instead of deciding per
+    /// packet) override this to index straight into the batch.
+    fn keep_batch(
+        &mut self,
+        batch: &PacketBatch,
+        range: Range<usize>,
+        rng: &mut dyn Rng,
+        kept: &mut Vec<u32>,
+    ) {
+        for i in range {
+            if self.keep(&batch.record(i), rng) {
+                kept.push(i as u32);
+            }
+        }
+    }
 
     /// The sampler's nominal sampling rate (expected fraction of packets
     /// kept), used for inversion / scaling. Adaptive samplers report their
@@ -36,6 +71,16 @@ impl<S: PacketSampler + ?Sized> PacketSampler for Box<S> {
         (**self).keep(packet, rng)
     }
 
+    fn keep_batch(
+        &mut self,
+        batch: &PacketBatch,
+        range: Range<usize>,
+        rng: &mut dyn Rng,
+        kept: &mut Vec<u32>,
+    ) {
+        (**self).keep_batch(batch, range, rng, kept)
+    }
+
     fn nominal_rate(&self) -> f64 {
         (**self).nominal_rate()
     }
@@ -52,6 +97,16 @@ impl<S: PacketSampler + ?Sized> PacketSampler for Box<S> {
 impl<S: PacketSampler + ?Sized> PacketSampler for &mut S {
     fn keep(&mut self, packet: &PacketRecord, rng: &mut dyn Rng) -> bool {
         (**self).keep(packet, rng)
+    }
+
+    fn keep_batch(
+        &mut self,
+        batch: &PacketBatch,
+        range: Range<usize>,
+        rng: &mut dyn Rng,
+        kept: &mut Vec<u32>,
+    ) {
+        (**self).keep_batch(batch, range, rng, kept)
     }
 
     fn nominal_rate(&self) -> f64 {

@@ -6,7 +6,9 @@
 //! per-stratum budget exactly fixed; it sits between the random and periodic
 //! samplers compared in the ablation benches.
 
-use flowrank_net::PacketRecord;
+use std::ops::Range;
+
+use flowrank_net::{PacketBatch, PacketRecord};
 use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
@@ -56,6 +58,34 @@ impl PacketSampler for StratifiedSampler {
         let keep = self.position == self.chosen;
         self.position = (self.position + 1) % self.stratum;
         keep
+    }
+
+    /// Skip form: one RNG draw per stratum *entered* (exactly as the
+    /// per-packet path draws on each stratum's first packet), then the
+    /// chosen offset is indexed directly — strata are jumped over whole, so
+    /// batch cost is proportional to the number of strata touched, not the
+    /// number of packets offered.
+    fn keep_batch(
+        &mut self,
+        _batch: &PacketBatch,
+        range: Range<usize>,
+        rng: &mut dyn Rng,
+        kept: &mut Vec<u32>,
+    ) {
+        let mut i = range.start as u64;
+        let end = range.end as u64;
+        while i < end {
+            if self.position == 0 {
+                self.chosen = rng.next_below(self.stratum);
+            }
+            let left_in_stratum = self.stratum - self.position;
+            let advance = (end - i).min(left_in_stratum);
+            if self.chosen >= self.position && self.chosen - self.position < advance {
+                kept.push((i + (self.chosen - self.position)) as u32);
+            }
+            self.position = (self.position + advance) % self.stratum;
+            i += advance;
+        }
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -112,6 +142,37 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert!(unique.len() > 5, "offsets should not all coincide");
+    }
+
+    #[test]
+    fn batch_path_preserves_decisions_and_rng_stream() {
+        let packets = packet_stream(4_321, 5, 1.0);
+        let batch = PacketBatch::from_records(&packets);
+        for stratum in [1u64, 2, 33, 1_000, 10_000] {
+            let mut per_packet = StratifiedSampler::new(stratum);
+            let mut rng_a = Pcg64::seed_from_u64(23);
+            let expected: Vec<u32> = packets
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| per_packet.keep(p, &mut rng_a))
+                .map(|(i, _)| i as u32)
+                .collect();
+
+            let mut skip = StratifiedSampler::new(stratum);
+            let mut rng_b = Pcg64::seed_from_u64(23);
+            let mut kept = Vec::new();
+            let mut start = 0usize;
+            for chunk in [1usize, 16, 17, 2_000, usize::MAX] {
+                let end = batch.len().min(start.saturating_add(chunk));
+                skip.keep_batch(&batch, start..end, &mut rng_b, &mut kept);
+                start = end;
+                if start == batch.len() {
+                    break;
+                }
+            }
+            assert_eq!(kept, expected, "stratum {stratum}");
+            assert_eq!(rng_a, rng_b, "stratum {stratum}: identical RNG stream");
+        }
     }
 
     #[test]

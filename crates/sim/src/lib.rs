@@ -38,7 +38,7 @@ pub mod experiment;
 pub mod report;
 pub mod scenarios;
 
-pub use binning::split_into_bins;
+pub use binning::{split_batch_into_bin_ranges, split_into_bins};
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
 pub use scenarios::{abilene_experiment, sprint_experiment, sprint_experiment_with_sampler};

@@ -61,6 +61,32 @@ mod tests {
     }
 
     #[test]
+    fn exported_capture_decodes_straight_into_a_batch() {
+        // The batched replay loop: flows → pcap → zero-copy decode into a
+        // reusable PacketBatch → batch classification, with the same flow
+        // sizes as the record-by-record path.
+        use flowrank_net::pcap::pcap_bytes_to_batch;
+        use flowrank_net::PacketBatch;
+
+        let flows = SprintModel::small(5.0, 50.0).generate_flows(9);
+        let mut buffer = Vec::new();
+        export_flows_to_pcap(&flows, &SynthesisConfig::default(), 9, &mut buffer).unwrap();
+
+        let mut batch = PacketBatch::new();
+        let decoded = pcap_bytes_to_batch(&buffer, &mut batch).unwrap();
+        assert_eq!(decoded, batch.len() as u64);
+        assert_eq!(batch.to_records(), pcap_bytes_to_records(&buffer).unwrap());
+
+        let keys: Vec<FiveTuple> = (0..batch.len()).map(|i| batch.five_tuple(i)).collect();
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        table.observe_batch(&keys, &batch, 0..batch.len());
+        assert_eq!(table.flow_count(), flows.len());
+        for f in &flows {
+            assert_eq!(table.get(&f.key).unwrap().packets, f.packets);
+        }
+    }
+
+    #[test]
     fn empty_trace_produces_valid_empty_capture() {
         let mut buffer = Vec::new();
         let written =

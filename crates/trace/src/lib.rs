@@ -46,4 +46,4 @@ pub use abilene::AbileneModel;
 pub use flow_record::FlowRecord;
 pub use generator::{FlowPopulationConfig, SizeModel};
 pub use sprint::SprintModel;
-pub use synthesis::{synthesize_packets, SynthesisConfig};
+pub use synthesis::{synthesize_packet_batch, synthesize_packets, SynthesisConfig};

@@ -8,7 +8,7 @@
 //! sequence number equal to the cumulative byte offset within their flow so
 //! that the sequence-number size estimator can be exercised.
 
-use flowrank_net::{PacketRecord, Timestamp};
+use flowrank_net::{PacketBatch, PacketRecord, Timestamp};
 use flowrank_stats::rng::{Pcg64, Rng, SeedableRng};
 
 use crate::flow_record::FlowRecord;
@@ -76,6 +76,23 @@ pub fn synthesize_packets(
     packets
 }
 
+/// Expands flow-level records straight into a SoA [`PacketBatch`] — the
+/// batched ingestion form of [`synthesize_packets`], producing the
+/// column-for-column equivalent of converting its output
+/// (`PacketBatch::from_records`) without keeping the intermediate record
+/// vector alive.
+pub fn synthesize_packet_batch(
+    flows: &[FlowRecord],
+    config: &SynthesisConfig,
+    seed: u64,
+) -> PacketBatch {
+    // Placement draws per flow and the final time sort both need the whole
+    // trace in hand, so synthesis builds records first and columnarises
+    // once; the batch is what flows onward through the pipeline.
+    let packets = synthesize_packets(flows, config, seed);
+    PacketBatch::from_records(&packets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +108,20 @@ mod tests {
             start,
             duration,
         )
+    }
+
+    #[test]
+    fn batch_synthesis_matches_record_synthesis() {
+        let flows = vec![
+            flow(0, 9, 0.0, 3.0),
+            flow(1, 1, 1.0, 0.0),
+            flow(2, 25, 2.0, 10.0),
+        ];
+        let config = SynthesisConfig::default();
+        let batch = synthesize_packet_batch(&flows, &config, 77);
+        let packets = synthesize_packets(&flows, &config, 77);
+        assert_eq!(batch.len(), packets.len());
+        assert_eq!(batch.to_records(), packets);
     }
 
     #[test]

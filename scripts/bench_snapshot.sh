@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Records the criterion throughput numbers in BENCH_throughput.json so the
-# perf trajectory is machine-readable PR over PR.
+# Records the criterion throughput numbers in BENCH_throughput.json (the
+# latest snapshot, overwritten every run) and appends the same run — keyed
+# by git SHA and timestamp — to BENCH_trajectory.ndjson, so the perf
+# trajectory is machine-readable PR over PR, not just the newest point.
 #
 # Usage: scripts/bench_snapshot.sh
 #
 # Runs the flowrank-bench `throughput` bench with BENCH_JSON set (the
-# in-tree criterion shim appends one JSON line per benchmark) and assembles
-# the lines into a single document at the repo root. Compare two snapshots
-# with e.g. `jq '.results[] | {name, mean_ns}' BENCH_throughput.json`.
+# in-tree criterion shim appends one JSON line per benchmark; new bench
+# cases are picked up automatically) and assembles the lines. Compare two
+# snapshots with e.g. `jq '.results[] | {name, mean_ns}'
+# BENCH_throughput.json`, or plot one bench across PRs with
+# `jq -c '{sha: .git_sha, r: (.results[] | select(.name == "pcap_decode"))}'
+# BENCH_trajectory.ndjson`.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,15 +27,28 @@ if [ ! -s "$tmp" ]; then
     exit 1
 fi
 
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+recorded_at=$(date -u +%FT%TZ)
+host_cpus=$(nproc)
+
 {
     echo '{'
     echo '  "bench": "throughput",'
-    echo "  \"recorded_at\": \"$(date -u +%FT%TZ)\","
-    echo "  \"host_cpus\": $(nproc),"
+    echo "  \"git_sha\": \"$git_sha\","
+    echo "  \"recorded_at\": \"$recorded_at\","
+    echo "  \"host_cpus\": $host_cpus,"
     echo '  "results": ['
     sed 's/^/    /; $!s/$/,/' "$tmp"
     echo '  ]'
     echo '}'
 } > BENCH_throughput.json
 
+{
+    printf '{"bench":"throughput","git_sha":"%s","recorded_at":"%s","host_cpus":%s,"results":[' \
+        "$git_sha" "$recorded_at" "$host_cpus"
+    paste -sd, "$tmp" | tr -d '\n'
+    printf ']}\n'
+} >> BENCH_trajectory.ndjson
+
 echo "wrote BENCH_throughput.json ($(grep -c '"name"' BENCH_throughput.json) entries)"
+echo "appended to BENCH_trajectory.ndjson ($(wc -l < BENCH_trajectory.ndjson) runs)"

@@ -6,9 +6,15 @@
 //! `run_bin_random_sampling` as thin compatibility wrappers: the streaming
 //! pipeline is not "approximately" the batch pipeline, it *is* the batch
 //! pipeline, minus the redundant per-run ground-truth reclassifications.
+//!
+//! Since the SoA `PacketBatch` redesign the contract has a third leg:
+//! `Monitor::push_batch` must produce bit-identical `BinReport`s to `push`
+//! for **any** way of cutting the stream into batches (including the
+//! sharded/threads configuration), because `push` *is* a one-element
+//! `push_batch` and every sampler's per-packet and batch paths share state.
 
 use flowrank_monitor::{Monitor, SamplerSpec};
-use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_net::{FlowDefinition, PacketBatch, Timestamp};
 use flowrank_sim::engine::run_bin_random_sampling;
 use flowrank_sim::split_into_bins;
 use flowrank_stats::rng::derive_seeds;
@@ -152,6 +158,75 @@ fn sharded_monitor_is_bit_identical_to_single_thread() {
                 sharded, baseline,
                 "{definition}, {threads} threads: sharded reports must be \
                  bit-identical to single-threaded ones"
+            );
+        }
+    }
+}
+
+#[test]
+fn push_batch_is_bit_identical_to_push_for_any_batching() {
+    // One monitor per ingestion shape, identical configuration; the trace
+    // spans several bins so batch cuts land inside bins, on bin boundaries
+    // and across idle gaps. Reports — outcomes, flow counts, lane order,
+    // top-k entries, everything — must be bit-identical. Through
+    // `push_matches_run_bin_for_both_flow_definitions` this transitively
+    // pins the batch path to the legacy `run_bin` wrapper too.
+    let packets = trace(45);
+    let batch = PacketBatch::from_records(&packets);
+    let rates = [0.02, 0.2];
+    for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
+        let build = |threads: usize| {
+            Monitor::builder()
+                .flow_definition(definition)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&rates)
+                .runs(3)
+                .topk(flowrank_monitor::TopKSpec::SpaceSaving { capacity: 16 })
+                .bin_length(Timestamp::from_secs_f64(BIN_SECONDS))
+                .top_t(TOP_T)
+                .seed(4646)
+                .threads(threads)
+                .build()
+        };
+
+        // Reference: packet-by-packet push.
+        let mut pushed = build(1);
+        let mut baseline = Vec::new();
+        for packet in &packets {
+            baseline.extend(pushed.push(packet));
+        }
+        baseline.extend(pushed.finish());
+        assert!(baseline.len() >= 3, "trace must span several bins");
+
+        // One batch covering the whole trace.
+        let mut whole = build(1);
+        let mut whole_reports = whole.push_batch(&batch);
+        whole_reports.extend(whole.finish());
+        assert_eq!(whole_reports, baseline, "{definition}: whole-trace batch");
+
+        // Irregular batch cuts, including single-packet batches.
+        let mut chunked = build(1);
+        let mut chunked_reports = Vec::new();
+        let mut start = 0usize;
+        for piece in [1usize, 7, 501, 1, 4096, usize::MAX] {
+            let end = packets.len().min(start.saturating_add(piece));
+            chunked_reports
+                .extend(chunked.push_batch(&PacketBatch::from_records(&packets[start..end])));
+            start = end;
+            if start == packets.len() {
+                break;
+            }
+        }
+        chunked_reports.extend(chunked.finish());
+        assert_eq!(chunked_reports, baseline, "{definition}: chunked batches");
+
+        // The sharded/threads case: whole-bin segments fan out across
+        // worker threads and shards.
+        for threads in [2, 4] {
+            let sharded = build(threads).run_batch(&batch);
+            assert_eq!(
+                sharded, baseline,
+                "{definition}, {threads} threads: sharded push_batch"
             );
         }
     }
