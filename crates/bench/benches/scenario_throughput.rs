@@ -1,0 +1,59 @@
+//! Per-scenario throughput: the same monitor grid pushed over every
+//! workload of the scenario catalog, so `BENCH_trajectory.ndjson` tracks
+//! how pipeline performance varies with traffic *shape* — elephant-dominated
+//! heavy tails, floods of single-packet flows, key-space sweeps — not just
+//! the one Sprint-like mix the `throughput` bench uses.
+//!
+//! Every scenario runs the identical configuration (two rates × five runs,
+//! 60-second bins, space-saving backend), so differences between bench
+//! lines are attributable to the traffic alone: flow-table occupancy, keys
+//! per packet, sampler skip lengths and top-k eviction pressure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_monitor::{Monitor, SamplerSpec, TopKSpec};
+use flowrank_net::Timestamp;
+use flowrank_trace::Workload;
+
+/// One seed for every scenario: the bench compares shapes, not seeds.
+const TRACE_SEED: u64 = 2_026;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for workload in Workload::catalog() {
+        let batch = workload.synthesize_batch(TRACE_SEED);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| {
+                let mut monitor = Monitor::builder()
+                    .sampler(SamplerSpec::Random { rate: 0.01 })
+                    .rates(&[0.01, 0.1])
+                    .runs(5)
+                    .topk(TopKSpec::SpaceSaving { capacity: 64 })
+                    .bin_length(Timestamp::from_secs_f64(60.0))
+                    .top_t(10)
+                    .seed(TRACE_SEED)
+                    .build();
+                let reports = monitor.run_batch(&batch);
+                black_box(
+                    reports
+                        .iter()
+                        .flat_map(|r| r.lanes.iter())
+                        .map(|lane| lane.outcome.ranking_swaps)
+                        .sum::<u64>(),
+                )
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

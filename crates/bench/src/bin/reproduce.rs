@@ -8,6 +8,7 @@
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scale 1.0 --runs 30
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --sampler stratified
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --threads 8
+//! cargo run --release -p flowrank-bench --bin reproduce -- --scenario ddos-flood
 //! ```
 //!
 //! Output is CSV on stdout, one block per figure and line, directly
@@ -18,8 +19,12 @@
 //! `stratified`, `flow`, `smart`, `adaptive` — the monitor fans any of them
 //! out across the figure's rate grid). `--threads` caps the worker threads
 //! of the trace-driven experiments (0 = one per CPU; the numbers are
-//! bit-identical for every value). EXPERIMENTS.md records the settings used
-//! for the committed results.
+//! bit-identical for every value). `--scenario <name>` runs the binned
+//! multi-run experiment over one scenario of the workload catalog
+//! (`heavy-tail`, `flash-crowd`, `ddos-flood`, `port-scan`, `rank-churn`,
+//! `mixed`) instead of the figures; `--scale` then multiplies the
+//! scenario's arrival rates (default 1.0 — catalog scale). EXPERIMENTS.md
+//! records the settings used for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
@@ -27,15 +32,31 @@ use flowrank_core::{
 };
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_to_csv;
-use flowrank_sim::{abilene_experiment, sprint_experiment_with_sampler, SamplerSpec};
+use flowrank_sim::{
+    abilene_experiment, sprint_experiment_with_sampler, workload_experiment, SamplerSpec,
+};
+use flowrank_trace::Workload;
 
 #[derive(Debug, Clone)]
 struct Options {
     figure: Option<u32>,
-    scale: f64,
+    scenario: Option<String>,
+    /// `None` until `--scale` is given: figures default to 0.02 (the quick
+    /// setting), scenarios to 1.0 (catalog scale).
+    scale: Option<f64>,
     runs: usize,
     sampler: SamplerSpec,
     threads: usize,
+}
+
+impl Options {
+    fn figure_scale(&self) -> f64 {
+        self.scale.unwrap_or(0.02)
+    }
+
+    fn scenario_scale(&self) -> f64 {
+        self.scale.unwrap_or(1.0)
+    }
 }
 
 fn sampler_by_name(name: &str) -> Option<SamplerSpec> {
@@ -62,7 +83,8 @@ fn sampler_by_name(name: &str) -> Option<SamplerSpec> {
 fn parse_args() -> Options {
     let mut options = Options {
         figure: None,
-        scale: 0.02,
+        scenario: None,
+        scale: None,
         runs: 10,
         sampler: SamplerSpec::Random { rate: 0.01 },
         threads: 0,
@@ -75,11 +97,23 @@ fn parse_args() -> Options {
                 options.figure = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 2;
             }
+            "--scenario" => {
+                options.scenario = args.get(i + 1).cloned();
+                if options.scenario.is_none() {
+                    let names: Vec<&str> = Workload::catalog().iter().map(|w| w.name()).collect();
+                    eprintln!(
+                        "--scenario requires a name; available: {}",
+                        names.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
             "--scale" => {
                 options.scale = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or(options.scale);
+                    .or(options.scale);
                 i += 2;
             }
             "--runs" => {
@@ -222,12 +256,12 @@ fn fig_trace(figure: u32, definition: FlowDefinition, detection: bool, options: 
     for &bin_seconds in &[60.0, 300.0] {
         println!(
             "# Figure {figure}: trace-driven {kind} vs time, {definition}, top 10, {bin_seconds}-second bins, scale {}, {} runs, {} sampling",
-            options.scale, options.runs, options.sampler.name()
+            options.figure_scale(), options.runs, options.sampler.name()
         );
         let experiment = sprint_experiment_with_sampler(
             definition,
             bin_seconds,
-            options.scale,
+            options.figure_scale(),
             options.runs,
             2026,
             options.sampler,
@@ -241,16 +275,51 @@ fn fig_trace(figure: u32, definition: FlowDefinition, detection: bool, options: 
 fn fig16_abilene(options: &Options) {
     println!(
         "# Figure 16: trace-driven ranking vs time, Abilene-like trace, top 10, 60-second bins, scale {}, {} runs",
-        options.scale, options.runs
+        options.figure_scale(), options.runs
     );
-    let result = abilene_experiment(options.scale, options.runs, 16)
+    let result = abilene_experiment(options.figure_scale(), options.runs, 16)
         .with_threads(options.threads)
         .run();
     println!("{}", result_to_csv(&result, 60.0, false));
 }
 
+/// Runs the binned multi-run experiment over one catalog scenario, for both
+/// flow definitions (ranking metric, 60-second bins).
+fn run_scenario(name: &str, options: &Options) {
+    let Some(workload) = Workload::by_name(name) else {
+        let names: Vec<&str> = Workload::catalog().iter().map(|w| w.name()).collect();
+        eprintln!("unknown scenario {name:?}; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    let scaled = workload.scaled(options.scenario_scale());
+    for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
+        println!(
+            "# Scenario {}: trace-driven ranking vs time, {definition}, top 10, 60-second bins, scale {}, {} runs, {} sampling",
+            scaled.name(),
+            options.scenario_scale(),
+            options.runs,
+            options.sampler.name()
+        );
+        let result = workload_experiment(
+            &scaled,
+            definition,
+            60.0,
+            options.runs,
+            2026,
+            options.sampler,
+        )
+        .with_threads(options.threads)
+        .run();
+        println!("{}", result_to_csv(&result, 60.0, false));
+    }
+}
+
 fn main() {
     let options = parse_args();
+    if let Some(name) = &options.scenario {
+        run_scenario(name, &options);
+        return;
+    }
     let five_tuple = Scenario::sprint_five_tuple(1.5);
     let prefix = Scenario::sprint_prefix24(1.5);
 

@@ -464,6 +464,129 @@ mod tests {
     }
 
     #[test]
+    fn clear_reuse_across_many_bins() {
+        // The monitor's steady state: one table recycled bin after bin with
+        // a *different* key population each bin. Contents must be exact per
+        // bin, no stale entries may leak across a clear, and the
+        // allocations must be paid once.
+        let mut map: FlowMap<u64, u64> = FlowMap::new();
+        let mut grown_capacity = 0;
+        for bin in 0..5u64 {
+            let keys: Vec<u64> = (0..300u64).map(|i| bin * 1_000_000 + i * 3).collect();
+            for (rank, &k) in keys.iter().enumerate() {
+                map.upsert(k, || rank as u64, |v| *v += 1);
+            }
+            assert_eq!(map.len(), keys.len(), "bin {bin}");
+            // No key of any previous bin survives the clear.
+            if bin > 0 {
+                assert!(!map.contains_key(&((bin - 1) * 1_000_000)), "bin {bin}");
+            }
+            for (rank, &k) in keys.iter().enumerate() {
+                assert_eq!(map.get(&k), Some(&(rank as u64)), "bin {bin}");
+            }
+            assert_eq!(map.keys().collect::<Vec<_>>(), keys, "bin {bin} order");
+            if bin == 0 {
+                grown_capacity = map.capacity();
+            } else {
+                assert_eq!(
+                    map.capacity(),
+                    grown_capacity,
+                    "bin {bin}: clear() reuse must never regrow"
+                );
+            }
+            map.clear();
+            assert!(map.is_empty());
+            assert_eq!(map.get(&(bin * 1_000_000)), None);
+        }
+    }
+
+    #[test]
+    fn growth_happens_exactly_at_the_load_boundary() {
+        // The 7/8 load rule, pinned at the exact boundary for several
+        // power-of-two slot sizes: `capacity()` inserts fit without growth,
+        // one more entry grows the table, and every key stays reachable
+        // through the rehash.
+        for requested in [14usize, 100, 448, 1_000] {
+            let mut map: FlowMap<u64, usize> = FlowMap::with_capacity(requested);
+            let boundary = map.capacity();
+            assert!(boundary >= requested);
+            for i in 0..boundary as u64 {
+                map.insert(i * 7 + 1, i as usize);
+                assert_eq!(
+                    map.capacity(),
+                    boundary,
+                    "insert {i} of {boundary} must not grow"
+                );
+            }
+            assert_eq!(map.len(), boundary);
+            // The boundary-crossing insert grows the slot array…
+            map.insert(u64::MAX - 3, usize::MAX);
+            assert!(
+                map.capacity() > boundary,
+                "insert {} must grow past {boundary}",
+                boundary + 1
+            );
+            // …and the rehash keeps every entry reachable, in slab order.
+            assert_eq!(map.len(), boundary + 1);
+            for i in 0..boundary as u64 {
+                assert_eq!(map.get(&(i * 7 + 1)), Some(&(i as usize)));
+            }
+            assert_eq!(map.get(&(u64::MAX - 3)), Some(&usize::MAX));
+            let keys: Vec<u64> = map.keys().collect();
+            assert_eq!(keys.len(), boundary + 1);
+            assert_eq!(keys[0], 1);
+            assert_eq!(*keys.last().unwrap(), u64::MAX - 3);
+        }
+    }
+
+    #[test]
+    fn tombstone_reuse_keeps_a_churned_table_from_growing() {
+        // Heavy insert/remove churn with a bounded live population: every
+        // slot gets tombstoned over and over, yet because dead slots are
+        // reused (and rehashes size for live entries only) the table must
+        // never grow beyond its initial sizing — while agreeing with a
+        // reference map at every step.
+        let mut map: FlowMap<u64, u64> = FlowMap::with_capacity(14);
+        let cap = map.capacity();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        for op in 0..50_000u64 {
+            let key = next() % 10; // ≤ 10 live entries, far under capacity
+            if next() % 2 == 0 {
+                let value = next();
+                assert_eq!(
+                    map.insert(key, value),
+                    reference.insert(key, value),
+                    "op {op}"
+                );
+            } else {
+                assert_eq!(map.remove(&key), reference.remove(&key), "op {op}");
+            }
+            assert_eq!(map.len(), reference.len(), "op {op}");
+            assert!(
+                map.capacity() <= cap,
+                "op {op}: churn with ≤10 live entries grew the table \
+                 ({} > {cap}) — tombstones treated as live?",
+                map.capacity()
+            );
+        }
+        for (k, v) in map.iter() {
+            assert_eq!(reference.get(&k), Some(v));
+        }
+        // Absent-key probes still terminate and miss correctly after the
+        // churn (chains are full of reused slots).
+        for k in 100..200u64 {
+            assert_eq!(map.get(&k), None);
+        }
+    }
+
+    #[test]
     fn tombstone_buildup_triggers_purging_rehash() {
         let mut map: FlowMap<u64, u64> = FlowMap::with_capacity(64);
         // Insert/remove cycles far beyond the slot count: without tombstone

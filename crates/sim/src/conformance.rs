@@ -1,0 +1,316 @@
+//! Differential conformance across every execution path of the pipeline.
+//!
+//! The workspace keeps four ways of running the same measurement over the
+//! same trace — per-packet [`Monitor::push`], batched
+//! [`Monitor::push_batch`] (whole or chunked arbitrarily), the sharded
+//! `threads(n)` configuration, and the legacy [`crate::run_bin`] wrapper —
+//! and promises they are **bit-identical**, not merely statistically alike.
+//! This module is the single driver that checks the promise for one
+//! configuration cell and condenses the resulting report stream into a
+//! stable digest, so a committed golden value per cell turns any silent
+//! behaviour change into a loud test failure.
+//!
+//! [`run_conformance`] builds four identically configured single-lane
+//! monitors, drives each through a different ingestion path, asserts that
+//! every [`BinReport`] agrees byte for byte, replays each bin through the
+//! legacy engine for the same seed, and returns the
+//! [`digest_reports`] hash of the reference stream. The digest folds every
+//! observable field — bin indices, packet/flow counts, lane outcomes, top-k
+//! entries — through FNV-1a, using only integer arithmetic and explicit
+//! `f64::to_bits`, so it is stable across platforms, optimisation levels
+//! and thread counts.
+
+use flowrank_monitor::{BinReport, Monitor, SamplerSpec, TopKSpec};
+use flowrank_net::{CompactKey, FlowDefinition, PacketBatch, PacketRecord, Timestamp};
+use flowrank_stats::rng::{Pcg64, SeedableRng};
+
+use crate::binning::split_into_bins;
+use crate::engine::run_bin;
+
+/// Irregular batch cuts used by the chunked leg: single packets, odd sizes,
+/// a power of two and "the rest", so cuts land inside bins, on boundaries
+/// and across idle gaps.
+const CHUNK_PIECES: [usize; 6] = [1, 7, 501, 1, 4096, usize::MAX];
+
+/// One cell of the conformance matrix: a fully specified single-lane
+/// monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConformanceConfig {
+    /// Flow definition for ground truth and sampled classification.
+    pub flow_definition: FlowDefinition,
+    /// Sampling discipline of the lane.
+    pub sampler: SamplerSpec,
+    /// Optional top-k backend fed with the lane's sampled packets.
+    pub topk: Option<TopKSpec>,
+    /// Measurement-bin length.
+    pub bin_length: Timestamp,
+    /// Number of top flows ranked per bin.
+    pub top_t: usize,
+    /// Lane seed (single lane, so this is the master seed verbatim).
+    pub seed: u64,
+    /// Worker threads of the sharded leg.
+    pub threads: usize,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            flow_definition: FlowDefinition::FiveTuple,
+            sampler: SamplerSpec::Random { rate: 0.1 },
+            topk: None,
+            bin_length: Timestamp::from_secs_f64(60.0),
+            top_t: 10,
+            seed: 0xC0F0_2026,
+            threads: 2,
+        }
+    }
+}
+
+impl ConformanceConfig {
+    fn monitor(&self, threads: usize) -> Monitor {
+        let mut builder = Monitor::builder()
+            .flow_definition(self.flow_definition)
+            .sampler(self.sampler)
+            .bin_length(self.bin_length)
+            .top_t(self.top_t)
+            .seed(self.seed)
+            .threads(threads);
+        if let Some(topk) = self.topk {
+            builder = builder.topk(topk);
+        }
+        builder.build()
+    }
+}
+
+/// Runs `packets` through every execution path under `config`, asserts all
+/// paths produce bit-identical [`BinReport`] streams (and that each bin
+/// matches the legacy [`run_bin`] engine), and returns the reference
+/// stream's [`digest_reports`] value.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first divergence between any
+/// two paths — that is the test failure mode the harness exists for.
+pub fn run_conformance(label: &str, packets: &[PacketRecord], config: &ConformanceConfig) -> u64 {
+    // Reference: packet-by-packet push.
+    let mut pushed = config.monitor(1);
+    let mut reference = Vec::new();
+    for packet in packets {
+        reference.extend(pushed.push(packet));
+    }
+    reference.extend(pushed.finish());
+
+    // One batch covering the whole trace.
+    let batch = PacketBatch::from_records(packets);
+    let whole = config.monitor(1).run_batch(&batch);
+    assert_eq!(
+        whole, reference,
+        "{label}: whole-trace push_batch diverged from per-packet push"
+    );
+
+    // Irregular batch cuts, including single-packet batches.
+    let mut chunked_monitor = config.monitor(1);
+    let mut chunked = Vec::new();
+    let mut start = 0usize;
+    for piece in CHUNK_PIECES {
+        let end = packets.len().min(start.saturating_add(piece));
+        chunked
+            .extend(chunked_monitor.push_batch(&PacketBatch::from_records(&packets[start..end])));
+        start = end;
+        if start == packets.len() {
+            break;
+        }
+    }
+    chunked.extend(chunked_monitor.push_batch(&PacketBatch::from_records(&packets[start..])));
+    chunked.extend(chunked_monitor.finish());
+    assert_eq!(
+        chunked, reference,
+        "{label}: chunked push_batch diverged from per-packet push"
+    );
+
+    // The sharded leg: whole-bin segments fan out across worker threads.
+    let sharded = config.monitor(config.threads.max(2)).run_batch(&batch);
+    assert_eq!(
+        sharded,
+        reference,
+        "{label}: sharded ({} threads) run_batch diverged from per-packet push",
+        config.threads.max(2)
+    );
+
+    // Legacy leg: every bin replayed through the batch-era engine with the
+    // same sampler spec and seed (the monitor restarts each lane's sampler
+    // and RNG from its seed at every bin boundary, which is exactly the
+    // legacy engine's fresh-per-bin contract).
+    let bins = split_into_bins(packets, config.bin_length);
+    assert_eq!(
+        reference.len(),
+        bins.len(),
+        "{label}: one report per wall-clock bin"
+    );
+    for (index, bin) in bins.iter().enumerate() {
+        let mut sampler = config.sampler.build(config.seed);
+        let mut rng = Pcg64::seed_from_u64(config.seed);
+        let legacy = run_bin(
+            bin,
+            config.flow_definition,
+            &mut *sampler,
+            config.top_t,
+            &mut rng,
+        );
+        let lane = &reference[index].lanes[0];
+        assert_eq!(
+            lane.outcome, legacy.outcome,
+            "{label}: bin {index} outcome diverged from legacy run_bin"
+        );
+        assert_eq!(
+            lane.sampled_flows, legacy.sampled_flows,
+            "{label}: bin {index} sampled flow count diverged from legacy run_bin"
+        );
+        assert_eq!(
+            reference[index].flows, legacy.original_flows,
+            "{label}: bin {index} ground-truth flow count diverged from legacy run_bin"
+        );
+    }
+
+    digest_reports(&reference)
+}
+
+/// FNV-1a accumulator for report digests.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.u64(v as u64);
+        self.u64((v >> 64) as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+}
+
+/// Computes a stable 64-bit digest of a [`BinReport`] stream.
+///
+/// Every field that [`run_conformance`] pins across execution paths is
+/// folded in — bin index and start, packet and flow counts, and per lane
+/// the rate (as IEEE bits), run index, sampler name, sampled sizes, the
+/// full [`flowrank_monitor::ComparisonOutcome`] and, when present, the
+/// top-k backend name, memory occupancy and entry list (packed keys and
+/// estimates). Two report streams digest equal iff they are equal on all
+/// of those fields, up to 64-bit collision.
+pub fn digest_reports(reports: &[BinReport]) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.u64(reports.len() as u64);
+    for report in reports {
+        fnv.u64(report.bin_index);
+        fnv.u64(report.bin_start.as_micros());
+        fnv.u64(report.packets);
+        fnv.u64(report.flows as u64);
+        fnv.u64(report.lanes.len() as u64);
+        for lane in &report.lanes {
+            fnv.u64(lane.rate.to_bits());
+            fnv.u64(lane.run as u64);
+            fnv.str(lane.sampler);
+            fnv.u64(lane.sampled_flows as u64);
+            fnv.u64(lane.sampled_packets);
+            fnv.u64(lane.outcome.ranking_swaps);
+            fnv.u64(lane.outcome.detection_swaps);
+            fnv.u64(lane.outcome.missed_top_flows);
+            fnv.u64(lane.outcome.ranking_pairs);
+            fnv.u64(lane.outcome.detection_pairs);
+            match &lane.topk {
+                None => fnv.byte(0),
+                Some(topk) => {
+                    fnv.byte(1);
+                    fnv.str(topk.backend);
+                    fnv.u64(topk.memory_entries as u64);
+                    fnv.u64(topk.entries.len() as u64);
+                    for entry in &topk.entries {
+                        fnv.u128(entry.key.pack());
+                        fnv.u64(entry.estimate);
+                    }
+                }
+            }
+        }
+    }
+    fnv.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrank_trace::Workload;
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let packets = Workload::rank_churn().synthesize(1);
+        let config = ConformanceConfig::default();
+        let mut monitor = config.monitor(1);
+        let reports = monitor.run_trace(&packets);
+        assert!(reports.len() >= 2);
+        let digest = digest_reports(&reports);
+        assert_eq!(
+            digest,
+            digest_reports(&reports),
+            "digest is a pure function"
+        );
+        let mut reversed = reports.clone();
+        reversed.reverse();
+        assert_ne!(digest, digest_reports(&reversed));
+        let mut tweaked = reports.clone();
+        tweaked[0].packets += 1;
+        assert_ne!(digest, digest_reports(&tweaked));
+        assert_ne!(digest, digest_reports(&reports[1..]));
+    }
+
+    #[test]
+    fn conformance_passes_on_a_real_scenario() {
+        let packets = Workload::ddos_flood().synthesize(2);
+        let config = ConformanceConfig {
+            sampler: SamplerSpec::Stratified { rate: 0.2 },
+            topk: Some(TopKSpec::SpaceSaving { capacity: 16 }),
+            ..ConformanceConfig::default()
+        };
+        let digest = run_conformance("ddos-flood/stratified", &packets, &config);
+        // Same cell, same digest; different seed, different digest.
+        assert_eq!(
+            digest,
+            run_conformance("ddos-flood/stratified", &packets, &config)
+        );
+        let reseeded = ConformanceConfig {
+            seed: config.seed ^ 1,
+            ..config
+        };
+        assert_ne!(
+            digest,
+            run_conformance("ddos-flood/stratified", &packets, &reseeded)
+        );
+    }
+
+    #[test]
+    fn empty_trace_digest_is_stable() {
+        let digest = run_conformance("empty", &[], &ConformanceConfig::default());
+        assert_eq!(digest, digest_reports(&[]));
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`binning`] — cutting a packet trace into measurement bins (flows active
 //!   across a bin boundary are truncated, exactly as the paper's binning
 //!   method does).
+//! * [`conformance`] — the differential harness that drives one
+//!   configuration through every execution path (`push`, `push_batch` whole
+//!   and chunked, sharded `threads(n)`, legacy [`run_bin`]), asserts
+//!   bit-identical reports and condenses the stream into a stable golden
+//!   digest.
 //! * [`engine`] — the legacy single-run batch entry points ([`run_bin`],
 //!   [`engine::run_bin_random_sampling`]), kept as thin wrappers that share
 //!   the monitor's ranking primitives and produce bit-identical results.
@@ -33,15 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod conformance;
 pub mod engine;
 pub mod experiment;
 pub mod report;
 pub mod scenarios;
 
 pub use binning::{split_batch_into_bin_ranges, split_into_bins};
+pub use conformance::{digest_reports, run_conformance, ConformanceConfig};
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
-pub use scenarios::{abilene_experiment, sprint_experiment, sprint_experiment_with_sampler};
+pub use scenarios::{
+    abilene_experiment, sprint_experiment, sprint_experiment_with_sampler, workload_experiment,
+};
 
 // The monitor is the front door experiments are built on; re-export the
 // names needed to configure one from simulation code.

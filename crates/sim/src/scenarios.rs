@@ -8,7 +8,7 @@
 
 use flowrank_monitor::SamplerSpec;
 use flowrank_net::{FlowDefinition, Timestamp};
-use flowrank_trace::{synthesize_packets, AbileneModel, SprintModel, SynthesisConfig};
+use flowrank_trace::{synthesize_packets, AbileneModel, SprintModel, SynthesisConfig, Workload};
 
 use crate::experiment::{ExperimentConfig, TraceExperiment};
 
@@ -66,6 +66,40 @@ pub fn sprint_experiment_with_sampler(
     TraceExperiment::new(&packets, config)
 }
 
+/// Builds a trace-driven experiment over one scenario of the
+/// [`Workload`] catalog — the same binned, multi-run methodology as the
+/// Sprint/Abilene figures, applied to any traffic shape the catalog can
+/// produce.
+///
+/// * `workload` — the scenario (scale it first with [`Workload::scaled`] to
+///   grow or shrink the population).
+/// * `flow_definition` — 5-tuple or /24 prefix classification.
+/// * `bin_seconds` — measurement-bin length.
+/// * `runs` — independent sampling runs per rate.
+/// * `sampler` — sampling-discipline template, fanned out across
+///   [`SPRINT_RATES`].
+pub fn workload_experiment(
+    workload: &Workload,
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+) -> TraceExperiment {
+    let packets = workload.synthesize(seed);
+    let config = ExperimentConfig {
+        flow_definition,
+        sampler,
+        sampling_rates: SPRINT_RATES.to_vec(),
+        bin_length: Timestamp::from_secs_f64(bin_seconds),
+        top_t: 10,
+        runs,
+        seed,
+        threads: 0,
+    };
+    TraceExperiment::new(&packets, config)
+}
+
 /// Builds the Abilene-like trace experiment of Fig. 16 (1-minute bins,
 /// 5-tuple flows, top 10).
 pub fn abilene_experiment(scale: f64, runs: usize, seed: u64) -> TraceExperiment {
@@ -108,6 +142,28 @@ mod tests {
             .map(|s| s.overall_ranking_mean())
             .collect();
         assert!(overall[3] < overall[0], "50% must beat 0.1%: {overall:?}");
+    }
+
+    #[test]
+    fn workload_experiment_runs_every_catalog_scenario() {
+        for workload in Workload::catalog() {
+            let experiment = workload_experiment(
+                &workload.scaled(0.25),
+                FlowDefinition::FiveTuple,
+                60.0,
+                2,
+                5,
+                SamplerSpec::Random { rate: 0.01 },
+            );
+            let result = experiment.run();
+            assert_eq!(
+                result.series.len(),
+                SPRINT_RATES.len(),
+                "{}",
+                workload.name()
+            );
+            assert!(result.bin_count >= 2, "{}", workload.name());
+        }
     }
 
     #[test]

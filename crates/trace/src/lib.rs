@@ -28,6 +28,9 @@
 //!   (uniform packet placement over the flow lifetime, Sec. 8.1).
 //! * [`summary`] — trace summary statistics.
 //! * [`export`] — pcap export of synthetic traces via `flowrank-net`.
+//! * [`workloads`] — the deterministic scenario catalog (heavy-tail α, flash
+//!   crowd, DDoS flood, port scan, rank churn, mixed) that stresses the
+//!   pipeline with traffic shapes beyond the Sprint/Abilene models.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,9 +44,11 @@ pub mod generator;
 pub mod sprint;
 pub mod summary;
 pub mod synthesis;
+pub mod workloads;
 
 pub use abilene::AbileneModel;
 pub use flow_record::FlowRecord;
 pub use generator::{FlowPopulationConfig, SizeModel};
 pub use sprint::SprintModel;
 pub use synthesis::{synthesize_packet_batch, synthesize_packets, SynthesisConfig};
+pub use workloads::Workload;

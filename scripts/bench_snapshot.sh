@@ -6,13 +6,15 @@
 #
 # Usage: scripts/bench_snapshot.sh
 #
-# Runs the flowrank-bench `throughput` bench with BENCH_JSON set (the
-# in-tree criterion shim appends one JSON line per benchmark; new bench
-# cases are picked up automatically) and assembles the lines. Compare two
-# snapshots with e.g. `jq '.results[] | {name, mean_ns}'
+# Runs the flowrank-bench `throughput` and `scenario_throughput` benches
+# with BENCH_JSON set (the in-tree criterion shim appends one JSON line per
+# benchmark; new bench cases are picked up automatically) and assembles the
+# lines. Compare two snapshots with e.g. `jq '.results[] | {name, mean_ns}'
 # BENCH_throughput.json`, or plot one bench across PRs with
 # `jq -c '{sha: .git_sha, r: (.results[] | select(.name == "pcap_decode"))}'
-# BENCH_trajectory.ndjson`.
+# BENCH_trajectory.ndjson`. The scenario group shows how throughput varies
+# with traffic shape (heavy-tail, flash-crowd, ddos-flood, port-scan,
+# rank-churn, mixed), not just with the one Sprint-like mix.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +23,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench throughput
+BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scenario_throughput
 
 if [ ! -s "$tmp" ]; then
     echo "error: bench run produced no BENCH_JSON lines" >&2

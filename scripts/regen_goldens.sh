@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates the committed conformance golden digests
+# (tests/goldens/scenario_conformance.txt).
+#
+# Golden digests pin the *results* of the scenario × sampler × top-k
+# conformance matrix, so they must only ever change together with the code
+# change that intentionally moved them (e.g. a new RNG stream or a new
+# matrix cell). To keep every regeneration reviewable, this script refuses
+# to run on a dirty working tree: regenerate on a clean checkout of your
+# change, and the golden diff lands in the same commit series as the code
+# that caused it.
+#
+# Usage: scripts/regen_goldens.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -n "$(git status --porcelain)" ]; then
+    echo "error: working tree is dirty — commit or stash first so the golden" >&2
+    echo "       regeneration is its own reviewable change" >&2
+    git status --short >&2
+    exit 1
+fi
+
+REGEN_GOLDENS=1 cargo test -p flowrank-tests --test scenario_conformance -- --nocapture
+
+if git diff --quiet -- tests/goldens/; then
+    echo "goldens unchanged — the matrix still digests to the committed values"
+else
+    echo "goldens updated:"
+    git --no-pager diff --stat -- tests/goldens/
+    echo "review the diff and commit it together with the change that moved it"
+fi

@@ -1,12 +1,20 @@
 //! Cross-crate integration: the full monitor pipeline over a pcap capture —
 //! generate a trace, export it, re-import it, and stream it through the
-//! push-based monitor.
+//! push-based monitor — plus the decoder error paths: truncated record
+//! headers, `incl_len` past the end of the buffer, and frames the fast
+//! parser bows out of (IP options, ICMP, short UDP), on which the zero-copy
+//! batch decoder and the record reader must agree exactly.
 
 use flowrank_monitor::{Monitor, SamplerSpec};
-use flowrank_net::pcap::pcap_bytes_to_records;
-use flowrank_net::{FiveTuple, FlowDefinition, FlowTable, Timestamp};
+use flowrank_net::pcap::{
+    pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, PcapReader, PcapWriter,
+};
+use flowrank_net::{
+    FiveTuple, FlowDefinition, FlowTable, PacketBatch, PacketRecord, Protocol, Timestamp,
+};
 use flowrank_trace::export::export_flows_to_pcap;
 use flowrank_trace::{SprintModel, SynthesisConfig};
+use std::net::Ipv4Addr;
 
 #[test]
 fn pcap_export_import_stream_rank() {
@@ -61,4 +69,210 @@ fn pcap_export_import_stream_rank() {
     let sparse = report.lanes_at_rate(0.01).next().expect("1% lane");
     assert!(sparse.outcome.ranking_swaps > 0);
     assert!(sparse.sampled_packets < written);
+}
+
+/// A valid capture holding `records`, built through the production writer.
+fn capture_of(records: &[PacketRecord]) -> Vec<u8> {
+    records_to_pcap_bytes(records).unwrap()
+}
+
+fn tcp_record(i: usize) -> PacketRecord {
+    PacketRecord::tcp(
+        Timestamp::from_secs_f64(i as f64 * 0.001),
+        Ipv4Addr::new(10, 2, 0, (i % 200) as u8),
+        30_000 + i as u16,
+        Ipv4Addr::new(100, 64, 1, 9),
+        80,
+        500,
+        i as u32 * 500,
+    )
+}
+
+/// Hand-builds an Ethernet/IPv4 frame with `options` extra IPv4 option
+/// bytes (IHL = 5 + options/4) carrying a TCP or UDP header — the shape the
+/// single-bounds-check fast parser refuses (IHL ≠ 5) and the general parser
+/// must handle.
+fn frame_with_ip_options(protocol: Protocol, options: usize, src_port: u16) -> Vec<u8> {
+    assert_eq!(options % 4, 0);
+    let ihl_bytes = 20 + options;
+    let transport = match protocol {
+        Protocol::Tcp => 20,
+        Protocol::Udp => 8,
+        _ => 0,
+    };
+    let total_len = ihl_bytes + transport;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]); // dst MAC
+    frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // src MAC
+    frame.extend_from_slice(&0x0800u16.to_be_bytes()); // EtherType IPv4
+    let mut ip = vec![0u8; ihl_bytes];
+    ip[0] = 0x40 | (ihl_bytes / 4) as u8; // version 4, IHL > 5
+    ip[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+    ip[8] = 64;
+    ip[9] = protocol.number();
+    ip[12..16].copy_from_slice(&Ipv4Addr::new(172, 16, 0, 5).octets());
+    ip[16..20].copy_from_slice(&Ipv4Addr::new(100, 64, 3, 7).octets());
+    for b in &mut ip[20..ihl_bytes] {
+        *b = 0x01; // NOP options
+    }
+    frame.extend_from_slice(&ip);
+    match protocol {
+        Protocol::Tcp => {
+            let mut tcp = [0u8; 20];
+            tcp[0..2].copy_from_slice(&src_port.to_be_bytes());
+            tcp[2..4].copy_from_slice(&8080u16.to_be_bytes());
+            tcp[4..8].copy_from_slice(&0xFEEDBEEFu32.to_be_bytes());
+            tcp[12] = 0x50;
+            frame.extend_from_slice(&tcp);
+        }
+        Protocol::Udp => {
+            let mut udp = [0u8; 8];
+            udp[0..2].copy_from_slice(&src_port.to_be_bytes());
+            udp[2..4].copy_from_slice(&53u16.to_be_bytes());
+            udp[4..6].copy_from_slice(&(transport as u16).to_be_bytes());
+            frame.extend_from_slice(&udp);
+        }
+        _ => {}
+    }
+    frame
+}
+
+/// Decodes `bytes` through both paths and asserts they agree record for
+/// record; returns the records.
+fn decode_both_ways(bytes: &[u8]) -> Vec<PacketRecord> {
+    let records = pcap_bytes_to_records(bytes).unwrap();
+    let mut batch = PacketBatch::new();
+    let appended = pcap_bytes_to_batch(bytes, &mut batch).unwrap();
+    assert_eq!(appended as usize, records.len());
+    assert_eq!(batch.to_records(), records, "fast and fallback paths agree");
+    records
+}
+
+#[test]
+fn truncated_record_headers_error_in_both_decoders() {
+    let bytes = capture_of(&(0..3).map(tcp_record).collect::<Vec<_>>());
+    let record_len = 16 + 14 + 500;
+    // Cut inside the second record's 16-byte header: 4–15 remaining header
+    // bytes are an error for both paths; 1–3 are clean EOF for both.
+    for cut in [4usize, 8, 15] {
+        let cut_bytes = &bytes[..24 + record_len + cut];
+        let mut reader = PcapReader::new(cut_bytes).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().is_err(), "reader, {cut} header bytes");
+        let mut batch = PacketBatch::new();
+        assert!(
+            pcap_bytes_to_batch(cut_bytes, &mut batch).is_err(),
+            "batch, {cut} header bytes"
+        );
+    }
+    for cut in [1usize, 3] {
+        let cut_bytes = &bytes[..24 + record_len + cut];
+        assert_eq!(decode_both_ways(cut_bytes).len(), 1, "{cut} bytes is EOF");
+    }
+}
+
+#[test]
+fn incl_len_past_end_of_buffer_is_rejected_by_both_decoders() {
+    // A record header whose incl_len promises more payload than the buffer
+    // holds — the remote-input shape a length-trusting decoder would
+    // over-read on.
+    for (claimed, present) in [(600u32, 100usize), (54, 53), (1, 0)] {
+        let mut bytes = capture_of(&[]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend(std::iter::repeat_n(0u8, present));
+        let mut reader = PcapReader::new(&bytes[..]).unwrap();
+        assert!(reader.next_frame().is_err(), "reader, {claimed}/{present}");
+        let mut batch = PacketBatch::new();
+        assert!(
+            pcap_bytes_to_batch(&bytes, &mut batch).is_err(),
+            "batch, {claimed}/{present}"
+        );
+        assert!(batch.is_empty());
+    }
+}
+
+#[test]
+fn ihl_gt_5_frames_fall_back_to_the_general_parser() {
+    // IPv4 frames with options (IHL 6 and 8), TCP and UDP: the fast parser
+    // bows out, the general parser decodes them, and both decode paths
+    // agree on every field — ports read *after* the options, not at the
+    // IHL-5 offsets.
+    let mut writer = PcapWriter::new(Vec::new()).unwrap();
+    writer
+        .write_frame(
+            Timestamp::from_micros(10),
+            &frame_with_ip_options(Protocol::Tcp, 4, 41_000),
+        )
+        .unwrap();
+    writer
+        .write_frame(
+            Timestamp::from_micros(20),
+            &frame_with_ip_options(Protocol::Udp, 12, 42_000),
+        )
+        .unwrap();
+    // A plain fast-path record in between proves the two paths interleave.
+    writer.write_record(&tcp_record(7)).unwrap();
+    let bytes = writer.finish().unwrap();
+
+    let records = decode_both_ways(&bytes);
+    assert_eq!(records.len(), 3);
+    assert_eq!(records[0].protocol, Protocol::Tcp);
+    assert_eq!(records[0].src_port, 41_000);
+    assert_eq!(records[0].dst_port, 8080);
+    assert_eq!(records[0].tcp_seq, Some(0xFEEDBEEF));
+    assert_eq!(records[0].length, 44); // 24-byte IPv4 header + 20 TCP
+    assert_eq!(records[1].protocol, Protocol::Udp);
+    assert_eq!(records[1].src_port, 42_000);
+    assert_eq!(records[1].dst_port, 53);
+    assert_eq!(records[1].tcp_seq, None);
+    assert_eq!(records[2], tcp_record(7));
+}
+
+#[test]
+fn undecodable_frames_are_skipped_identically_by_both_decoders() {
+    let mut writer = PcapWriter::new(Vec::new()).unwrap();
+    // ARP (non-IPv4 EtherType).
+    let mut arp = vec![0u8; 42];
+    arp[12] = 0x08;
+    arp[13] = 0x06;
+    writer.write_frame(Timestamp::ZERO, &arp).unwrap();
+    // IPv4 claiming TCP but truncated before the TCP header ends.
+    let truncated_tcp = &frame_with_ip_options(Protocol::Tcp, 4, 43_000)[..14 + 24 + 10];
+    writer
+        .write_frame(Timestamp::from_micros(1), truncated_tcp)
+        .unwrap();
+    // IPv6 EtherType.
+    let mut six = vec![0u8; 60];
+    six[12] = 0x86;
+    six[13] = 0xDD;
+    writer.write_frame(Timestamp::from_micros(2), &six).unwrap();
+    // A valid ICMP frame (no ports) and a short valid UDP frame — both
+    // refuse the 54-byte fast path but decode via the general parser.
+    let mut icmp = tcp_record(3);
+    icmp.protocol = Protocol::Icmp;
+    icmp.tcp_seq = None;
+    icmp.src_port = 0;
+    icmp.dst_port = 0;
+    icmp.length = 84;
+    writer.write_record(&icmp).unwrap();
+    let short_udp = PacketRecord::udp(
+        Timestamp::from_micros(4),
+        Ipv4Addr::new(10, 9, 9, 9),
+        5353,
+        Ipv4Addr::new(100, 64, 2, 2),
+        53,
+        28, // IPv4 + UDP headers only: a 42-byte frame, below the fast cut
+    );
+    writer.write_record(&short_udp).unwrap();
+    writer.write_record(&tcp_record(11)).unwrap();
+    let bytes = writer.finish().unwrap();
+
+    let records = decode_both_ways(&bytes);
+    assert_eq!(records.len(), 3, "ARP, truncated TCP and IPv6 are skipped");
+    assert_eq!(records[0], icmp);
+    assert_eq!(records[1], short_udp);
+    assert_eq!(records[2], tcp_record(11));
 }
