@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-use flowrank_monitor::{Monitor, SamplerSpec};
+use flowrank_monitor::{Monitor, RateCurve, SamplerSpec};
 use flowrank_net::pcap::{
     pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, records_to_pcap_bytes_into,
 };
@@ -16,7 +16,7 @@ use flowrank_net::{FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketBatch};
 use flowrank_sampling::{PacketSampler, RandomSampler};
 use flowrank_sim::engine::run_bin_random_sampling;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
-use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig, SynthesisStream};
 
 /// The experiment grid of the fan-out comparison (a scaled-down Sec. 8 run).
 const FAN_OUT_RATES: [f64; 4] = [0.001, 0.01, 0.1, 0.5];
@@ -178,6 +178,30 @@ fn bench(c: &mut Criterion) {
                 .map(|lane| lane.outcome.ranking_swaps)
                 .sum();
             black_box(total_swaps)
+        })
+    });
+
+    // The same grid end to end through the source/sink pipeline: the trace
+    // is synthesised window by window (never materialised) and the reports
+    // aggregate online into the per-rate curve — the bounded-memory
+    // configuration `Monitor::drive` exists for. Comparable head to head
+    // with push_batch_multi_run: same flows, same grid, same lane seeds;
+    // the delta is streamed synthesis + windowed pushes + the sink.
+    group.bench_function("drive_end_to_end", |b| {
+        b.iter(|| {
+            let mut monitor = Monitor::builder()
+                .flow_definition(FlowDefinition::FiveTuple)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&FAN_OUT_RATES)
+                .runs(FAN_OUT_RUNS)
+                .top_t(10)
+                .seed(FAN_OUT_SEED)
+                .bin_length(flowrank_net::Timestamp::ZERO)
+                .build();
+            let mut source = SynthesisStream::new(&flows, &SynthesisConfig::default(), 21);
+            let mut curve = RateCurve::new();
+            let summary = monitor.drive(&mut source, &mut curve);
+            black_box((summary.packets, curve.points().len()))
         })
     });
 

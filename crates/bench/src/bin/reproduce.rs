@@ -23,19 +23,50 @@
 //! multi-run experiment over one scenario of the workload catalog
 //! (`heavy-tail`, `flash-crowd`, `ddos-flood`, `port-scan`, `rank-churn`,
 //! `mixed`) instead of the figures; `--scale` then multiplies the
-//! scenario's arrival rates (default 1.0 — catalog scale). EXPERIMENTS.md
-//! records the settings used for the committed results.
+//! scenario's arrival rates (default 1.0 — catalog scale). The scenario
+//! path is fully streamed: the workload synthesises window by window
+//! through a packet source and `Monitor::drive` feeds the chosen report
+//! sink, so peak memory is independent of trace length. `--output` selects
+//! that sink: `summary` (default — the per-rate accuracy curve accumulated
+//! online), `csv` (one row per bin × lane, streamed as bins close) or
+//! `ndjson` (one JSON object per bin); with `csv`/`ndjson` the report
+//! stream is the only thing on stdout — the banner and the closing rate
+//! curve go to stderr so pipes parse cleanly. EXPERIMENTS.md records the
+//! settings used for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
     gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
 };
+use flowrank_monitor::{CsvSink, NdjsonSink, RateCurve, Tee};
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_to_csv;
 use flowrank_sim::{
-    abilene_experiment, sprint_experiment_with_sampler, workload_experiment, SamplerSpec,
+    abilene_experiment, sprint_experiment_with_sampler, workload_monitor, SamplerSpec,
 };
 use flowrank_trace::Workload;
+
+/// Report sink selected with `--output` for the streamed scenario path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Output {
+    /// Per-rate accuracy curve, accumulated online (the default).
+    Summary,
+    /// One CSV row per bin × lane, streamed as bins close.
+    Csv,
+    /// One JSON object per bin, streamed as bins close.
+    Ndjson,
+}
+
+impl Output {
+    fn by_name(name: &str) -> Option<Output> {
+        match name {
+            "summary" => Some(Output::Summary),
+            "csv" => Some(Output::Csv),
+            "ndjson" => Some(Output::Ndjson),
+            _ => None,
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -47,6 +78,7 @@ struct Options {
     runs: usize,
     sampler: SamplerSpec,
     threads: usize,
+    output: Output,
 }
 
 impl Options {
@@ -88,6 +120,7 @@ fn parse_args() -> Options {
         runs: 10,
         sampler: SamplerSpec::Random { rate: 0.01 },
         threads: 0,
+        output: Output::Summary,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -135,6 +168,16 @@ fn parse_args() -> Options {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(options.threads);
+                i += 2;
+            }
+            "--output" => {
+                match args.get(i + 1).and_then(|v| Output::by_name(v)) {
+                    Some(output) => options.output = output,
+                    None => {
+                        eprintln!("--output requires one of: summary, csv, ndjson");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             _ => i += 1,
@@ -283,8 +326,11 @@ fn fig16_abilene(options: &Options) {
     println!("{}", result_to_csv(&result, 60.0, false));
 }
 
-/// Runs the binned multi-run experiment over one catalog scenario, for both
-/// flow definitions (ranking metric, 60-second bins).
+/// Runs the streamed multi-run experiment over one catalog scenario, for
+/// both flow definitions: the workload synthesises window by window through
+/// a packet source, `Monitor::drive` pushes it through the full rate grid,
+/// and the `--output` sink renders bins as they close — nothing (trace or
+/// report stream) is ever materialised.
 fn run_scenario(name: &str, options: &Options) {
     let Some(workload) = Workload::by_name(name) else {
         let names: Vec<&str> = Workload::catalog().iter().map(|w| w.name()).collect();
@@ -292,25 +338,70 @@ fn run_scenario(name: &str, options: &Options) {
         std::process::exit(2);
     };
     let scaled = workload.scaled(options.scenario_scale());
+    let seed = 2026;
+    // With a machine-readable sink on stdout, everything that is not the
+    // stream itself (the banner, the drive summary, the rate curve) goes to
+    // stderr so `--output ndjson | jq` and `--output csv > file.csv` parse
+    // cleanly end to end.
+    let chrome: fn(std::fmt::Arguments) = match options.output {
+        Output::Summary => |args| println!("{args}"),
+        Output::Csv | Output::Ndjson => |args| eprintln!("{args}"),
+    };
     for definition in [FlowDefinition::FiveTuple, FlowDefinition::PREFIX24] {
-        println!(
-            "# Scenario {}: trace-driven ranking vs time, {definition}, top 10, 60-second bins, scale {}, {} runs, {} sampling",
+        chrome(format_args!(
+            "# Scenario {}: trace-driven ranking vs time, {definition}, top 10, 60-second bins, scale {}, {} runs, {} sampling, {:?} output",
             scaled.name(),
             options.scenario_scale(),
             options.runs,
-            options.sampler.name()
-        );
-        let result = workload_experiment(
-            &scaled,
+            options.sampler.name(),
+            options.output,
+        ));
+        let mut monitor = workload_monitor(
             definition,
             60.0,
             options.runs,
-            2026,
+            seed,
             options.sampler,
-        )
-        .with_threads(options.threads)
-        .run();
-        println!("{}", result_to_csv(&result, 60.0, false));
+            options.threads,
+        );
+        let mut source = scaled.stream(seed);
+        let mut curve = RateCurve::new();
+        let stdout = std::io::stdout();
+        let summary = match options.output {
+            Output::Summary => monitor.drive(&mut source, &mut curve),
+            Output::Csv => {
+                let mut writer = CsvSink::new(stdout.lock());
+                let summary = monitor.drive(&mut source, &mut Tee(&mut writer, &mut curve));
+                drop(writer.finish().expect("writing CSV to stdout failed"));
+                summary
+            }
+            Output::Ndjson => {
+                let mut writer = NdjsonSink::new(stdout.lock());
+                let summary = monitor.drive(&mut source, &mut Tee(&mut writer, &mut curve));
+                drop(writer.finish().expect("writing ndjson to stdout failed"));
+                summary
+            }
+        };
+        chrome(format_args!(
+            "# {} packets in {} windows -> {} bins",
+            summary.packets, summary.chunks, summary.reports
+        ));
+        chrome(format_args!(
+            "rate,bins,lane_observations,ranking_mean,ranking_std,detection_mean,detection_std"
+        ));
+        for point in curve.points() {
+            chrome(format_args!(
+                "{},{},{},{:.6},{:.6},{:.6},{:.6}",
+                point.rate,
+                point.bins,
+                point.observations,
+                point.ranking_mean,
+                point.ranking_std,
+                point.detection_mean,
+                point.detection_std
+            ));
+        }
+        chrome(format_args!(""));
     }
 }
 

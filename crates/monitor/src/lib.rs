@@ -39,6 +39,35 @@
 //! [`MonitorBuilder::threads`] sharding (pinned by the
 //! `streaming_equivalence` integration suite).
 //!
+//! # The source/sink pipeline and `drive`
+//!
+//! [`Monitor::drive`] is the canonical way to run a whole measurement: a
+//! [`PacketSource`] yields `&PacketBatch` chunks on demand (an in-memory
+//! batch or record slice, an incrementally decoded pcap capture, a scenario
+//! workload synthesised window by window, or any of them re-chunked through
+//! [`Chunked`]) and a [`ReportSink`] receives each closed bin's
+//! [`BinReport`] **by reference** the moment it closes ([`Collect`],
+//! the online [`RateCurve`] aggregator, ndjson/csv writer sinks, the
+//! conformance [`DigestSink`], or a [`Tee`] of any of them). The `drive`
+//! contract, spelled out on [`Monitor::drive`]:
+//!
+//! * reports are **chunking-invariant**: bit-identical for any source
+//!   chunking and any thread count;
+//! * the sink sees every bin exactly once, in bin order, idle bins
+//!   included, with the final partial bin flushed at end of stream;
+//! * reports are **borrowed**: the monitor recycles one report buffer
+//!   across bins, so steady-state bin closes allocate nothing — a sink that
+//!   keeps report data beyond `accept` must copy it (only [`Collect`]
+//!   does).
+//!
+//! `push`, `push_batch`, `run_trace` and `run_batch` are thin wrappers over
+//! the same sink-based core (a [`Collect`] sink clones each closed bin into
+//! the returned `Vec`), so every equivalence guarantee carries over
+//! bit-identically; `*_into` variants expose the allocation-free forms.
+//! With a streaming source (e.g. [`flowrank_trace::Workload::stream`]) and
+//! an aggregating sink, peak memory is independent of trace length — the
+//! configuration the `drive_end_to_end` bench records.
+//!
 //! ```
 //! use flowrank_monitor::{Monitor, SamplerSpec};
 //! use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
@@ -73,10 +102,15 @@
 #![warn(missing_docs)]
 
 pub mod monitor;
+pub mod pipeline;
 pub mod report;
 pub mod spec;
 
 pub use monitor::{Monitor, MonitorBuilder};
+pub use pipeline::{
+    BatchSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary, NdjsonSink, PacketSource,
+    PcapBytesSource, PcapReaderSource, RateCurve, RatePoint, RecordSource, ReportSink, Tee,
+};
 pub use report::{BinReport, LaneReport, TopKReport};
 pub use spec::{SamplerSpec, TopKSpec};
 

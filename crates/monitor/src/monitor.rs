@@ -19,6 +19,7 @@ use flowrank_sampling::SamplerStage;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_topk::TopKTracker;
 
+use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink};
 use crate::report::{BinReport, LaneReport, TopKReport};
 use crate::spec::{SamplerSpec, TopKSpec};
 
@@ -173,6 +174,7 @@ impl MonitorBuilder {
                     lanes.push(Lane::new(
                         &self.sampler,
                         rate_tag,
+                        0,
                         self.topk.as_ref(),
                         run,
                         seed,
@@ -180,17 +182,24 @@ impl MonitorBuilder {
                 }
             }
             Some(rates) => {
-                for &rate in rates {
+                for (rate_id, &rate) in rates.iter().enumerate() {
                     // Same derivation the batch experiment always used, so
                     // fanned-out lanes reproduce its per-run streams exactly.
                     let seeds = derive_seeds(self.seed ^ rate.to_bits(), self.runs);
                     let spec = self.sampler.with_rate(rate);
-                    // Lanes are tagged with the *requested* grid rate, not
-                    // the spec's own nominal rate: rate-keyed aggregation
-                    // must find its lanes even for disciplines whose
-                    // retargeting is a no-op (smart sampling).
+                    // Lanes are tagged with the *requested* grid rate (and
+                    // its index), not the spec's own nominal rate: rate-keyed
+                    // aggregation must find its lanes even for disciplines
+                    // whose retargeting is a no-op (smart sampling).
                     for (run, &seed) in seeds.iter().enumerate() {
-                        lanes.push(Lane::new(&spec, rate, self.topk.as_ref(), run, seed));
+                        lanes.push(Lane::new(
+                            &spec,
+                            rate,
+                            rate_id,
+                            self.topk.as_ref(),
+                            run,
+                            seed,
+                        ));
                     }
                 }
             }
@@ -206,6 +215,8 @@ impl MonitorBuilder {
             threads: self.threads.max(1),
             scratch_batch: PacketBatch::with_capacity(1),
             scratch_keys: Vec::new(),
+            scratch_report: BinReport::default(),
+            last_ts_nanos: None,
         }
     }
 }
@@ -215,6 +226,7 @@ impl MonitorBuilder {
 struct Lane {
     spec: SamplerSpec,
     rate: f64,
+    rate_id: usize,
     run: usize,
     seed: u64,
     stage: SamplerStage<Pcg64>,
@@ -230,6 +242,7 @@ impl Lane {
     fn new(
         spec: &SamplerSpec,
         rate_tag: f64,
+        rate_id: usize,
         topk: Option<&TopKSpec>,
         run: usize,
         seed: u64,
@@ -237,6 +250,7 @@ impl Lane {
         Lane {
             spec: *spec,
             rate: rate_tag,
+            rate_id,
             run,
             seed,
             stage: SamplerStage::new(spec.build(seed), Pcg64::seed_from_u64(seed)),
@@ -280,6 +294,7 @@ impl Lane {
         });
         let report = LaneReport {
             rate: self.rate,
+            rate_id: self.rate_id,
             run: self.run,
             sampler: self.spec.name(),
             sampled_flows: self.table.flow_count(),
@@ -332,6 +347,14 @@ pub struct Monitor {
     /// key buffer for batch segments — per-packet pushes never allocate.
     scratch_batch: PacketBatch,
     scratch_keys: Vec<AnyFlowKey>,
+    /// Reusable report buffer for the sink-based close path: the lanes
+    /// vector is recycled across bins, so in steady state a sink-driven
+    /// monitor closes bins without allocating the report shell (only
+    /// attached top-k backends still build their per-bin entry lists).
+    scratch_report: BinReport,
+    /// Largest timestamp pushed so far — backs the debug assertion that the
+    /// documented non-decreasing push contract holds across calls.
+    last_ts_nanos: Option<u64>,
 }
 
 impl Monitor {
@@ -385,12 +408,19 @@ impl Monitor {
     /// two entry points are bit-identical for any way of cutting the stream
     /// into batches.
     pub fn push(&mut self, packet: &PacketRecord) -> Vec<BinReport> {
+        let mut sink = Collect::new();
+        self.push_into(packet, &mut sink);
+        sink.reports
+    }
+
+    /// [`Monitor::push`] with the closed bins delivered to a sink by
+    /// reference instead of returned as owned reports.
+    pub fn push_into<K: ReportSink + ?Sized>(&mut self, packet: &PacketRecord, sink: &mut K) {
         let mut batch = std::mem::take(&mut self.scratch_batch);
         batch.clear();
         batch.push_record(packet);
-        let closed = self.push_batch(&batch);
+        self.push_batch_into(&batch, sink);
         self.scratch_batch = batch;
-        closed
     }
 
     /// Observes a whole batch of packets (timestamps non-decreasing, as with
@@ -404,7 +434,18 @@ impl Monitor {
     /// workers — with reports bit-identical to the single-threaded and
     /// per-packet paths (pinned by the `streaming_equivalence` suite).
     pub fn push_batch(&mut self, batch: &PacketBatch) -> Vec<BinReport> {
-        let mut closed = Vec::new();
+        let mut sink = Collect::new();
+        self.push_batch_into(batch, &mut sink);
+        sink.reports
+    }
+
+    /// [`Monitor::push_batch`] with the closed bins delivered to a sink by
+    /// reference the moment they close, instead of buffered into an owned
+    /// `Vec` — the hot path of [`Monitor::drive`]. The report a sink
+    /// receives is backed by a buffer the monitor recycles across bins, so
+    /// steady-state bin closes are allocation-free on the monitor side.
+    pub fn push_batch_into<K: ReportSink + ?Sized>(&mut self, batch: &PacketBatch, sink: &mut K) {
+        self.check_timestamp_contract(batch);
         let mut start = 0;
         while start < batch.len() {
             // A packet older than the current bin is counted into the
@@ -414,7 +455,7 @@ impl Monitor {
                 .bin_index(self.bin_length)
                 .max(self.current_bin);
             while bin > self.current_bin {
-                closed.push(self.close_current_bin());
+                self.emit_current_bin(sink);
             }
             let mut end = start + 1;
             while end < batch.len()
@@ -425,7 +466,38 @@ impl Monitor {
             self.process_segment(batch, start..end);
             start = end;
         }
-        closed
+    }
+
+    /// Debug-only enforcement of the documented push contract: timestamps
+    /// are non-decreasing within a batch and across calls. Release builds
+    /// keep the tolerant behaviour (an out-of-order packet folds into the
+    /// current bin); debug builds fail fast instead of silently folding.
+    fn check_timestamp_contract(&mut self, batch: &PacketBatch) {
+        #[cfg(debug_assertions)]
+        {
+            let ts = batch.ts_nanos();
+            if let (Some(&first), Some(last)) = (ts.first(), self.last_ts_nanos) {
+                debug_assert!(
+                    first >= last,
+                    "Monitor: timestamp regressed across push calls \
+                     ({first} ns after {last} ns); the push contract requires \
+                     non-decreasing timestamps"
+                );
+            }
+            for pair in ts.windows(2) {
+                debug_assert!(
+                    pair[0] <= pair[1],
+                    "Monitor: timestamps regress inside one batch \
+                     ({} ns after {} ns); the push contract requires \
+                     non-decreasing timestamps",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+        if let Some(&last) = batch.ts_nanos().last() {
+            self.last_ts_nanos = Some(self.last_ts_nanos.map_or(last, |seen| seen.max(last)));
+        }
     }
 
     /// Feeds one within-bin segment of a batch to the ground truth and the
@@ -476,12 +548,24 @@ impl Monitor {
     /// `None` when the monitor never saw a packet for it. Call at the end of
     /// a trace.
     pub fn finish(&mut self) -> Option<BinReport> {
-        if !self.saw_packet {
-            return None;
+        let mut sink = Collect::new();
+        if self.finish_into(&mut sink) {
+            sink.reports.pop()
+        } else {
+            None
         }
-        let report = self.close_current_bin();
+    }
+
+    /// [`Monitor::finish`] against a sink: closes the bin currently being
+    /// filled (when any packet started one) and delivers its report by
+    /// reference. Returns whether a bin was closed.
+    pub fn finish_into<K: ReportSink + ?Sized>(&mut self, sink: &mut K) -> bool {
+        if !self.saw_packet {
+            return false;
+        }
+        self.emit_current_bin(sink);
         self.saw_packet = false;
-        Some(report)
+        true
     }
 
     /// Runs a whole in-memory trace through the monitor: converts it to one
@@ -496,9 +580,63 @@ impl Monitor {
     /// Runs a whole in-memory batch through the monitor and closes the final
     /// bin — [`Monitor::push_batch`] plus [`Monitor::finish`].
     pub fn run_batch(&mut self, batch: &PacketBatch) -> Vec<BinReport> {
-        let mut reports = self.push_batch(batch);
-        reports.extend(self.finish());
-        reports
+        let mut sink = Collect::new();
+        self.push_batch_into(batch, &mut sink);
+        self.finish_into(&mut sink);
+        sink.reports
+    }
+
+    /// Drives the monitor from a packet source into a report sink until the
+    /// source is exhausted, then closes the final bin — the canonical entry
+    /// point of the streaming pipeline; every other ingestion method is a
+    /// special case of it.
+    ///
+    /// The contract:
+    ///
+    /// * **Chunking invariance** — for a fixed packet sequence, the reports
+    ///   are bit-identical for *any* way the source cuts it into chunks
+    ///   (down to one packet per chunk) and for any thread count, because
+    ///   `drive` is a loop over [`Monitor::push_batch_into`] and every
+    ///   sampler's per-packet and batch paths share state.
+    /// * **Sink ordering** — the sink sees every closed bin exactly once, in
+    ///   bin-index order (idle gaps emit their empty bins too), and the
+    ///   final partial bin is flushed when the source ends, exactly like
+    ///   [`Monitor::finish`].
+    /// * **Borrowed reports** — the sink receives `&BinReport` backed by a
+    ///   buffer the monitor recycles; a sink must copy whatever it wants to
+    ///   keep past the `accept` call. In return, steady-state operation
+    ///   allocates nothing per bin on the monitor side.
+    /// * **Bounded memory** — the monitor holds one chunk's worth of derived
+    ///   keys plus per-lane state; with a streaming source (scenario
+    ///   workloads, chunked pcap) and an aggregating sink, peak memory is
+    ///   independent of trace length.
+    ///
+    /// Returns how much work was done (chunks, packets, reports). A monitor
+    /// can be driven repeatedly; each drive closes its own final bin and
+    /// later drives continue the bin sequence (timestamps must keep rising
+    /// across them).
+    pub fn drive<S, K>(&mut self, source: &mut S, sink: &mut K) -> DriveSummary
+    where
+        S: PacketSource + ?Sized,
+        K: ReportSink + ?Sized,
+    {
+        let mut chunks = 0u64;
+        let mut packets = 0u64;
+        let mut counting = CountingSink {
+            inner: sink,
+            reports: 0,
+        };
+        while let Some(chunk) = source.next_chunk() {
+            chunks += 1;
+            packets += chunk.len() as u64;
+            self.push_batch_into(chunk, &mut counting);
+        }
+        self.finish_into(&mut counting);
+        DriveSummary {
+            chunks,
+            packets,
+            reports: counting.reports,
+        }
     }
 
     /// Partitions the lanes into at most `threads` contiguous chunks and
@@ -525,9 +663,20 @@ impl Monitor {
         })
     }
 
-    /// Ranks the ground truth once, scores every lane against it, emits the
-    /// bin report and resets all per-bin state.
-    fn close_current_bin(&mut self) -> BinReport {
+    /// Closes the bin currently being filled into the recycled scratch
+    /// report, hands it to the sink by reference, and takes the buffer back
+    /// for the next bin.
+    fn emit_current_bin<K: ReportSink + ?Sized>(&mut self, sink: &mut K) {
+        let mut report = std::mem::take(&mut self.scratch_report);
+        self.fill_current_bin(&mut report);
+        sink.accept(&report);
+        self.scratch_report = report;
+    }
+
+    /// Ranks the ground truth once, scores every lane against it, writes the
+    /// bin report into `report` (reusing its lane buffer) and resets all
+    /// per-bin state.
+    fn fill_current_bin(&mut self, report: &mut BinReport) {
         // One classification and one sort per bin, regardless of lane count:
         // this is the entire point of the shared-ground-truth design. The
         // sharded drain order differs from single-table insertion order, but
@@ -542,37 +691,46 @@ impl Monitor {
             self.top_t,
         );
         let top_t = self.top_t;
-        let lanes: Vec<LaneReport> = if self.threads > 1 && self.lanes.len() > 1 {
+        report.lanes.clear();
+        if self.threads > 1 && self.lanes.len() > 1 {
             // Lanes are independent given the shared truth; score them in
             // chunk order so the report order matches the sequential path.
             let truth = &truth;
-            Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
+            let chunks = Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
                 lane_chunk
                     .iter_mut()
                     .map(|lane| lane.close_bin(truth, top_t))
                     .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            });
+            report.lanes.extend(chunks.into_iter().flatten());
         } else {
-            self.lanes
-                .iter_mut()
-                .map(|lane| lane.close_bin(&truth, top_t))
-                .collect()
-        };
-        let report = BinReport {
-            bin_index: self.current_bin,
-            bin_start: Timestamp::from_micros(
-                self.current_bin.saturating_mul(self.bin_length.as_micros()),
-            ),
-            packets: self.ground_truth.total_packets(),
-            flows: self.ground_truth.flow_count(),
-            lanes,
-        };
+            report.lanes.extend(
+                self.lanes
+                    .iter_mut()
+                    .map(|lane| lane.close_bin(&truth, top_t)),
+            );
+        }
+        report.bin_index = self.current_bin;
+        report.bin_start =
+            Timestamp::from_micros(self.current_bin.saturating_mul(self.bin_length.as_micros()));
+        report.packets = self.ground_truth.total_packets();
+        report.flows = self.ground_truth.flow_count();
         self.ground_truth.clear();
         self.current_bin += 1;
-        report
+    }
+}
+
+/// Counts the reports flowing to an inner sink — backs
+/// [`Monitor::drive`]'s summary.
+struct CountingSink<'a, K: ?Sized> {
+    inner: &'a mut K,
+    reports: u64,
+}
+
+impl<K: ReportSink + ?Sized> ReportSink for CountingSink<'_, K> {
+    fn accept(&mut self, report: &BinReport) {
+        self.reports += 1;
+        self.inner.accept(report);
     }
 }
 
@@ -848,5 +1006,75 @@ mod tests {
     fn zero_threads_means_available_parallelism() {
         let monitor = Monitor::builder().threads(0).build();
         assert!(monitor.threads() >= 1);
+    }
+
+    #[test]
+    fn rate_lookup_survives_inexact_float_arithmetic() {
+        // 0.1 + 0.2 - 0.2 is one ulp away from 0.1: a grid built from
+        // arithmetic must still be addressable by the "same" literal rate,
+        // and vice versa. Exact f64 == matching used to return nothing here.
+        let computed: f64 = 0.1 + 0.2 - 0.2;
+        assert_ne!(computed.to_bits(), 0.1f64.to_bits(), "premise of the test");
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.0 })
+            .rates(&[computed, 0.5])
+            .runs(3)
+            .seed(21)
+            .build();
+        let reports = monitor.run_trace(&skewed_bin(20, 0.0));
+        let report = &reports[0];
+        // The literal finds the computed grid rate...
+        assert_eq!(report.rate_id_of(0.1), Some(0));
+        assert_eq!(report.lanes_at_rate(0.1).count(), 3);
+        // ...the computed value finds itself...
+        assert_eq!(report.lanes_at_rate(computed).count(), 3);
+        assert_eq!(report.lanes_at_rate(0.5).count(), 3);
+        assert!(report.mean_ranking_at_rate(0.5) <= report.mean_ranking_at_rate(0.1));
+        // ...and a genuinely different rate matches nothing.
+        assert_eq!(report.rate_id_of(0.3), None);
+        assert_eq!(report.lanes_at_rate(0.3).count(), 0);
+        assert_eq!(report.mean_ranking_at_rate(0.3), 0.0);
+        // Index-keyed access agrees with the resolved lookup.
+        assert_eq!(report.lanes_at_rate_id(1).count(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "timestamp regressed across push calls")]
+    fn regressing_timestamps_across_calls_fail_fast_in_debug() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        monitor.push(&packet(1, 70.0));
+        // Older than anything already pushed: the documented non-decreasing
+        // contract is violated, so debug builds must fail fast instead of
+        // silently folding the packet into the current bin.
+        monitor.push(&packet(1, 10.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "timestamps regress inside one batch")]
+    fn regressing_timestamps_inside_a_batch_fail_fast_in_debug() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        let batch = PacketBatch::from_records(&[packet(1, 70.0), packet(1, 10.0)]);
+        monitor.push_batch(&batch);
+    }
+
+    #[test]
+    fn non_decreasing_timestamps_never_trip_the_contract_check() {
+        // Equal timestamps and bin-boundary jumps are both allowed.
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        monitor.push(&packet(1, 10.0));
+        monitor.push(&packet(2, 10.0));
+        monitor.push(&packet(1, 200.0));
+        assert!(monitor.finish().is_some());
     }
 }

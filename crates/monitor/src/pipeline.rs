@@ -1,0 +1,1004 @@
+//! The streaming pipeline API: pull-based packet sources, push-based report
+//! sinks, and the adapters that make [`Monitor::drive`](crate::Monitor::drive) the one way every
+//! consumer runs a measurement.
+//!
+//! A [`PacketSource`] yields `&PacketBatch` chunks on demand; a
+//! [`ReportSink`] receives each closed bin's [`BinReport`] **by reference**
+//! the moment it closes. `Monitor::drive(&mut source, &mut sink)` pumps the
+//! one into the other, so an experiment's peak memory is one chunk of
+//! packets plus whatever the sink chooses to retain — for the aggregating
+//! sinks ([`RateCurve`], [`DigestSink`]) that is O(rates), independent of
+//! trace length.
+//!
+//! # Sources
+//!
+//! * [`BatchSource`] — a borrowed in-memory batch, yielded once.
+//! * [`RecordSource`] — a borrowed `&[PacketRecord]` slice, converted to SoA
+//!   chunks through one reusable scratch batch.
+//! * [`PcapBytesSource`] / [`PcapReaderSource`] — captures decoded
+//!   incrementally via the zero-copy batch decoder
+//!   ([`flowrank_net::pcap::PcapBatchCursor`]) or the record reader.
+//! * [`flowrank_trace::SynthesisStream`] (via [`flowrank_trace::Workload::stream`]) — scenario
+//!   workloads synthesised window by window instead of materialising the
+//!   whole trace.
+//! * [`Chunked`] — wraps any source and re-cuts its chunks to a maximum
+//!   size (down to single packets), for chunking-invariance tests and
+//!   bounded-latency replay.
+//!
+//! # Sinks
+//!
+//! * [`Collect`] — clones every report into a `Vec` (the compatibility sink
+//!   behind `push`/`run_batch`).
+//! * [`RateCurve`] — accumulates the paper's mean-accuracy-per-rate curves
+//!   online (Welford moments per rate, nothing retained per bin).
+//! * [`NdjsonSink`] / [`CsvSink`] — stream reports to any `io::Write` as
+//!   newline-delimited JSON or flat per-lane CSV rows, allocation-free.
+//! * [`DigestSink`] — folds every report into the conformance FNV-1a digest
+//!   without buffering the stream.
+//! * [`Tee`] — duplicates each report to two sinks; nest for more.
+//!
+//! Sinks receive each report as a borrow valid only for the duration of
+//! [`ReportSink::accept`]; a sink that needs the report beyond the call must
+//! clone it (that is exactly what [`Collect`] does — and what every other
+//! sink avoids).
+
+use std::io::{self, Write};
+
+use flowrank_net::pcap::{PcapBatchCursor, PcapReader};
+use flowrank_net::{CompactKey, NetError, PacketBatch, PacketRecord};
+use flowrank_stats::summary::RunningStats;
+
+use crate::report::BinReport;
+
+/// Default packet count per chunk for sources that choose their own
+/// chunking. Large enough to amortise per-chunk overhead, small enough that
+/// a chunk of four SoA columns stays cache-friendly.
+pub const DEFAULT_CHUNK_PACKETS: usize = 4096;
+
+/// What one [`crate::Monitor::drive`] call processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveSummary {
+    /// Chunks pulled from the source.
+    pub chunks: u64,
+    /// Packets pushed through the monitor.
+    pub packets: u64,
+    /// Bin reports delivered to the sink (final flush included).
+    pub reports: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// A pull-based packet stream: yields SoA batches until exhausted.
+///
+/// The returned batch borrows from the source and is valid until the next
+/// call; `None` means end of stream. Packets must come out in non-decreasing
+/// timestamp order across the whole stream (the monitor's push contract).
+/// [`Monitor::drive`](crate::Monitor::drive) guarantees the same reports for
+/// any chunking of the same packet sequence.
+pub trait PacketSource {
+    /// Returns the next chunk of packets, or `None` at end of stream.
+    /// Implementations never return an empty batch.
+    fn next_chunk(&mut self) -> Option<&PacketBatch>;
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for &mut S {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        (**self).next_chunk()
+    }
+}
+
+/// Yields one borrowed in-memory batch, once.
+#[derive(Debug)]
+pub struct BatchSource<'a> {
+    batch: Option<&'a PacketBatch>,
+}
+
+impl<'a> BatchSource<'a> {
+    /// Wraps a batch as a single-chunk source.
+    pub fn new(batch: &'a PacketBatch) -> Self {
+        BatchSource {
+            batch: Some(batch).filter(|b| !b.is_empty()),
+        }
+    }
+}
+
+impl PacketSource for BatchSource<'_> {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        self.batch.take()
+    }
+}
+
+/// Converts a borrowed record slice into SoA chunks through one reusable
+/// scratch batch — the source form of `Monitor::run_trace`, with peak
+/// conversion memory of one chunk instead of the whole trace.
+#[derive(Debug)]
+pub struct RecordSource<'a> {
+    records: &'a [PacketRecord],
+    position: usize,
+    chunk_packets: usize,
+    scratch: PacketBatch,
+}
+
+impl<'a> RecordSource<'a> {
+    /// Wraps a record slice with the default chunk size.
+    pub fn new(records: &'a [PacketRecord]) -> Self {
+        Self::with_chunk_packets(records, DEFAULT_CHUNK_PACKETS)
+    }
+
+    /// Wraps a record slice, converting `chunk_packets` records per chunk.
+    pub fn with_chunk_packets(records: &'a [PacketRecord], chunk_packets: usize) -> Self {
+        RecordSource {
+            records,
+            position: 0,
+            chunk_packets: chunk_packets.max(1),
+            scratch: PacketBatch::new(),
+        }
+    }
+}
+
+impl PacketSource for RecordSource<'_> {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        if self.position >= self.records.len() {
+            return None;
+        }
+        let end = self.records.len().min(self.position + self.chunk_packets);
+        self.scratch.clear();
+        self.scratch
+            .extend_from_records(&self.records[self.position..end]);
+        self.position = end;
+        Some(&self.scratch)
+    }
+}
+
+/// Re-cuts any source's chunks to at most `max_packets` each (down to
+/// single-packet chunks), preserving the packet sequence exactly.
+///
+/// The inner source's chunk is copied column-wise into a holding batch and
+/// sliced from there, so the adapter works with any inner chunking and costs
+/// one extra copy per packet — it exists for chunking-invariance tests and
+/// for bounding the latency between ingest and bin close, not for peak
+/// throughput.
+#[derive(Debug)]
+pub struct Chunked<S> {
+    inner: S,
+    max_packets: usize,
+    held: PacketBatch,
+    position: usize,
+    out: PacketBatch,
+}
+
+impl<S: PacketSource> Chunked<S> {
+    /// Wraps `inner`, re-cutting its chunks to at most `max_packets`.
+    pub fn new(inner: S, max_packets: usize) -> Self {
+        Chunked {
+            inner,
+            max_packets: max_packets.max(1),
+            held: PacketBatch::new(),
+            position: 0,
+            out: PacketBatch::new(),
+        }
+    }
+}
+
+impl<S: PacketSource> PacketSource for Chunked<S> {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        if self.position >= self.held.len() {
+            let chunk = self.inner.next_chunk()?;
+            self.held.clear();
+            self.held.extend_from_batch(chunk, 0..chunk.len());
+            self.position = 0;
+            if self.held.is_empty() {
+                return None;
+            }
+        }
+        let end = self.held.len().min(self.position + self.max_packets);
+        self.out.clear();
+        self.out.extend_from_batch(&self.held, self.position..end);
+        self.position = end;
+        Some(&self.out)
+    }
+}
+
+impl PacketSource for flowrank_trace::SynthesisStream {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        self.next_window()
+    }
+}
+
+/// Streams an in-memory pcap capture through the zero-copy batch decoder,
+/// one bounded chunk at a time.
+///
+/// Decode errors terminate the stream; check [`PcapBytesSource::error`]
+/// after driving to distinguish clean EOF from a malformed capture.
+#[derive(Debug)]
+pub struct PcapBytesSource<'a> {
+    cursor: PcapBatchCursor<'a>,
+    chunk_packets: usize,
+    batch: PacketBatch,
+    error: Option<NetError>,
+}
+
+impl<'a> PcapBytesSource<'a> {
+    /// Opens a capture held in memory (validates the global header).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, NetError> {
+        Ok(PcapBytesSource {
+            cursor: PcapBatchCursor::new(bytes)?,
+            chunk_packets: DEFAULT_CHUNK_PACKETS,
+            batch: PacketBatch::new(),
+            error: None,
+        })
+    }
+
+    /// Sets the number of packets decoded per chunk.
+    pub fn with_chunk_packets(mut self, chunk_packets: usize) -> Self {
+        self.chunk_packets = chunk_packets.max(1);
+        self
+    }
+
+    /// The decode error that terminated the stream, if any.
+    pub fn error(&self) -> Option<&NetError> {
+        self.error.as_ref()
+    }
+}
+
+impl PacketSource for PcapBytesSource<'_> {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        if self.error.is_some() {
+            return None;
+        }
+        self.batch.clear();
+        match self.cursor.decode_some(&mut self.batch, self.chunk_packets) {
+            Ok(0) => None,
+            Ok(_) => Some(&self.batch),
+            Err(error) => {
+                // Like the reader source: the packets decoded before the
+                // malformed record still flow downstream; the stream then
+                // ends and the error is reported through `error()`.
+                self.error = Some(error);
+                if self.batch.is_empty() {
+                    None
+                } else {
+                    Some(&self.batch)
+                }
+            }
+        }
+    }
+}
+
+/// Streams a pcap capture from any reader ([`PcapReader`] record loop),
+/// one bounded chunk at a time. Like [`PcapBytesSource`], read/decode errors
+/// terminate the stream and are reported through
+/// [`PcapReaderSource::error`].
+#[derive(Debug)]
+pub struct PcapReaderSource<R: io::Read> {
+    reader: PcapReader<R>,
+    chunk_packets: usize,
+    batch: PacketBatch,
+    error: Option<NetError>,
+}
+
+impl<R: io::Read> PcapReaderSource<R> {
+    /// Opens a capture from a reader (validates the global header).
+    pub fn new(input: R) -> Result<Self, NetError> {
+        Ok(PcapReaderSource {
+            reader: PcapReader::new(input)?,
+            chunk_packets: DEFAULT_CHUNK_PACKETS,
+            batch: PacketBatch::new(),
+            error: None,
+        })
+    }
+
+    /// Sets the number of packets decoded per chunk.
+    pub fn with_chunk_packets(mut self, chunk_packets: usize) -> Self {
+        self.chunk_packets = chunk_packets.max(1);
+        self
+    }
+
+    /// The read/decode error that terminated the stream, if any.
+    pub fn error(&self) -> Option<&NetError> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: io::Read> PacketSource for PcapReaderSource<R> {
+    fn next_chunk(&mut self) -> Option<&PacketBatch> {
+        if self.error.is_some() {
+            return None;
+        }
+        self.batch.clear();
+        while self.batch.len() < self.chunk_packets {
+            match self.reader.next_record() {
+                Ok(Some(record)) => self.batch.push_record(&record),
+                Ok(None) => break,
+                Err(error) => {
+                    self.error = Some(error);
+                    break;
+                }
+            }
+        }
+        if self.batch.is_empty() {
+            None
+        } else {
+            Some(&self.batch)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Receives each closed bin's report, by reference, in bin order.
+///
+/// The borrow is only valid inside [`ReportSink::accept`]; sinks that retain
+/// report data beyond the call must copy what they need.
+pub trait ReportSink {
+    /// Accepts one closed bin.
+    fn accept(&mut self, report: &BinReport);
+}
+
+impl<K: ReportSink + ?Sized> ReportSink for &mut K {
+    fn accept(&mut self, report: &BinReport) {
+        (**self).accept(report)
+    }
+}
+
+/// Clones every report into a vector — the sink behind the owned-`Vec`
+/// compatibility entry points (`push`, `push_batch`, `run_batch`).
+#[derive(Debug, Default, Clone)]
+pub struct Collect {
+    /// The collected reports, in bin order.
+    pub reports: Vec<BinReport>,
+}
+
+impl Collect {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReportSink for Collect {
+    fn accept(&mut self, report: &BinReport) {
+        self.reports.push(report.clone());
+    }
+}
+
+/// Duplicates every report to two sinks, first `0` then `1`. Nest `Tee`s to
+/// fan a stream out to any number of sinks.
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: ReportSink, B: ReportSink> ReportSink for Tee<A, B> {
+    fn accept(&mut self, report: &BinReport) {
+        self.0.accept(report);
+        self.1.accept(report);
+    }
+}
+
+/// One point of an accuracy-vs-sampling-rate curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePoint {
+    /// The sampling rate (as the lanes reported it).
+    pub rate: f64,
+    /// Rate-grid index of the lanes folded into this point.
+    pub rate_id: usize,
+    /// Bins observed.
+    pub bins: u64,
+    /// Lane observations folded in (`bins × runs`).
+    pub observations: u64,
+    /// Mean ranking metric across all lane observations.
+    pub ranking_mean: f64,
+    /// Sample standard deviation of the ranking metric across observations.
+    pub ranking_std: f64,
+    /// Mean detection metric across all lane observations.
+    pub detection_mean: f64,
+    /// Sample standard deviation of the detection metric.
+    pub detection_std: f64,
+}
+
+/// Accumulates the paper's mean-accuracy-per-rate curves online: one Welford
+/// accumulator per rate, fed every lane of every bin as it closes. Nothing
+/// per-bin is retained, so memory is O(rates) for any trace length.
+///
+/// The mean over all `bins × runs` lane observations equals the mean of
+/// per-bin means (every bin carries the same lane count), so
+/// [`RatePoint::ranking_mean`] is exactly the figure-level summary the batch
+/// `flowrank_sim::ExperimentResult` pipeline reports as its overall mean;
+/// the standard deviation here is the dispersion across *all* observations,
+/// not the per-bin error bar.
+#[derive(Debug, Default, Clone)]
+pub struct RateCurve {
+    /// Per rate: `(rate, rate_id, ranking stats, detection stats)`, in
+    /// first-seen (grid) order.
+    entries: Vec<(f64, usize, RunningStats, RunningStats)>,
+    bins: u64,
+}
+
+impl RateCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bins folded in so far.
+    pub fn bins(&self) -> u64 {
+        self.bins
+    }
+
+    /// The curve accumulated so far, one point per rate in grid order.
+    pub fn points(&self) -> Vec<RatePoint> {
+        self.entries
+            .iter()
+            .map(|(rate, rate_id, ranking, detection)| RatePoint {
+                rate: *rate,
+                rate_id: *rate_id,
+                bins: self.bins,
+                observations: ranking.count(),
+                ranking_mean: ranking.mean().unwrap_or(0.0),
+                ranking_std: ranking.std_dev().unwrap_or(0.0),
+                detection_mean: detection.mean().unwrap_or(0.0),
+                detection_std: detection.std_dev().unwrap_or(0.0),
+            })
+            .collect()
+    }
+}
+
+impl ReportSink for RateCurve {
+    fn accept(&mut self, report: &BinReport) {
+        self.bins += 1;
+        for lane in &report.lanes {
+            let entry = match self
+                .entries
+                .iter_mut()
+                .find(|(_, id, _, _)| *id == lane.rate_id)
+            {
+                Some(entry) => entry,
+                None => {
+                    self.entries.push((
+                        lane.rate,
+                        lane.rate_id,
+                        RunningStats::new(),
+                        RunningStats::new(),
+                    ));
+                    self.entries.last_mut().expect("just pushed")
+                }
+            };
+            entry.2.push(lane.ranking_metric());
+            entry.3.push(lane.detection_metric());
+        }
+    }
+}
+
+/// Streams every report as one JSON object per line (ndjson) to a writer.
+///
+/// Rendering writes straight into the writer — no intermediate strings. I/O
+/// errors latch: the first one stops all further output and is returned by
+/// [`NdjsonSink::finish`].
+#[derive(Debug)]
+pub struct NdjsonSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> NdjsonSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        NdjsonSink { out, error: None }
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn render(out: &mut W, report: &BinReport) -> io::Result<()> {
+        write!(
+            out,
+            "{{\"bin\":{},\"bin_start_s\":{},\"packets\":{},\"flows\":{},\"lanes\":[",
+            report.bin_index,
+            report.bin_start.as_secs_f64(),
+            report.packets,
+            report.flows
+        )?;
+        for (i, lane) in report.lanes.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write!(
+                out,
+                "{{\"rate\":{},\"rate_id\":{},\"run\":{},\"sampler\":\"{}\",\
+                 \"sampled_flows\":{},\"sampled_packets\":{},\
+                 \"ranking_swaps\":{},\"detection_swaps\":{}}}",
+                lane.rate,
+                lane.rate_id,
+                lane.run,
+                lane.sampler,
+                lane.sampled_flows,
+                lane.sampled_packets,
+                lane.outcome.ranking_swaps,
+                lane.outcome.detection_swaps
+            )?;
+        }
+        out.write_all(b"]}\n")
+    }
+}
+
+impl<W: Write> ReportSink for NdjsonSink<W> {
+    fn accept(&mut self, report: &BinReport) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = Self::render(&mut self.out, report) {
+            self.error = Some(error);
+        }
+    }
+}
+
+/// Streams every report as flat per-lane CSV rows
+/// (`bin,bin_start_s,packets,flows,rate,run,sampler,sampled_flows,sampled_packets,ranking_swaps,detection_swaps`),
+/// with a header row before the first report. Same latching error handling
+/// as [`NdjsonSink`].
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    out: W,
+    wrote_header: bool,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            wrote_header: false,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn render(out: &mut W, wrote_header: &mut bool, report: &BinReport) -> io::Result<()> {
+        if !*wrote_header {
+            writeln!(
+                out,
+                "bin,bin_start_s,packets,flows,rate,run,sampler,\
+                 sampled_flows,sampled_packets,ranking_swaps,detection_swaps"
+            )?;
+            *wrote_header = true;
+        }
+        for lane in &report.lanes {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                report.bin_index,
+                report.bin_start.as_secs_f64(),
+                report.packets,
+                report.flows,
+                lane.rate,
+                lane.run,
+                lane.sampler,
+                lane.sampled_flows,
+                lane.sampled_packets,
+                lane.outcome.ranking_swaps,
+                lane.outcome.detection_swaps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> ReportSink for CsvSink<W> {
+    fn accept(&mut self, report: &BinReport) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = Self::render(&mut self.out, &mut self.wrote_header, report) {
+            self.error = Some(error);
+        }
+    }
+}
+
+/// Folds every report into a stable 64-bit FNV-1a digest as it arrives — the
+/// streaming form of the conformance harness's report digest, with no report
+/// buffering.
+///
+/// Every observable field is folded in — bin index and start, packet and
+/// flow counts, and per lane the rate (as IEEE bits), run index, sampler
+/// name, sampled sizes, the full
+/// [`ComparisonOutcome`](flowrank_core::metrics::ComparisonOutcome) and,
+/// when present, the top-k backend name, memory occupancy and entry list
+/// (packed keys and estimates). Only integer arithmetic and explicit
+/// `f64::to_bits` are used, so the digest is stable across platforms,
+/// optimisation levels and thread counts. Feeding the same report stream in
+/// the same order always produces the same digest, and the digest of a
+/// stream equals `digest_reports` of the collected stream.
+#[derive(Debug, Clone)]
+pub struct DigestSink {
+    hash: u64,
+    reports: u64,
+}
+
+impl Default for DigestSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestSink {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        DigestSink {
+            hash: Self::OFFSET,
+            reports: 0,
+        }
+    }
+
+    /// Number of reports folded in so far.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// The offline, length-prefixed digest of a collected report stream —
+    /// the value `flowrank_sim::digest_reports` pins its golden files on.
+    /// It folds the same per-report bytes as the streaming sink but prefixes
+    /// the stream length (which a streaming sink cannot know), so its values
+    /// differ from [`DigestSink::digest`] while pinning exactly as much.
+    pub fn digest_reports(reports: &[BinReport]) -> u64 {
+        let mut sink = DigestSink::new();
+        sink.u64(reports.len() as u64);
+        for report in reports {
+            sink.fold_report(report);
+        }
+        sink.hash
+    }
+
+    /// The digest of the stream seen so far: the FNV-1a fold of every
+    /// accepted report, finalised with the report count.
+    ///
+    /// A streaming sink cannot know the final stream length up front, so the
+    /// count is folded at read time rather than as a prefix the way the
+    /// offline `flowrank_sim::digest_reports` does. The two digests
+    /// therefore produce *different values* for the same stream but have the
+    /// same discriminating power: two streams digest equal under either iff
+    /// they have the same length and equal reports (up to 64-bit collision).
+    pub fn digest(&self) -> u64 {
+        let mut finished = self.clone();
+        finished.u64(self.reports);
+        finished.hash
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.hash = (self.hash ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.u64(v as u64);
+        self.u64((v >> 64) as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn fold_report(&mut self, report: &BinReport) {
+        self.u64(report.bin_index);
+        self.u64(report.bin_start.as_micros());
+        self.u64(report.packets);
+        self.u64(report.flows as u64);
+        self.u64(report.lanes.len() as u64);
+        for lane in &report.lanes {
+            self.u64(lane.rate.to_bits());
+            self.u64(lane.run as u64);
+            self.str(lane.sampler);
+            self.u64(lane.sampled_flows as u64);
+            self.u64(lane.sampled_packets);
+            self.u64(lane.outcome.ranking_swaps);
+            self.u64(lane.outcome.detection_swaps);
+            self.u64(lane.outcome.missed_top_flows);
+            self.u64(lane.outcome.ranking_pairs);
+            self.u64(lane.outcome.detection_pairs);
+            match &lane.topk {
+                None => self.byte(0),
+                Some(topk) => {
+                    self.byte(1);
+                    self.str(topk.backend);
+                    self.u64(topk.memory_entries as u64);
+                    self.u64(topk.entries.len() as u64);
+                    for entry in &topk.entries {
+                        self.u128(entry.key.pack());
+                        self.u64(entry.estimate);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ReportSink for DigestSink {
+    fn accept(&mut self, report: &BinReport) {
+        self.reports += 1;
+        self.fold_report(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Monitor;
+    use crate::spec::SamplerSpec;
+    use flowrank_net::pcap::records_to_pcap_bytes;
+    use flowrank_net::Timestamp;
+    use flowrank_trace::{SprintModel, SynthesisConfig, Workload};
+    use std::net::Ipv4Addr;
+
+    fn trace() -> Vec<PacketRecord> {
+        let flows = SprintModel::small(130.0, 12.0).generate_flows(3);
+        flowrank_trace::synthesize_packets(&flows, &SynthesisConfig::default(), 3)
+    }
+
+    fn monitor() -> Monitor {
+        Monitor::builder()
+            .sampler(SamplerSpec::Stratified { rate: 0.25 })
+            .rates(&[0.05, 0.25])
+            .runs(2)
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn drive_matches_run_trace_for_every_source_shape() {
+        let packets = trace();
+        let baseline = monitor().run_trace(&packets);
+        assert!(baseline.len() >= 2);
+
+        let batch = PacketBatch::from_records(&packets);
+        let mut from_batch = Collect::new();
+        let summary = monitor().drive(&mut BatchSource::new(&batch), &mut from_batch);
+        assert_eq!(from_batch.reports, baseline);
+        assert_eq!(summary.packets, packets.len() as u64);
+        assert_eq!(summary.reports, baseline.len() as u64);
+        assert_eq!(summary.chunks, 1);
+
+        for chunk in [1usize, 13, 4096] {
+            let mut sink = Collect::new();
+            let mut source = RecordSource::with_chunk_packets(&packets, chunk);
+            monitor().drive(&mut source, &mut sink);
+            assert_eq!(sink.reports, baseline, "record chunk {chunk}");
+
+            let mut sink = Collect::new();
+            let mut source = Chunked::new(BatchSource::new(&batch), chunk);
+            monitor().drive(&mut source, &mut sink);
+            assert_eq!(sink.reports, baseline, "re-chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn pcap_sources_drive_identically_to_the_record_path() {
+        let packets = trace();
+        // Pcap stores microsecond timestamps; compare against the decoded
+        // records so both paths see the identical stream.
+        let bytes = records_to_pcap_bytes(&packets).unwrap();
+        let decoded = flowrank_net::pcap::pcap_bytes_to_records(&bytes).unwrap();
+        let baseline = monitor().run_trace(&decoded);
+
+        let mut sink = Collect::new();
+        let mut source = PcapBytesSource::new(&bytes)
+            .unwrap()
+            .with_chunk_packets(257);
+        monitor().drive(&mut source, &mut sink);
+        assert!(source.error().is_none());
+        assert_eq!(sink.reports, baseline);
+
+        let mut sink = Collect::new();
+        let mut source = PcapReaderSource::new(&bytes[..])
+            .unwrap()
+            .with_chunk_packets(123);
+        monitor().drive(&mut source, &mut sink);
+        assert!(source.error().is_none());
+        assert_eq!(sink.reports, baseline);
+    }
+
+    #[test]
+    fn pcap_sources_agree_on_truncated_captures() {
+        // Both sources must surface the error AND deliver the packets
+        // decoded before the malformed record, so a truncated capture
+        // produces the same reports whichever source reads it.
+        let bytes = records_to_pcap_bytes(&trace()).unwrap();
+        let cut = &bytes[..bytes.len() - 100];
+
+        let mut bytes_source = PcapBytesSource::new(cut).unwrap().with_chunk_packets(64);
+        let mut from_bytes = Collect::new();
+        let bytes_summary = monitor().drive(&mut bytes_source, &mut from_bytes);
+        assert!(
+            bytes_source.error().is_some(),
+            "truncated capture must report"
+        );
+        assert!(
+            bytes_summary.packets > 0,
+            "packets before the truncation still flow"
+        );
+
+        let mut reader_source = PcapReaderSource::new(cut).unwrap().with_chunk_packets(64);
+        let mut from_reader = Collect::new();
+        let reader_summary = monitor().drive(&mut reader_source, &mut from_reader);
+        assert!(reader_source.error().is_some());
+        assert_eq!(bytes_summary.packets, reader_summary.packets);
+        assert_eq!(from_bytes.reports, from_reader.reports);
+    }
+
+    #[test]
+    fn workload_stream_is_a_packet_source() {
+        let workload = Workload::flash_crowd();
+        let baseline = monitor().run_trace(&workload.synthesize(7));
+        let mut sink = Collect::new();
+        let summary = monitor().drive(&mut workload.stream(7), &mut sink);
+        assert_eq!(sink.reports, baseline);
+        assert!(summary.chunks >= 2, "the stream yields multiple windows");
+    }
+
+    #[test]
+    fn rate_curve_aggregates_online() {
+        let packets = trace();
+        let baseline = monitor().run_trace(&packets);
+        let mut curve = RateCurve::new();
+        let mut source = RecordSource::new(&packets);
+        monitor().drive(&mut source, &mut curve);
+        assert_eq!(curve.bins(), baseline.len() as u64);
+        let points = curve.points();
+        assert_eq!(points.len(), 2, "one point per grid rate");
+        for (rate_id, point) in points.iter().enumerate() {
+            assert_eq!(point.rate_id, rate_id);
+            assert_eq!(point.bins, baseline.len() as u64);
+            assert_eq!(point.observations, 2 * baseline.len() as u64);
+            // Cross-check the online mean against the collected reports.
+            let mut expected = RunningStats::new();
+            for report in &baseline {
+                for lane in report.lanes_at_rate_id(rate_id) {
+                    expected.push(lane.ranking_metric());
+                }
+            }
+            assert_eq!(point.ranking_mean, expected.mean().unwrap());
+            assert_eq!(point.ranking_std, expected.std_dev().unwrap());
+        }
+        // Higher sampling rate, lower error.
+        assert!(points[1].ranking_mean <= points[0].ranking_mean);
+    }
+
+    #[test]
+    fn digest_sink_matches_streamed_and_collected_paths() {
+        let packets = trace();
+        let baseline = monitor().run_trace(&packets);
+        let mut offline = DigestSink::new();
+        for report in &baseline {
+            offline.accept(report);
+        }
+
+        let mut streamed = DigestSink::new();
+        let mut source = RecordSource::with_chunk_packets(&packets, 97);
+        monitor().drive(&mut source, &mut streamed);
+        assert_eq!(streamed.reports(), baseline.len() as u64);
+        assert_eq!(streamed.digest(), offline.digest());
+
+        // Sensitive to truncation and to content.
+        let mut shorter = DigestSink::new();
+        for report in &baseline[..baseline.len() - 1] {
+            shorter.accept(report);
+        }
+        assert_ne!(shorter.digest(), offline.digest());
+        let mut tweaked = DigestSink::new();
+        let mut first = baseline[0].clone();
+        first.packets += 1;
+        tweaked.accept(&first);
+        for report in &baseline[1..] {
+            tweaked.accept(report);
+        }
+        assert_ne!(tweaked.digest(), offline.digest());
+    }
+
+    #[test]
+    fn tee_duplicates_and_writer_sinks_render() {
+        let packets = trace();
+        let mut tee = Tee(
+            Tee(Collect::new(), NdjsonSink::new(Vec::new())),
+            CsvSink::new(Vec::new()),
+        );
+        let mut source = RecordSource::new(&packets);
+        monitor().drive(&mut source, &mut tee);
+        let Tee(Tee(collected, ndjson), csv) = tee;
+        let baseline = monitor().run_trace(&packets);
+        assert_eq!(collected.reports, baseline);
+
+        let ndjson = String::from_utf8(ndjson.finish().unwrap()).unwrap();
+        assert_eq!(ndjson.lines().count(), baseline.len());
+        for (line, report) in ndjson.lines().zip(&baseline) {
+            assert!(line.starts_with(&format!("{{\"bin\":{}", report.bin_index)));
+            assert!(line.ends_with("]}"));
+            assert!(line.contains("\"sampler\":\"stratified\""));
+        }
+
+        let csv = String::from_utf8(csv.finish().unwrap()).unwrap();
+        let lanes: usize = baseline.iter().map(|r| r.lanes.len()).sum();
+        assert_eq!(csv.lines().count(), 1 + lanes, "header + one row per lane");
+        assert!(csv.starts_with("bin,bin_start_s,packets,flows,rate,run,sampler"));
+    }
+
+    #[test]
+    fn empty_sources_drive_to_nothing() {
+        let empty = PacketBatch::new();
+        let mut sink = Collect::new();
+        let summary = monitor().drive(&mut BatchSource::new(&empty), &mut sink);
+        assert_eq!(summary, DriveSummary::default());
+        assert!(sink.reports.is_empty());
+
+        let mut sink = Collect::new();
+        monitor().drive(&mut RecordSource::new(&[]), &mut sink);
+        assert!(sink.reports.is_empty());
+    }
+
+    #[test]
+    fn drive_can_resume_a_partially_pushed_monitor() {
+        let packets = trace();
+        let baseline = monitor().run_trace(&packets);
+        let mut m = monitor();
+        let mut sink = Collect::new();
+        for p in &packets[..50] {
+            m.push_into(p, &mut sink);
+        }
+        let rest = PacketBatch::from_records(&packets[50..]);
+        m.drive(&mut BatchSource::new(&rest), &mut sink);
+        assert_eq!(sink.reports, baseline);
+    }
+
+    #[test]
+    fn csv_sink_rows_are_parseable() {
+        let packet = PacketRecord::udp(
+            Timestamp::from_secs_f64(1.0),
+            Ipv4Addr::new(10, 0, 0, 1),
+            53,
+            Ipv4Addr::new(100, 64, 0, 9),
+            53,
+            120,
+        );
+        let mut m = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .build();
+        let mut csv = CsvSink::new(Vec::new());
+        m.push_into(&packet, &mut csv);
+        m.finish_into(&mut csv);
+        let text = String::from_utf8(csv.finish().unwrap()).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), 11);
+        assert_eq!(fields[0], "0");
+        assert_eq!(fields[2], "1", "one packet");
+        assert_eq!(fields[3], "1", "one flow");
+        assert_eq!(fields[6], "random");
+    }
+}

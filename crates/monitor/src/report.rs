@@ -29,6 +29,12 @@ pub struct TopKReport {
 pub struct LaneReport {
     /// Nominal sampling rate of the lane.
     pub rate: f64,
+    /// Index of the lane's rate in the monitor's rate grid (0 when the
+    /// monitor runs a single group at the template's own rate). Rate-keyed
+    /// aggregation matches lanes on this id, not on `f64` equality of
+    /// `rate`, so a requested rate that round-trips inexactly through
+    /// arithmetic (`0.1 + 0.2 - 0.2 != 0.1`) still finds its lanes.
+    pub rate_id: usize,
     /// Run index within the lane's rate (0-based).
     pub run: usize,
     /// Sampling discipline name.
@@ -56,7 +62,7 @@ impl LaneReport {
 }
 
 /// Everything the monitor learned about one measurement bin.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinReport {
     /// 0-based index of the bin since time zero.
     pub bin_index: u64,
@@ -71,9 +77,42 @@ pub struct BinReport {
 }
 
 impl BinReport {
-    /// The lanes belonging to one sampling rate.
+    /// Resolves a requested sampling rate to the [`LaneReport::rate_id`] of
+    /// the closest rate any lane ran at, or `None` when no lane's rate is
+    /// within a 1-part-in-10⁹ relative tolerance of the request.
+    ///
+    /// Matching by nearest-within-tolerance instead of exact `f64 ==` means
+    /// a request like `0.1 + 0.2 - 0.2` (one ulp away from `0.1`) still
+    /// finds the `0.1` lanes, while genuinely different grid rates — which
+    /// are orders of magnitude apart in any real configuration — can never
+    /// be conflated.
+    pub fn rate_id_of(&self, rate: f64) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for lane in &self.lanes {
+            let diff = (lane.rate - rate).abs();
+            if best.is_none_or(|(b, _)| diff < b) {
+                best = Some((diff, lane.rate_id));
+            }
+        }
+        let (diff, id) = best?;
+        let tolerance = 1e-9 * rate.abs().max(f64::MIN_POSITIVE);
+        (diff == 0.0 || diff <= tolerance).then_some(id)
+    }
+
+    /// The lanes belonging to one sampling rate (resolved through
+    /// [`BinReport::rate_id_of`], so inexact requests match their grid rate).
     pub fn lanes_at_rate(&self, rate: f64) -> impl Iterator<Item = &LaneReport> {
-        self.lanes.iter().filter(move |lane| lane.rate == rate)
+        let id = self.rate_id_of(rate);
+        self.lanes
+            .iter()
+            .filter(move |lane| Some(lane.rate_id) == id)
+    }
+
+    /// The lanes belonging to one rate-grid index.
+    pub fn lanes_at_rate_id(&self, rate_id: usize) -> impl Iterator<Item = &LaneReport> {
+        self.lanes
+            .iter()
+            .filter(move |lane| lane.rate_id == rate_id)
     }
 
     /// Mean ranking metric across all lanes of `rate` in this bin.

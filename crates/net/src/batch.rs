@@ -127,6 +127,19 @@ impl PacketBatch {
         }
     }
 
+    /// Appends `other[range]` to this batch, column for column — the
+    /// re-chunking primitive behind the streaming pipeline's `Chunked`
+    /// source adapter. No per-packet reconstruction happens: each column is
+    /// copied as a plain slice.
+    pub fn extend_from_batch(&mut self, other: &PacketBatch, range: std::ops::Range<usize>) {
+        self.ts_nanos
+            .extend_from_slice(&other.ts_nanos[range.clone()]);
+        self.keys.extend_from_slice(&other.keys[range.clone()]);
+        self.lengths
+            .extend_from_slice(&other.lengths[range.clone()]);
+        self.tcp_seqs.extend_from_slice(&other.tcp_seqs[range]);
+    }
+
     /// Timestamp of packet `i`.
     #[inline]
     pub fn timestamp(&self, i: usize) -> Timestamp {
@@ -312,6 +325,20 @@ mod tests {
         assert_eq!(batch.ts_nanos.capacity(), capacity);
         batch.push_record(&sample_packets()[0]);
         assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn extend_from_batch_copies_the_requested_range() {
+        let packets = sample_packets();
+        let whole = PacketBatch::from_records(&packets);
+        let mut chunk = PacketBatch::new();
+        chunk.extend_from_batch(&whole, 1..3);
+        assert_eq!(chunk.to_records(), &packets[1..3]);
+        chunk.extend_from_batch(&whole, 0..1);
+        assert_eq!(chunk.len(), 3);
+        assert_eq!(chunk.record(2), packets[0]);
+        chunk.extend_from_batch(&whole, 2..2);
+        assert_eq!(chunk.len(), 3, "empty range appends nothing");
     }
 
     #[test]

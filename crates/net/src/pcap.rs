@@ -231,29 +231,86 @@ pub fn pcap_bytes_to_records(bytes: &[u8]) -> NetResult<Vec<PacketRecord>> {
 /// headers) are skipped exactly like [`PcapReader::next_record`] skips them;
 /// a capture truncated mid-record is an error, matching the reader.
 pub fn pcap_bytes_to_batch(bytes: &[u8], batch: &mut PacketBatch) -> NetResult<u64> {
-    if bytes.len() < 24 {
-        return Err(NetError::MalformedPacket {
-            reason: "pcap shorter than its global header",
-        });
+    let mut cursor = PcapBatchCursor::new(bytes)?;
+    cursor.decode_some(batch, usize::MAX)
+}
+
+/// Resumable zero-copy batch decoder over an in-memory capture — the
+/// streaming form of [`pcap_bytes_to_batch`].
+///
+/// The cursor validates the global header up front and then decodes the
+/// capture in caller-sized steps: each [`PcapBatchCursor::decode_some`] call
+/// appends up to `max_packets` more packets to a batch and remembers where
+/// it stopped, so a pipeline can replay an arbitrarily large capture through
+/// a small reusable batch instead of materialising every packet at once.
+/// Decoding is byte-identical to the one-shot function for every step size.
+#[derive(Debug)]
+pub struct PcapBatchCursor<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    swapped: bool,
+}
+
+impl<'a> PcapBatchCursor<'a> {
+    /// Opens a capture: validates the global header (magic, link type).
+    pub fn new(bytes: &'a [u8]) -> NetResult<Self> {
+        if bytes.len() < 24 {
+            return Err(NetError::MalformedPacket {
+                reason: "pcap shorter than its global header",
+            });
+        }
+        let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let swapped = match magic {
+            PCAP_MAGIC => false,
+            PCAP_MAGIC_SWAPPED => true,
+            other => return Err(NetError::BadPcapMagic { found: other }),
+        };
+        let link_type = if swapped {
+            u32::from_be_bytes([bytes[20], bytes[21], bytes[22], bytes[23]])
+        } else {
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]])
+        };
+        if link_type != LINKTYPE_ETHERNET {
+            return Err(NetError::UnsupportedLinkType { link_type });
+        }
+        Ok(PcapBatchCursor {
+            bytes,
+            offset: 24,
+            swapped,
+        })
     }
-    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    let swapped = match magic {
-        PCAP_MAGIC => false,
-        PCAP_MAGIC_SWAPPED => true,
-        other => return Err(NetError::BadPcapMagic { found: other }),
-    };
-    // Monomorphise the hot loop on the byte order so the common
-    // native-order case carries no per-field branch.
-    if swapped {
-        decode_batch_loop::<true>(bytes, batch)
-    } else {
-        decode_batch_loop::<false>(bytes, batch)
+
+    /// Whether the cursor has consumed the whole capture.
+    pub fn is_done(&self) -> bool {
+        // Parity with `PcapReader`: fewer trailing bytes than one timestamp
+        // field count as clean EOF.
+        self.bytes.len() - self.offset < 4
+    }
+
+    /// Decodes up to `max_packets` more packets, **appending** them to
+    /// `batch` (clear it first to reuse one batch across steps). Returns the
+    /// number of packets appended; `0` means the capture is exhausted.
+    /// Undecodable frames are skipped exactly like the one-shot decoder and
+    /// do not count towards `max_packets`.
+    pub fn decode_some(&mut self, batch: &mut PacketBatch, max_packets: usize) -> NetResult<u64> {
+        // Monomorphise the hot loop on the byte order so the common
+        // native-order case carries no per-field branch.
+        if self.swapped {
+            decode_batch_loop::<true>(self.bytes, &mut self.offset, batch, max_packets)
+        } else {
+            decode_batch_loop::<false>(self.bytes, &mut self.offset, batch, max_packets)
+        }
     }
 }
 
-/// The record-walking loop of [`pcap_bytes_to_batch`], specialised per byte
-/// order.
-fn decode_batch_loop<const SWAPPED: bool>(bytes: &[u8], batch: &mut PacketBatch) -> NetResult<u64> {
+/// The record-walking loop of [`PcapBatchCursor`], specialised per byte
+/// order. Resumes at `*offset` and leaves it on the first unconsumed record.
+fn decode_batch_loop<const SWAPPED: bool>(
+    bytes: &[u8],
+    resume_at: &mut usize,
+    batch: &mut PacketBatch,
+    max_packets: usize,
+) -> NetResult<u64> {
     #[inline(always)]
     fn read_u32<const SWAPPED: bool>(chunk: &[u8]) -> u32 {
         let raw = [chunk[0], chunk[1], chunk[2], chunk[3]];
@@ -264,14 +321,9 @@ fn decode_batch_loop<const SWAPPED: bool>(bytes: &[u8], batch: &mut PacketBatch)
         }
     }
 
-    let link_type = read_u32::<SWAPPED>(&bytes[20..24]);
-    if link_type != LINKTYPE_ETHERNET {
-        return Err(NetError::UnsupportedLinkType { link_type });
-    }
-
-    let mut offset = 24;
+    let mut offset = *resume_at;
     let mut appended = 0u64;
-    while offset < bytes.len() {
+    while offset < bytes.len() && (appended as usize) < max_packets {
         // Parity with `PcapReader`: fewer trailing bytes than one timestamp
         // field read as clean EOF; a partially present record header is an
         // error.
@@ -333,6 +385,7 @@ fn decode_batch_loop<const SWAPPED: bool>(bytes: &[u8], batch: &mut PacketBatch)
         );
         appended += 1;
     }
+    *resume_at = offset;
     Ok(appended)
 }
 
@@ -538,6 +591,31 @@ mod tests {
         assert!(reader.next_record().is_err());
         let mut batch = PacketBatch::new();
         assert!(pcap_bytes_to_batch(&padded, &mut batch).is_err());
+    }
+
+    #[test]
+    fn cursor_decodes_in_steps_identically_to_one_shot() {
+        let records = sample_records(200);
+        let bytes = records_to_pcap_bytes(&records).unwrap();
+        let mut whole = PacketBatch::new();
+        pcap_bytes_to_batch(&bytes, &mut whole).unwrap();
+
+        for step in [1usize, 7, 64, 1000] {
+            let mut cursor = PcapBatchCursor::new(&bytes).unwrap();
+            let mut stepped = PacketBatch::new();
+            let mut total = 0u64;
+            loop {
+                let n = cursor.decode_some(&mut stepped, step).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n as usize <= step, "step {step}");
+                total += n;
+            }
+            assert!(cursor.is_done(), "step {step}");
+            assert_eq!(total, whole.len() as u64, "step {step}");
+            assert_eq!(stepped, whole, "step {step}");
+        }
     }
 
     #[test]

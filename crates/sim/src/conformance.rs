@@ -10,19 +10,29 @@
 //! stable digest, so a committed golden value per cell turns any silent
 //! behaviour change into a loud test failure.
 //!
-//! [`run_conformance`] builds four identically configured single-lane
-//! monitors, drives each through a different ingestion path, asserts that
-//! every [`BinReport`] agrees byte for byte, replays each bin through the
-//! legacy engine for the same seed, and returns the
-//! [`digest_reports`] hash of the reference stream. The digest folds every
-//! observable field — bin indices, packet/flow counts, lane outcomes, top-k
-//! entries — through FNV-1a, using only integer arithmetic and explicit
-//! `f64::to_bits`, so it is stable across platforms, optimisation levels
-//! and thread counts.
+//! [`run_conformance`] builds identically configured single-lane monitors,
+//! drives each through a different ingestion path — including the
+//! source/sink pipeline (`Monitor::drive` over a whole-batch source and
+//! over the re-chunking adapter, with the streaming [`DigestSink`]
+//! accumulating alongside) — asserts that every [`BinReport`] agrees byte
+//! for byte, replays each bin through the legacy engine for the same seed,
+//! and returns the [`digest_reports`] hash of the reference stream. The
+//! digest folds every observable field — bin indices, packet/flow counts,
+//! lane outcomes, top-k entries — through FNV-1a, using only integer
+//! arithmetic and explicit `f64::to_bits`, so it is stable across
+//! platforms, optimisation levels and thread counts.
+//! [`run_streamed_conformance`] extends the matrix to the streamed-workload
+//! path: windowed synthesis driven straight into the monitor, pinned
+//! bit-identical to `run_batch` on the materialised trace for arbitrary
+//! chunkings down to single packets.
 
-use flowrank_monitor::{BinReport, Monitor, SamplerSpec, TopKSpec};
-use flowrank_net::{CompactKey, FlowDefinition, PacketBatch, PacketRecord, Timestamp};
+use flowrank_monitor::{
+    BatchSource, BinReport, Chunked, Collect, DigestSink, Monitor, ReportSink, SamplerSpec, Tee,
+    TopKSpec,
+};
+use flowrank_net::{FlowDefinition, PacketBatch, PacketRecord, Timestamp};
 use flowrank_stats::rng::{Pcg64, SeedableRng};
+use flowrank_trace::Workload;
 
 use crate::binning::split_into_bins;
 use crate::engine::run_bin;
@@ -137,6 +147,40 @@ pub fn run_conformance(label: &str, packets: &[PacketRecord], config: &Conforman
         config.threads.max(2)
     );
 
+    // The drive leg: the same batch through the source/sink pipeline, with
+    // the streaming digest accumulated alongside a collecting sink, and once
+    // more through the re-chunking adapter — drive must be a pure chunking
+    // of push_batch, and the streaming digest a pure function of the report
+    // stream.
+    let mut driven = Tee(DigestSink::new(), Collect::new());
+    config
+        .monitor(1)
+        .drive(&mut BatchSource::new(&batch), &mut driven);
+    let Tee(drive_digest, drive_reports) = driven;
+    assert_eq!(
+        drive_reports.reports, reference,
+        "{label}: drive over the whole batch diverged from per-packet push"
+    );
+    let mut reference_digest = DigestSink::new();
+    for report in &reference {
+        reference_digest.accept(report);
+    }
+    assert_eq!(
+        drive_digest.digest(),
+        reference_digest.digest(),
+        "{label}: drive-path streaming digest diverged from the collect path"
+    );
+    let mut rechunked = DigestSink::new();
+    config.monitor(1).drive(
+        &mut Chunked::new(BatchSource::new(&batch), 509),
+        &mut rechunked,
+    );
+    assert_eq!(
+        rechunked.digest(),
+        reference_digest.digest(),
+        "{label}: re-chunked drive digest diverged from the collect path"
+    );
+
     // Legacy leg: every bin replayed through the batch-era engine with the
     // same sampler spec and seed (the monitor restarts each lane's sampler
     // and RNG from its seed at every bin boundary, which is exactly the
@@ -175,42 +219,8 @@ pub fn run_conformance(label: &str, packets: &[PacketRecord], config: &Conforman
     digest_reports(&reference)
 }
 
-/// FNV-1a accumulator for report digests.
-#[derive(Debug, Clone)]
-struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-
-    fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn u128(&mut self, v: u128) {
-        self.u64(v as u64);
-        self.u64((v >> 64) as u64);
-    }
-
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        for b in s.as_bytes() {
-            self.byte(*b);
-        }
-    }
-}
-
-/// Computes a stable 64-bit digest of a [`BinReport`] stream.
+/// Computes the stable 64-bit digest of a collected [`BinReport`] stream
+/// that the golden files pin.
 ///
 /// Every field that [`run_conformance`] pins across execution paths is
 /// folded in — bin index and start, packet and flow counts, and per lane
@@ -219,48 +229,110 @@ impl Fnv {
 /// top-k backend name, memory occupancy and entry list (packed keys and
 /// estimates). Two report streams digest equal iff they are equal on all
 /// of those fields, up to 64-bit collision.
+///
+/// The per-report fold lives in [`flowrank_monitor::DigestSink`], whose
+/// streaming [`DigestSink::digest`] produces different *values* (the stream
+/// length is folded at the end instead of as a prefix) with the same
+/// discriminating power; this function is the length-prefixed offline form
+/// the committed goldens were recorded with.
 pub fn digest_reports(reports: &[BinReport]) -> u64 {
-    let mut fnv = Fnv::new();
-    fnv.u64(reports.len() as u64);
-    for report in reports {
-        fnv.u64(report.bin_index);
-        fnv.u64(report.bin_start.as_micros());
-        fnv.u64(report.packets);
-        fnv.u64(report.flows as u64);
-        fnv.u64(report.lanes.len() as u64);
-        for lane in &report.lanes {
-            fnv.u64(lane.rate.to_bits());
-            fnv.u64(lane.run as u64);
-            fnv.str(lane.sampler);
-            fnv.u64(lane.sampled_flows as u64);
-            fnv.u64(lane.sampled_packets);
-            fnv.u64(lane.outcome.ranking_swaps);
-            fnv.u64(lane.outcome.detection_swaps);
-            fnv.u64(lane.outcome.missed_top_flows);
-            fnv.u64(lane.outcome.ranking_pairs);
-            fnv.u64(lane.outcome.detection_pairs);
-            match &lane.topk {
-                None => fnv.byte(0),
-                Some(topk) => {
-                    fnv.byte(1);
-                    fnv.str(topk.backend);
-                    fnv.u64(topk.memory_entries as u64);
-                    fnv.u64(topk.entries.len() as u64);
-                    for entry in &topk.entries {
-                        fnv.u128(entry.key.pack());
-                        fnv.u64(entry.estimate);
-                    }
-                }
-            }
-        }
+    DigestSink::digest_reports(reports)
+}
+
+/// Chunk sizes of the streamed-workload legs: single packets, a prime that
+/// never aligns with window or bin boundaries, and a big power of two.
+const STREAM_CHUNKS: [usize; 3] = [1, 463, 8192];
+
+/// Drives one scenario workload through the streamed source path and pins
+/// it against the materialised trace: `Monitor::drive` over
+/// [`Workload::stream`] — re-chunked to every size in a small grid,
+/// including one-packet chunks, with a streaming [`DigestSink`] — must
+/// produce bit-identical reports (hence digests) to [`Monitor::run_batch`]
+/// on the fully materialised [`Workload::synthesize`] trace, even though
+/// the streamed synthesis never holds more than one window of packets.
+///
+/// Returns the reference stream's offline [`digest_reports`] value (the
+/// same value [`run_conformance`] returns for the materialised trace), so
+/// callers can additionally pin it against a golden.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) on the first divergence.
+pub fn run_streamed_conformance(
+    label: &str,
+    workload: &Workload,
+    trace_seed: u64,
+    config: &ConformanceConfig,
+) -> u64 {
+    // Collect path: the whole trace materialised, one run_batch call.
+    let batch = PacketBatch::from_records(&workload.synthesize(trace_seed));
+    let reference = config.monitor(1).run_batch(&batch);
+    let mut reference_digest = DigestSink::new();
+    for report in &reference {
+        reference_digest.accept(report);
     }
-    fnv.0
+
+    // Drive path: windowed synthesis straight into the monitor.
+    let mut driven = Tee(DigestSink::new(), Collect::new());
+    let summary = config
+        .monitor(1)
+        .drive(&mut workload.stream(trace_seed), &mut driven);
+    assert_eq!(
+        summary.packets,
+        batch.len() as u64,
+        "{label}: streamed synthesis packet count diverged from the materialised trace"
+    );
+    let Tee(stream_digest, stream_reports) = driven;
+    assert_eq!(
+        stream_reports.reports, reference,
+        "{label}: streamed workload drive diverged from run_batch on the materialised trace"
+    );
+    assert_eq!(
+        stream_digest.digest(),
+        reference_digest.digest(),
+        "{label}: streamed drive digest diverged from the collect-path digest"
+    );
+
+    // Arbitrary re-chunkings of the stream, down to one packet per chunk.
+    for chunk in STREAM_CHUNKS {
+        let mut digest = DigestSink::new();
+        config.monitor(1).drive(
+            &mut Chunked::new(workload.stream(trace_seed), chunk),
+            &mut digest,
+        );
+        assert_eq!(
+            digest.digest(),
+            reference_digest.digest(),
+            "{label}: {chunk}-packet chunking diverged from the collect-path digest"
+        );
+    }
+
+    digest_reports(&reference)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowrank_trace::Workload;
+
+    #[test]
+    fn streamed_conformance_passes_with_ties_in_the_trace() {
+        // rank-churn is the scenario whose zero-duration multi-packet mice
+        // produce equal-timestamp packets — the case where the streamed
+        // synthesis order may legitimately permute same-flow packets
+        // relative to the materialised sort. Reports must still agree.
+        let digest = run_streamed_conformance(
+            "rank-churn/random",
+            &Workload::rank_churn(),
+            0xAB,
+            &ConformanceConfig::default(),
+        );
+        let packets = Workload::rank_churn().synthesize(0xAB);
+        assert_eq!(
+            digest,
+            run_conformance("rank-churn/random", &packets, &ConformanceConfig::default()),
+            "streamed and materialised harnesses pin the same reference digest"
+        );
+    }
 
     #[test]
     fn digest_is_order_and_content_sensitive() {

@@ -14,7 +14,7 @@
 
 use std::thread;
 
-use flowrank_monitor::{BinReport, MonitorBuilder, SamplerSpec};
+use flowrank_monitor::{BinReport, Collect, MonitorBuilder, RecordSource, SamplerSpec};
 use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
 use flowrank_stats::summary::RunningStats;
 
@@ -192,8 +192,15 @@ impl TraceExperiment {
                                 if bin.is_empty() {
                                     return (*bin_index, None);
                                 }
+                                // One drive per work item: the bin's records
+                                // flow through a chunked source into a
+                                // collecting sink — the same pipeline every
+                                // other consumer uses, with identical
+                                // reports by chunking invariance.
                                 let mut monitor = self.monitor_builder(item_rates).build();
-                                (*bin_index, monitor.run_trace(bin).into_iter().next())
+                                let mut sink = Collect::new();
+                                monitor.drive(&mut RecordSource::new(bin), &mut sink);
+                                (*bin_index, sink.reports.into_iter().next())
                             })
                             .collect::<Vec<_>>()
                     })

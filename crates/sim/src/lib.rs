@@ -45,11 +45,14 @@ pub mod report;
 pub mod scenarios;
 
 pub use binning::{split_batch_into_bin_ranges, split_into_bins};
-pub use conformance::{digest_reports, run_conformance, ConformanceConfig};
+pub use conformance::{
+    digest_reports, run_conformance, run_streamed_conformance, ConformanceConfig,
+};
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
 pub use scenarios::{
     abilene_experiment, sprint_experiment, sprint_experiment_with_sampler, workload_experiment,
+    workload_monitor, workload_rate_curve,
 };
 
 // The monitor is the front door experiments are built on; re-export the

@@ -6,7 +6,7 @@
 //! affordable in CI and benches; EXPERIMENTS.md records the scale used for
 //! the reported numbers.
 
-use flowrank_monitor::SamplerSpec;
+use flowrank_monitor::{Monitor, MonitorBuilder, RateCurve, RatePoint, SamplerSpec};
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_trace::{synthesize_packets, AbileneModel, SprintModel, SynthesisConfig, Workload};
 
@@ -100,6 +100,51 @@ pub fn workload_experiment(
     TraceExperiment::new(&packets, config)
 }
 
+/// Builds the fanned-out streaming monitor behind the scenario experiments:
+/// the `sampler` template at every [`SPRINT_RATES`] rate × `runs` lanes,
+/// with the same per-(rate, run) seed derivation as [`TraceExperiment`].
+pub fn workload_monitor(
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+    threads: usize,
+) -> Monitor {
+    MonitorBuilder::new()
+        .flow_definition(flow_definition)
+        .sampler(sampler)
+        .rates(&SPRINT_RATES)
+        .runs(runs)
+        .top_t(10)
+        .seed(seed)
+        .bin_length(Timestamp::from_secs_f64(bin_seconds))
+        .threads(threads)
+        .build()
+}
+
+/// The streamed form of [`workload_experiment`]: drives the scenario's
+/// windowed synthesis ([`Workload::stream`]) through one fanned-out monitor
+/// into an online [`RateCurve`] — no materialised trace, no retained bins,
+/// peak memory independent of scenario length. The per-rate means equal the
+/// batch experiment's [`crate::experiment::RateSeries::overall_ranking_mean`]
+/// up to floating-point summation order (same observations, different
+/// accumulation).
+pub fn workload_rate_curve(
+    workload: &Workload,
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+    threads: usize,
+) -> Vec<RatePoint> {
+    let mut monitor = workload_monitor(flow_definition, bin_seconds, runs, seed, sampler, threads);
+    let mut curve = RateCurve::new();
+    monitor.drive(&mut workload.stream(seed), &mut curve);
+    curve.points()
+}
+
 /// Builds the Abilene-like trace experiment of Fig. 16 (1-minute bins,
 /// 5-tuple flows, top 10).
 pub fn abilene_experiment(scale: f64, runs: usize, seed: u64) -> TraceExperiment {
@@ -163,6 +208,47 @@ mod tests {
                 workload.name()
             );
             assert!(result.bin_count >= 2, "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn streamed_rate_curve_matches_the_batch_experiment() {
+        let workload = Workload::ddos_flood().scaled(0.25);
+        let runs = 3;
+        let seed = 5;
+        let result = workload_experiment(
+            &workload,
+            FlowDefinition::FiveTuple,
+            60.0,
+            runs,
+            seed,
+            SamplerSpec::Random { rate: 0.01 },
+        )
+        .run();
+        let points = workload_rate_curve(
+            &workload,
+            FlowDefinition::FiveTuple,
+            60.0,
+            runs,
+            seed,
+            SamplerSpec::Random { rate: 0.01 },
+            1,
+        );
+        assert_eq!(points.len(), SPRINT_RATES.len());
+        for (point, series) in points.iter().zip(&result.series) {
+            assert_eq!(point.rate, series.rate);
+            assert_eq!(point.bins as usize, result.bin_count);
+            assert_eq!(point.observations, (result.bin_count * runs) as u64);
+            // Same observations, different accumulation order: the overall
+            // means agree to floating-point noise.
+            let batch_mean = series.overall_ranking_mean();
+            assert!(
+                (point.ranking_mean - batch_mean).abs() <= 1e-9 * batch_mean.abs().max(1.0),
+                "rate {}: streamed {} vs batch {}",
+                point.rate,
+                point.ranking_mean,
+                batch_mean
+            );
         }
     }
 

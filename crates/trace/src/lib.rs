@@ -26,6 +26,10 @@
 //! * [`abilene`] — the Abilene-like short-tailed model.
 //! * [`synthesis`] — expansion of flow records into a packet-level trace
 //!   (uniform packet placement over the flow lifetime, Sec. 8.1).
+//! * [`stream`] — the pull-based form of that expansion: a
+//!   [`SynthesisStream`] yields the trace window by window as SoA packet
+//!   batches, with peak memory independent of trace length — the packet
+//!   source behind `Monitor::drive` for scenario workloads.
 //! * [`summary`] — trace summary statistics.
 //! * [`export`] — pcap export of synthetic traces via `flowrank-net`.
 //! * [`workloads`] — the deterministic scenario catalog (heavy-tail α, flash
@@ -42,6 +46,7 @@ pub mod export;
 pub mod flow_record;
 pub mod generator;
 pub mod sprint;
+pub mod stream;
 pub mod summary;
 pub mod synthesis;
 pub mod workloads;
@@ -50,5 +55,6 @@ pub use abilene::AbileneModel;
 pub use flow_record::FlowRecord;
 pub use generator::{FlowPopulationConfig, SizeModel};
 pub use sprint::SprintModel;
+pub use stream::SynthesisStream;
 pub use synthesis::{synthesize_packet_batch, synthesize_packets, SynthesisConfig};
 pub use workloads::Workload;

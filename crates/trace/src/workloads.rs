@@ -50,7 +50,7 @@ use crate::generator::{generate_flow_population, FlowPopulationConfig, SizeModel
 use crate::synthesis::{synthesize_packet_batch, synthesize_packets, SynthesisConfig};
 
 /// Salt separating a workload's packet-placement stream from its flow stream.
-const SYNTHESIS_SALT: u64 = 0x5CE2_A110_0000_0001;
+pub(crate) const SYNTHESIS_SALT: u64 = 0x5CE2_A110_0000_0001;
 /// Salt for flash-crowd spike randomness.
 const SPIKE_SALT: u64 = 0xF1A5_4C20_3D00_0002;
 /// Salt for DDoS-flood randomness.
@@ -419,6 +419,19 @@ impl Workload {
             &self.generate_flows(seed),
             &SynthesisConfig::default(),
             seed ^ SYNTHESIS_SALT,
+        )
+    }
+
+    /// Opens the scenario as a pull-based packet stream: the same expansion
+    /// as [`Workload::synthesize`] (same flows, same placement draws),
+    /// produced window by window with peak memory independent of trace
+    /// length. See [`crate::SynthesisStream`] for the ordering contract.
+    pub fn stream(&self, seed: u64) -> crate::SynthesisStream {
+        crate::SynthesisStream::from_flows(
+            self.generate_flows(seed),
+            &SynthesisConfig::default(),
+            seed ^ SYNTHESIS_SALT,
+            crate::stream::DEFAULT_WINDOW,
         )
     }
 }

@@ -59,8 +59,15 @@ fn main() {
             .top_t(10)
             .seed(99)
             .build();
-        let reports = monitor.run_trace(&packets);
-        let report = &reports[0];
+        // Drive the trace through the source/sink pipeline (chunked record
+        // conversion, collected reports) — identical to run_trace, but the
+        // same call shape scales to sources that never materialise.
+        let mut sink = flowrank_monitor::Collect::new();
+        monitor.drive(
+            &mut flowrank_monitor::RecordSource::new(&packets),
+            &mut sink,
+        );
+        let report = &sink.reports[0];
         for &rate in &rates {
             let successes = report
                 .lanes_at_rate(rate)

@@ -1,17 +1,19 @@
 //! Pcap round-trip: export a synthetic trace as a standard capture file and
-//! stream what comes back through the push-based monitor.
+//! stream what comes back through the monitor's source/sink pipeline.
 //!
 //! Demonstrates that the monitor pipeline operates on ordinary libpcap
-//! captures (the format every production tap produces), not just on in-memory
-//! synthetic traces: generate → write pcap → read pcap → `monitor.push` each
-//! record → ranked bin reports, with three sampling rates riding on one
-//! shared ground-truth classification.
+//! captures (the format every production tap produces), not just on
+//! in-memory synthetic traces: generate → write pcap → open the capture as
+//! a [`PcapBytesSource`] (incremental zero-copy decode, bounded chunks) →
+//! `monitor.drive` into a collecting sink → ranked bin reports, with three
+//! sampling rates riding on one shared ground-truth classification and peak
+//! memory bounded by one chunk of packets.
 //!
 //! Run with `cargo run --release -p flowrank-examples --bin pcap_roundtrip -- [output.pcap]`.
 
 use std::fs;
 
-use flowrank_monitor::{Monitor, SamplerSpec};
+use flowrank_monitor::{Collect, Monitor, PcapBytesSource, SamplerSpec};
 use flowrank_net::pcap::pcap_bytes_to_records;
 use flowrank_net::{FiveTuple, FlowDefinition, FlowTable, Timestamp};
 use flowrank_trace::export::export_flows_to_pcap;
@@ -49,8 +51,9 @@ fn main() {
         truth.top_by_packets(1)[0].packets
     );
 
-    // Stream the re-imported capture through the monitor, one push per
-    // record, exactly as a live tap would drive it.
+    // Drive the capture bytes straight through the monitor: the source
+    // decodes 1024 packets at a time with the zero-copy batch decoder, so
+    // an arbitrarily large capture never materialises as records.
     let rates = [0.01, 0.1, 0.5];
     let mut monitor = Monitor::builder()
         .flow_definition(FlowDefinition::FiveTuple)
@@ -61,11 +64,17 @@ fn main() {
         .top_t(10)
         .seed(17)
         .build();
-    let mut reports = Vec::new();
-    for record in &records {
-        reports.extend(monitor.push(record));
-    }
-    reports.extend(monitor.finish());
+    let mut source = PcapBytesSource::new(&buffer)
+        .expect("pcap header invalid")
+        .with_chunk_packets(1024);
+    let mut sink = Collect::new();
+    let summary = monitor.drive(&mut source, &mut sink);
+    assert!(source.error().is_none(), "capture decoded cleanly");
+    let reports = sink.reports;
+    println!(
+        "Drove {} packets in {} chunks -> {} bin report(s).\n",
+        summary.packets, summary.chunks, summary.reports
+    );
 
     println!(
         "{:>10} {:>18} {:>18}",
