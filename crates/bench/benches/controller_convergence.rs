@@ -1,0 +1,60 @@
+//! Closed-loop control overhead: one convergence run per controller over
+//! the flash-crowd scenario, so `BENCH_trajectory.ndjson` tracks the cost
+//! of the whole loop — streamed synthesis, a controlled lane, per-bin
+//! observation assembly, the controller step, and the offline-optimal
+//! comparison from `core::optimal` — per controller discipline.
+//!
+//! Each line processes the identical packet stream under the identical
+//! monitor shape (one controlled lane, no static grid), so differences are
+//! attributable to the controller alone; `model-driven` additionally pays
+//! the solver inversion every bin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_monitor::{ControllerSpec, SamplerSpec};
+use flowrank_net::FlowDefinition;
+use flowrank_sim::{run_convergence, ConvergenceConfig};
+use flowrank_trace::Workload;
+
+/// Seeds shared with the conformance and convergence goldens.
+const TRACE_SEED: u64 = 0x5EED_2026;
+const LANE_SEED: u64 = 0xACE5_0001;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_convergence");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let workload = Workload::flash_crowd();
+    let packet_count = workload.synthesize(TRACE_SEED).len() as u64;
+    group.throughput(Throughput::Elements(packet_count));
+
+    for controller in ControllerSpec::catalog() {
+        let config = ConvergenceConfig {
+            workload,
+            controller,
+            sampler: SamplerSpec::Random { rate: 0.1 },
+            flow_definition: FlowDefinition::FiveTuple,
+            bin_seconds: 60.0,
+            top_t: 8,
+            trace_seed: TRACE_SEED,
+            lane_seed: LANE_SEED,
+            target_misranking: 0.05,
+            min_rate: 0.001,
+        };
+        group.bench_function(controller.name(), |b| {
+            b.iter(|| {
+                let result = run_convergence(black_box(&config));
+                black_box(result.digest)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --sampler stratified
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --threads 8
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scenario ddos-flood
+//! cargo run --release -p flowrank-bench --bin reproduce -- --scenario flash-crowd --controller model-driven
+//! cargo run --release -p flowrank-bench --bin reproduce -- --list
 //! ```
 //!
 //! Output is CSV on stdout, one block per figure and line, directly
@@ -31,18 +33,25 @@
 //! online), `csv` (one row per bin × lane, streamed as bins close) or
 //! `ndjson` (one JSON object per bin); with `csv`/`ndjson` the report
 //! stream is the only thing on stdout — the banner and the closing rate
-//! curve go to stderr so pipes parse cleanly. EXPERIMENTS.md records the
-//! settings used for the committed results.
+//! curve go to stderr so pipes parse cleanly. `--controller <name>` attaches
+//! a closed-loop rate controller to the scenario path (`model-driven`,
+//! `aimd-slo`, `budget-tracking`): one extra lane rides after the static
+//! grid, retuned at every bin close, and its per-bin decision trail is
+//! printed in `summary` mode and embedded in the `csv`/`ndjson` streams.
+//! `--list` (or `--scenario help`) prints every scenario, sampler, top-k
+//! backend and controller with a one-line description. EXPERIMENTS.md
+//! records the settings used for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
     gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
 };
-use flowrank_monitor::{CsvSink, NdjsonSink, RateCurve, Tee};
+use flowrank_monitor::{BinReport, CsvSink, NdjsonSink, RateCurve, ReportSink, Tee};
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_to_csv;
 use flowrank_sim::{
-    abilene_experiment, sprint_experiment_with_sampler, workload_monitor, SamplerSpec,
+    abilene_experiment, sprint_experiment_with_sampler, workload_controlled_monitor,
+    workload_monitor, ControllerSpec, SamplerSpec,
 };
 use flowrank_trace::Workload;
 
@@ -79,6 +88,7 @@ struct Options {
     sampler: SamplerSpec,
     threads: usize,
     output: Output,
+    controller: Option<ControllerSpec>,
 }
 
 impl Options {
@@ -112,6 +122,74 @@ fn sampler_by_name(name: &str) -> Option<SamplerSpec> {
     }
 }
 
+/// One-line description per catalog scenario (`Workload` carries shape
+/// parameters, not prose, so the prose lives with the CLI that lists it).
+fn scenario_blurb(name: &str) -> &'static str {
+    match name {
+        "heavy-tail" => "Zipf-like heavy-tailed flow sizes on a stationary link",
+        "flash-crowd" => "stationary base load with a mid-trace arrival spike onto hot prefixes",
+        "ddos-flood" => "a flood of spoofed single-packet sources aimed at one victim",
+        "port-scan" => "a horizontal scanner sweeping ports beneath background traffic",
+        "rank-churn" => "the heavy-hitter set rotates completely every bin",
+        "mixed" => "all catalog behaviours layered onto one link",
+        _ => "catalog scenario",
+    }
+}
+
+/// Prints everything the CLI can be asked to run, one line per name, then
+/// exits. Reached through `--list`, `--scenario help`, or any unknown
+/// `--scenario`/`--sampler`/`--controller` name.
+fn print_catalog() {
+    println!("scenarios (--scenario <name>):");
+    for workload in Workload::catalog() {
+        println!(
+            "  {:<16} {}",
+            workload.name(),
+            scenario_blurb(workload.name())
+        );
+    }
+    println!("samplers (--sampler <name>):");
+    for (name, blurb) in [
+        ("random", "independent Bernoulli coin flip per packet"),
+        ("periodic", "every k-th packet, with a random phase"),
+        ("stratified", "one uniform draw per k-packet stratum"),
+        (
+            "flow",
+            "hash-based flow sampling: every packet of a kept flow",
+        ),
+        ("smart", "size-biased sampling that favours large flows"),
+        (
+            "adaptive",
+            "multiplicative rate adaptation to a per-interval sample budget",
+        ),
+    ] {
+        println!("  {name:<16} {blurb}");
+    }
+    println!("top-k backends (exercised by the conformance matrix):");
+    for (name, blurb) in [
+        ("exact", "full hash map, exact per-flow counts"),
+        (
+            "sorted-list",
+            "bounded sorted list with least-flow eviction",
+        ),
+        ("space-saving", "Space-Saving bounded counter summary"),
+        (
+            "sample-and-hold",
+            "probabilistic entry, exact counting once held",
+        ),
+        (
+            "multistage-filter",
+            "parallel hash stages gating a bounded memory",
+        ),
+    ] {
+        println!("  {name:<16} {blurb}");
+    }
+    println!("controllers (--controller <name>):");
+    for spec in ControllerSpec::catalog() {
+        println!("  {:<16} {}", spec.name(), spec.description());
+    }
+}
+
 fn parse_args() -> Options {
     let mut options = Options {
         figure: None,
@@ -121,6 +199,7 @@ fn parse_args() -> Options {
         sampler: SamplerSpec::Random { rate: 0.01 },
         threads: 0,
         output: Output::Summary,
+        controller: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -130,15 +209,28 @@ fn parse_args() -> Options {
                 options.figure = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 2;
             }
+            "--list" => {
+                print_catalog();
+                std::process::exit(0);
+            }
             "--scenario" => {
                 options.scenario = args.get(i + 1).cloned();
-                if options.scenario.is_none() {
-                    let names: Vec<&str> = Workload::catalog().iter().map(|w| w.name()).collect();
-                    eprintln!(
-                        "--scenario requires a name; available: {}",
-                        names.join(", ")
-                    );
-                    std::process::exit(2);
+                match options.scenario.as_deref() {
+                    Some("help") => {
+                        print_catalog();
+                        std::process::exit(0);
+                    }
+                    Some(name) if Workload::by_name(name).is_none() => {
+                        eprintln!("unknown scenario {name:?}; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
+                    Some(_) => {}
+                    None => {
+                        eprintln!("--scenario requires a name; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
                 }
                 i += 2;
             }
@@ -157,10 +249,35 @@ fn parse_args() -> Options {
                 i += 2;
             }
             "--sampler" => {
-                options.sampler = args
-                    .get(i + 1)
-                    .and_then(|v| sampler_by_name(v))
-                    .unwrap_or(options.sampler);
+                match args.get(i + 1).map(|v| (v, sampler_by_name(v))) {
+                    Some((_, Some(sampler))) => options.sampler = sampler,
+                    Some((name, None)) => {
+                        eprintln!("unknown sampler {name:?}; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--sampler requires a name; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--controller" => {
+                match args.get(i + 1).map(|v| (v, ControllerSpec::by_name(v))) {
+                    Some((_, Some(spec))) => options.controller = Some(spec),
+                    Some((name, None)) => {
+                        eprintln!("unknown controller {name:?}; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--controller requires a name; the catalog:");
+                        print_catalog();
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             "--threads" => {
@@ -326,6 +443,26 @@ fn fig16_abilene(options: &Options) {
     println!("{}", result_to_csv(&result, 60.0, false));
 }
 
+/// Streams the controlled lane's per-bin decision trail to stdout in
+/// `summary` mode: one CSV row per bin as it closes (the `csv`/`ndjson`
+/// sinks already embed the same trail in their own streams).
+struct TrailPrinter;
+
+impl ReportSink for TrailPrinter {
+    fn accept(&mut self, report: &BinReport) {
+        if let Some(trail) = &report.controller {
+            println!(
+                "{},{:.6},{:.6},{:.6},{:.6}",
+                report.bin_index,
+                trail.applied_rate,
+                trail.decided_rate,
+                trail.swapped_fraction,
+                trail.top_churn
+            );
+        }
+    }
+}
+
 /// Runs the streamed multi-run experiment over one catalog scenario, for
 /// both flow definitions: the workload synthesises window by window through
 /// a packet source, `Monitor::drive` pushes it through the full rate grid,
@@ -356,18 +493,37 @@ fn run_scenario(name: &str, options: &Options) {
             options.sampler.name(),
             options.output,
         ));
-        let mut monitor = workload_monitor(
-            definition,
-            60.0,
-            options.runs,
-            seed,
-            options.sampler,
-            options.threads,
-        );
+        let mut monitor = match options.controller {
+            Some(controller) => workload_controlled_monitor(
+                definition,
+                60.0,
+                options.runs,
+                seed,
+                options.sampler,
+                options.threads,
+                controller,
+            ),
+            None => workload_monitor(
+                definition,
+                60.0,
+                options.runs,
+                seed,
+                options.sampler,
+                options.threads,
+            ),
+        };
         let mut source = scaled.stream(seed);
         let mut curve = RateCurve::new();
         let stdout = std::io::stdout();
         let summary = match options.output {
+            Output::Summary if options.controller.is_some() => {
+                println!(
+                    "# controlled lane ({}) decision trail",
+                    monitor.controller_name().unwrap_or("none")
+                );
+                println!("bin,applied_rate,decided_rate,swapped_fraction,top_churn");
+                monitor.drive(&mut source, &mut Tee(&mut TrailPrinter, &mut curve))
+            }
             Output::Summary => monitor.drive(&mut source, &mut curve),
             Output::Csv => {
                 let mut writer = CsvSink::new(stdout.lock());
@@ -410,6 +566,11 @@ fn main() {
     if let Some(name) = &options.scenario {
         run_scenario(name, &options);
         return;
+    }
+    if options.controller.is_some() {
+        eprintln!("--controller applies to the streamed scenario path; pick one with --scenario");
+        print_catalog();
+        std::process::exit(2);
     }
     let five_tuple = Scenario::sprint_five_tuple(1.5);
     let prefix = Scenario::sprint_prefix24(1.5);

@@ -1,0 +1,253 @@
+//! The controller trait and the buildable spec catalog.
+
+use crate::aimd::AimdSlo;
+use crate::budget::BudgetTracking;
+use crate::model_driven::ModelDriven;
+use crate::observation::{BinObservation, RateDecision};
+
+/// An online sampling-rate controller.
+///
+/// The monitor calls [`observe`](RateController::observe) exactly once per
+/// closed bin, in bin order, and applies the returned decision to the
+/// controlled lane before the next bin's packets arrive. Implementations
+/// must be pure functions of the observation stream — no clocks, no RNG —
+/// so the whole control loop stays reproducible under pinned seeds.
+pub trait RateController: Send + std::fmt::Debug {
+    /// Stable short name, e.g. `"model-driven"`.
+    fn name(&self) -> &'static str;
+
+    /// Consume one bin's feedback and decide the next bin's rate.
+    fn observe(&mut self, observation: &BinObservation) -> RateDecision;
+
+    /// Forget all accumulated state, as if freshly built.
+    fn reset(&mut self);
+}
+
+/// Buildable description of a controller, mirroring `SamplerSpec` /
+/// `TopKSpec` in `flowrank-monitor`: plain `Copy` data, so a controlled
+/// measurement is fully described by `(workload, seeds, ControllerSpec)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControllerSpec {
+    /// Invert the paper's optimal-rate model on observed top-t sizes.
+    ModelDriven {
+        /// Per-pair misranking probability to stay below.
+        target_misranking: f64,
+        /// Lower rate bound.
+        min_rate: f64,
+        /// Upper rate bound.
+        max_rate: f64,
+        /// Rate for bin 0, before any feedback exists.
+        initial_rate: f64,
+    },
+    /// Additive-increase / multiplicative-decrease on an accuracy SLO.
+    AimdSlo {
+        /// Swapped-pair fraction the lane must stay below.
+        target_fraction: f64,
+        /// Hysteresis: only decrease once error falls below
+        /// `target_fraction * hysteresis`.
+        hysteresis: f64,
+        /// Additive rate step on SLO violation.
+        increase: f64,
+        /// Multiplicative factor (< 1) applied when comfortably under SLO.
+        decrease: f64,
+        /// Lower rate bound.
+        min_rate: f64,
+        /// Upper rate bound.
+        max_rate: f64,
+        /// Rate for bin 0, before any feedback exists.
+        initial_rate: f64,
+    },
+    /// Track a kept-packets-per-bin budget multiplicatively.
+    BudgetTracking {
+        /// Kept-packet budget per bin the controller steers toward.
+        budget_per_bin: u64,
+        /// Lower rate bound.
+        min_rate: f64,
+        /// Upper rate bound.
+        max_rate: f64,
+        /// Rate for bin 0, before any feedback exists.
+        initial_rate: f64,
+    },
+}
+
+impl ControllerSpec {
+    /// Model-driven controller at catalog defaults: 5% per-pair misranking
+    /// target, rates in `[0.001, 1.0]`, starting at 10%.
+    pub fn model_driven() -> Self {
+        Self::ModelDriven {
+            target_misranking: 0.05,
+            min_rate: 0.001,
+            max_rate: 1.0,
+            initial_rate: 0.1,
+        }
+    }
+
+    /// AIMD controller at catalog defaults: 10% swapped-pair SLO with a
+    /// 0.5 hysteresis band, +0.02 increase, ×0.85 decrease.
+    pub fn aimd_slo() -> Self {
+        Self::AimdSlo {
+            target_fraction: 0.10,
+            hysteresis: 0.5,
+            increase: 0.02,
+            decrease: 0.85,
+            min_rate: 0.001,
+            max_rate: 1.0,
+            initial_rate: 0.1,
+        }
+    }
+
+    /// Budget-tracking controller at catalog defaults: 500 kept packets
+    /// per bin, rates in `[0.001, 1.0]`, starting at 10%.
+    pub fn budget_tracking() -> Self {
+        Self::BudgetTracking {
+            budget_per_bin: 500,
+            min_rate: 0.001,
+            max_rate: 1.0,
+            initial_rate: 0.1,
+        }
+    }
+
+    /// Every catalog controller at its default parameters.
+    pub fn catalog() -> Vec<Self> {
+        vec![
+            Self::model_driven(),
+            Self::aimd_slo(),
+            Self::budget_tracking(),
+        ]
+    }
+
+    /// Catalog controller by its stable name, `None` if unknown.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "model-driven" => Some(Self::model_driven()),
+            "aimd-slo" => Some(Self::aimd_slo()),
+            "budget-tracking" => Some(Self::budget_tracking()),
+            _ => None,
+        }
+    }
+
+    /// Stable short name of the controller discipline.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::ModelDriven { .. } => "model-driven",
+            Self::AimdSlo { .. } => "aimd-slo",
+            Self::BudgetTracking { .. } => "budget-tracking",
+        }
+    }
+
+    /// One-line human description for catalog listings.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Self::ModelDriven { .. } => {
+                "inverts the paper's optimal-rate model on observed top-t sizes"
+            }
+            Self::AimdSlo { .. } => {
+                "additive-increase/multiplicative-decrease on a swapped-pair SLO"
+            }
+            Self::BudgetTracking { .. } => {
+                "multiplicative kept-packet budget tracking at monitor level"
+            }
+        }
+    }
+
+    /// Rate the controlled lane runs during bin 0, before any feedback.
+    pub fn initial_rate(&self) -> f64 {
+        match *self {
+            Self::ModelDriven { initial_rate, .. }
+            | Self::AimdSlo { initial_rate, .. }
+            | Self::BudgetTracking { initial_rate, .. } => initial_rate,
+        }
+    }
+
+    /// Build the controller this spec describes.
+    pub fn build(&self) -> Box<dyn RateController + Send> {
+        match *self {
+            Self::ModelDriven {
+                target_misranking,
+                min_rate,
+                max_rate,
+                initial_rate,
+            } => Box::new(ModelDriven::new(
+                target_misranking,
+                min_rate,
+                max_rate,
+                initial_rate,
+            )),
+            Self::AimdSlo {
+                target_fraction,
+                hysteresis,
+                increase,
+                decrease,
+                min_rate,
+                max_rate,
+                initial_rate,
+            } => Box::new(AimdSlo::new(
+                target_fraction,
+                hysteresis,
+                increase,
+                decrease,
+                min_rate,
+                max_rate,
+                initial_rate,
+            )),
+            Self::BudgetTracking {
+                budget_per_bin,
+                min_rate,
+                max_rate,
+                initial_rate,
+            } => Box::new(BudgetTracking::new(
+                budget_per_bin,
+                min_rate,
+                max_rate,
+                initial_rate,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_round_trips_by_name() {
+        for spec in ControllerSpec::catalog() {
+            assert_eq!(ControllerSpec::by_name(spec.name()), Some(spec));
+            assert_eq!(spec.build().name(), spec.name());
+            assert!(!spec.description().is_empty());
+        }
+        assert_eq!(ControllerSpec::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn initial_rate_matches_spec_field() {
+        assert_eq!(ControllerSpec::model_driven().initial_rate(), 0.1);
+        assert_eq!(ControllerSpec::aimd_slo().initial_rate(), 0.1);
+        assert_eq!(ControllerSpec::budget_tracking().initial_rate(), 0.1);
+    }
+
+    #[test]
+    fn built_controllers_are_deterministic_replicas() {
+        // Same observation stream into two fresh builds of the same spec
+        // must produce identical decision streams (the crate's contract).
+        for spec in ControllerSpec::catalog() {
+            let mut a = spec.build();
+            let mut b = spec.build();
+            for bin_index in 0..20u64 {
+                let observation = BinObservation {
+                    bin_index,
+                    applied_rate: 0.1,
+                    packets: 1000 + bin_index * 37,
+                    flows: 50,
+                    kept_packets: 90 + bin_index * 11,
+                    ranking_swaps: bin_index % 4,
+                    ranking_pairs: 9,
+                    missed_top_flows: 0,
+                    top_churn: 0.2,
+                    top_sizes: vec![400, 300, 200, 120, 80, 40, 20, 10, 6, 4, 3],
+                };
+                assert_eq!(a.observe(&observation), b.observe(&observation));
+            }
+        }
+    }
+}

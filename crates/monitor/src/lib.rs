@@ -68,6 +68,18 @@
 //! an aggregating sink, peak memory is independent of trace length — the
 //! configuration the `drive_end_to_end` bench records.
 //!
+//! # Closed-loop rate control
+//!
+//! [`MonitorBuilder::controller`] attaches a `flowrank-control`
+//! [`ControllerSpec`]: one extra *controlled* lane whose sampling rate is
+//! retuned at every bin close from the bin's own report and ground truth.
+//! The decision trail rides on [`BinReport::controller`] (a
+//! [`ControllerTrail`]) and the controlled lane is flagged
+//! [`LaneReport::controlled`], so every sink — csv, ndjson, [`RateCurve`],
+//! [`DigestSink`] — audits the loop for free. The control step runs
+//! single-threaded after lane scoring, so controlled monitors keep the full
+//! bit-identical-across-paths contract.
+//!
 //! ```
 //! use flowrank_monitor::{Monitor, SamplerSpec};
 //! use flowrank_net::{FlowDefinition, PacketRecord, Timestamp};
@@ -111,10 +123,14 @@ pub use pipeline::{
     BatchSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary, NdjsonSink, PacketSource,
     PcapBytesSource, PcapReaderSource, RateCurve, RatePoint, RecordSource, ReportSink, Tee,
 };
-pub use report::{BinReport, LaneReport, TopKReport};
+pub use report::{BinReport, ControllerTrail, LaneReport, TopKReport};
 pub use spec::{SamplerSpec, TopKSpec};
 
 // Re-exported so monitor users can name the metric types without a direct
 // `flowrank-core` dependency.
 pub use flowrank_core::metrics::{ComparisonOutcome, GroundTruthRanking};
 pub use flowrank_net::FlowDefinition;
+
+// Re-exported so a controlled monitor can be configured without a direct
+// `flowrank-control` dependency.
+pub use flowrank_control::{BinObservation, ControllerSpec, RateController, RateDecision};

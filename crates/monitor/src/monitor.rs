@@ -11,6 +11,7 @@
 
 use std::ops::Range;
 
+use flowrank_control::{BinObservation, ControllerSpec, RateController};
 use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
 use flowrank_net::{
     AnyFlowKey, FlowDefinition, FlowTable, PacketBatch, PacketRecord, ShardedFlowTable, Timestamp,
@@ -20,12 +21,16 @@ use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_topk::TopKTracker;
 
 use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink};
-use crate::report::{BinReport, LaneReport, TopKReport};
+use crate::report::{BinReport, ControllerTrail, LaneReport, TopKReport};
 use crate::spec::{SamplerSpec, TopKSpec};
 
 /// Salt mixed into a lane's seed for its top-k backend RNG, so that backend
 /// coin flips (sample-and-hold) never perturb the sampling stream.
 const TRACKER_SEED_SALT: u64 = 0x70B5_A17E_D00D_F00D;
+
+/// Salt mixed into the master seed for the controlled lane, so attaching a
+/// controller never perturbs the static lanes' derived seed streams.
+const CONTROLLER_SEED_SALT: u64 = 0xC011_7801_5EED_CAFE;
 
 /// Fluent builder for [`Monitor`].
 ///
@@ -55,6 +60,7 @@ pub struct MonitorBuilder {
     top_t: usize,
     seed: u64,
     threads: usize,
+    controller: Option<ControllerSpec>,
 }
 
 impl Default for MonitorBuilder {
@@ -69,6 +75,7 @@ impl Default for MonitorBuilder {
             top_t: 10,
             seed: 0xF10A_4A9C,
             threads: 1,
+            controller: None,
         }
     }
 }
@@ -139,6 +146,25 @@ impl MonitorBuilder {
         self
     }
 
+    /// Attaches a closed-loop rate controller (`flowrank-control`): one
+    /// extra *controlled* lane is appended after the static lanes, running
+    /// the sampler template at the controller's initial rate. Each time a
+    /// bin closes, the monitor derives a [`BinObservation`] from the bin's
+    /// report and ground truth, feeds it to the controller, records the
+    /// decision on [`BinReport::controller`], and — when the decided rate
+    /// differs from the applied one — rebuilds the controlled lane's
+    /// sampler at the new rate from the lane's fixed seed before the next
+    /// bin's packets arrive.
+    ///
+    /// The control step runs single-threaded after lane scoring, and the
+    /// controlled lane's seed is salted off the master seed, so attaching
+    /// a controller neither perturbs the static lanes nor breaks the
+    /// monitor's bit-identical-across-paths guarantees.
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = Some(spec);
+        self
+    }
+
     /// Worker threads for whole-bin processing (default 1).
     ///
     /// The ground truth becomes a [`ShardedFlowTable`] with one shard per
@@ -204,12 +230,39 @@ impl MonitorBuilder {
                 }
             }
         }
+        let controller = self.controller.map(|spec| {
+            // The controlled lane rides after the static grid with its own
+            // rate_id, so rate-keyed aggregation (and the RateCurve sink)
+            // sees it as one more rate group rather than conflating it
+            // with a static rate it happens to pass through.
+            let rate_id = lanes.last().map_or(0, |lane| lane.rate_id + 1);
+            let initial_rate = spec.initial_rate();
+            let lane_spec = self.sampler.with_rate(initial_rate);
+            let lane_index = lanes.len();
+            lanes.push(Lane::new(
+                &lane_spec,
+                initial_rate,
+                rate_id,
+                self.topk.as_ref(),
+                0,
+                self.seed ^ CONTROLLER_SEED_SALT,
+            ));
+            ControllerState {
+                controller: spec.build(),
+                lane: lane_index,
+                template: self.sampler,
+                applied_rate: initial_rate,
+                prev_top: Vec::new(),
+                observation: BinObservation::default(),
+            }
+        });
         Monitor {
             flow_definition: self.flow_definition,
             bin_length: self.bin_length,
             top_t: self.top_t,
             ground_truth: ShardedFlowTable::new(self.threads),
             lanes,
+            controller,
             current_bin: 0,
             saw_packet: false,
             threads: self.threads.max(1),
@@ -219,6 +272,26 @@ impl MonitorBuilder {
             last_ts_nanos: None,
         }
     }
+}
+
+/// Closed-loop state riding on the monitor: the controller itself plus
+/// everything needed to derive its per-bin observation and retune the
+/// controlled lane.
+#[derive(Debug)]
+struct ControllerState {
+    controller: Box<dyn RateController + Send>,
+    /// Index of the controlled lane in `Monitor::lanes`.
+    lane: usize,
+    /// Sampler template re-targeted (`SamplerSpec::with_rate`) at every
+    /// retune.
+    template: SamplerSpec,
+    /// Rate the controlled lane is currently running.
+    applied_rate: f64,
+    /// True top-t keys of the previous bin, backing the churn signal.
+    prev_top: Vec<AnyFlowKey>,
+    /// Recycled observation buffer (its `top_sizes` vector in particular),
+    /// so steady-state control steps stay allocation-free.
+    observation: BinObservation,
 }
 
 /// One independent sampling pipeline inside the monitor: a sampler + RNG
@@ -301,6 +374,7 @@ impl Lane {
             sampled_packets: self.table.total_packets(),
             outcome,
             topk,
+            controlled: false,
         };
         self.table.clear();
         // Every bin restarts the lane's random stream from its seed — the
@@ -340,6 +414,7 @@ pub struct Monitor {
     top_t: usize,
     ground_truth: ShardedFlowTable<AnyFlowKey>,
     lanes: Vec<Lane>,
+    controller: Option<ControllerState>,
     current_bin: u64,
     saw_packet: bool,
     threads: usize,
@@ -391,6 +466,17 @@ impl Monitor {
     /// Worker threads used for buffered-bin processing.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Name of the attached rate controller, when one is attached.
+    pub fn controller_name(&self) -> Option<&'static str> {
+        self.controller.as_ref().map(|s| s.controller.name())
+    }
+
+    /// Index of the controlled lane in every bin's `lanes`, when a
+    /// controller is attached.
+    pub fn controlled_lane(&self) -> Option<usize> {
+        self.controller.as_ref().map(|s| s.lane)
     }
 
     /// Observes one packet.
@@ -692,6 +778,7 @@ impl Monitor {
         );
         let top_t = self.top_t;
         report.lanes.clear();
+        report.controller = None;
         if self.threads > 1 && self.lanes.len() > 1 {
             // Lanes are independent given the shared truth; score them in
             // chunk order so the report order matches the sequential path.
@@ -715,6 +802,63 @@ impl Monitor {
             Timestamp::from_micros(self.current_bin.saturating_mul(self.bin_length.as_micros()));
         report.packets = self.ground_truth.total_packets();
         report.flows = self.ground_truth.flow_count();
+        // The control step runs after lane scoring, single-threaded, while
+        // the bin's ground truth is still live — so controller decisions are
+        // a pure function of the report stream, independent of thread count
+        // and ingestion path like everything else in the report.
+        if let Some(state) = self.controller.as_mut() {
+            let lane_report = &mut report.lanes[state.lane];
+            lane_report.controlled = true;
+            let observation = &mut state.observation;
+            observation.bin_index = report.bin_index;
+            observation.applied_rate = state.applied_rate;
+            observation.packets = report.packets;
+            observation.flows = report.flows as u64;
+            observation.kept_packets = lane_report.sampled_packets;
+            observation.ranking_swaps = lane_report.outcome.ranking_swaps;
+            observation.ranking_pairs = lane_report.outcome.ranking_pairs;
+            observation.missed_top_flows = lane_report.outcome.missed_top_flows;
+            // Top t+1 true sizes: every adjacent top-t pair, including the
+            // boundary pair against the first flow below the cut.
+            observation.top_sizes.clear();
+            observation
+                .top_sizes
+                .extend(truth.flows().iter().take(top_t + 1).map(|f| f.packets));
+            let top = &truth.flows()[..truth.flows().len().min(top_t)];
+            observation.top_churn = if state.prev_top.is_empty() || top.is_empty() {
+                0.0
+            } else {
+                let changed = top
+                    .iter()
+                    .filter(|f| !state.prev_top.contains(&f.key))
+                    .count();
+                changed as f64 / top.len() as f64
+            };
+            state.prev_top.clear();
+            state.prev_top.extend(top.iter().map(|f| f.key));
+
+            let decision = state.controller.observe(observation);
+            report.controller = Some(ControllerTrail {
+                controller: state.controller.name(),
+                lane: state.lane,
+                applied_rate: state.applied_rate,
+                decided_rate: decision.rate,
+                swapped_fraction: observation.swapped_fraction(),
+                top_churn: observation.top_churn,
+            });
+            if decision.rate != state.applied_rate {
+                // Retune: rebuild the controlled lane's sampler at the new
+                // rate from the lane's fixed seed. `close_bin` already
+                // reseeds every lane per bin, so this is the same restart
+                // it would have performed — just at a different rate.
+                let lane = &mut self.lanes[state.lane];
+                lane.rate = decision.rate;
+                lane.spec = state.template.with_rate(decision.rate);
+                lane.stage =
+                    SamplerStage::new(lane.spec.build(lane.seed), Pcg64::seed_from_u64(lane.seed));
+                state.applied_rate = decision.rate;
+            }
+        }
         self.ground_truth.clear();
         self.current_bin += 1;
     }
@@ -1063,6 +1207,136 @@ mod tests {
             .build();
         let batch = PacketBatch::from_records(&[packet(1, 70.0), packet(1, 10.0)]);
         monitor.push_batch(&batch);
+    }
+
+    /// Four populated bins of the same skewed traffic.
+    fn four_bins() -> Vec<PacketRecord> {
+        let mut packets = skewed_bin(20, 0.0);
+        packets.extend(skewed_bin(20, 61.0));
+        packets.extend(skewed_bin(20, 122.0));
+        packets.extend(skewed_bin(20, 183.0));
+        packets
+    }
+
+    #[test]
+    fn controller_attaches_one_audited_lane_after_the_grid() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.1 })
+            .rates(&[0.05, 0.5])
+            .runs(2)
+            .controller(ControllerSpec::aimd_slo())
+            .seed(3)
+            .build();
+        assert_eq!(monitor.lane_count(), 5, "2 rates × 2 runs + controlled");
+        assert_eq!(monitor.controlled_lane(), Some(4));
+        assert_eq!(monitor.controller_name(), Some("aimd-slo"));
+        let reports = monitor.run_trace(&four_bins());
+        for report in &reports {
+            let trail = report.controller.as_ref().expect("trail on every bin");
+            assert_eq!(trail.controller, "aimd-slo");
+            assert_eq!(trail.lane, 4);
+            assert!(report.lanes[4].controlled);
+            assert!(report.lanes[..4].iter().all(|lane| !lane.controlled));
+            assert_eq!(report.lanes[4].rate_id, 2, "own rate group after grid");
+            assert_eq!(
+                trail.applied_rate, report.lanes[4].rate,
+                "lane rate is the rate applied during the bin"
+            );
+        }
+        assert_eq!(reports[0].controller.as_ref().unwrap().applied_rate, 0.1);
+        // The next bin's applied rate is the previous bin's decision.
+        for pair in reports.windows(2) {
+            let (prev, next) = (
+                pair[0].controller.as_ref().unwrap(),
+                pair[1].controller.as_ref().unwrap(),
+            );
+            assert_eq!(prev.decided_rate, next.applied_rate);
+        }
+    }
+
+    #[test]
+    fn controlled_monitor_is_bit_identical_across_paths_and_threads() {
+        let packets = four_bins();
+        let build = |threads: usize| {
+            Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.1 })
+                .rates(&[0.05, 0.3])
+                .runs(2)
+                .controller(ControllerSpec::model_driven())
+                .bin_length(Timestamp::from_secs_f64(60.0))
+                .seed(17)
+                .threads(threads)
+                .build()
+        };
+        let baseline = build(1).run_trace(&packets);
+        assert!(baseline.iter().all(|report| report.controller.is_some()));
+        for threads in [2, 4] {
+            assert_eq!(build(threads).run_trace(&packets), baseline, "{threads}");
+        }
+        let mut pushed = build(1);
+        let mut reports = Vec::new();
+        for packet in &packets {
+            reports.extend(pushed.push(packet));
+        }
+        reports.extend(pushed.finish());
+        assert_eq!(reports, baseline, "per-packet push path");
+    }
+
+    #[test]
+    fn attaching_a_controller_never_perturbs_static_lanes() {
+        let packets = four_bins();
+        let build = |controlled: bool| {
+            let builder = Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.1 })
+                .rates(&[0.05, 0.3])
+                .runs(2)
+                .bin_length(Timestamp::from_secs_f64(60.0))
+                .seed(23);
+            if controlled {
+                builder.controller(ControllerSpec::budget_tracking())
+            } else {
+                builder
+            }
+            .build()
+        };
+        let plain = build(false).run_trace(&packets);
+        let controlled = build(true).run_trace(&packets);
+        assert_eq!(plain.len(), controlled.len());
+        for (p, c) in plain.iter().zip(&controlled) {
+            assert_eq!(&c.lanes[..p.lanes.len()], &p.lanes[..]);
+        }
+    }
+
+    #[test]
+    fn budget_controller_steers_kept_packets_toward_budget() {
+        // 2100 packets per bin at an initial 50% rate keeps ~1050 — far over
+        // a 50-packet budget, so the rate must fall bin over bin (clamped at
+        // ×0.25 per step) until kept packets approach the budget.
+        let spec = ControllerSpec::BudgetTracking {
+            budget_per_bin: 50,
+            min_rate: 0.001,
+            max_rate: 1.0,
+            initial_rate: 0.5,
+        };
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.1 })
+            .controller(spec)
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .seed(31)
+            .build();
+        let reports = monitor.run_trace(&four_bins());
+        let lane = monitor.controlled_lane().unwrap();
+        let rates: Vec<f64> = reports.iter().map(|r| r.lanes[lane].rate).collect();
+        assert!(
+            rates.windows(2).all(|w| w[1] < w[0]),
+            "rate must fall while over budget: {rates:?}"
+        );
+        let first = reports.first().unwrap().lanes[lane].sampled_packets;
+        let last = reports.last().unwrap().lanes[lane].sampled_packets;
+        assert!(
+            last < first / 4,
+            "kept packets must shrink: {first} → {last}"
+        );
     }
 
     #[test]

@@ -515,7 +515,7 @@ impl<W: Write> NdjsonSink<W> {
                 out,
                 "{{\"rate\":{},\"rate_id\":{},\"run\":{},\"sampler\":\"{}\",\
                  \"sampled_flows\":{},\"sampled_packets\":{},\
-                 \"ranking_swaps\":{},\"detection_swaps\":{}}}",
+                 \"ranking_swaps\":{},\"detection_swaps\":{},\"controlled\":{}}}",
                 lane.rate,
                 lane.rate_id,
                 lane.run,
@@ -523,10 +523,26 @@ impl<W: Write> NdjsonSink<W> {
                 lane.sampled_flows,
                 lane.sampled_packets,
                 lane.outcome.ranking_swaps,
-                lane.outcome.detection_swaps
+                lane.outcome.detection_swaps,
+                lane.controlled
             )?;
         }
-        out.write_all(b"]}\n")
+        out.write_all(b"]")?;
+        if let Some(trail) = &report.controller {
+            write!(
+                out,
+                ",\"controller\":{{\"name\":\"{}\",\"lane\":{},\
+                 \"applied_rate\":{},\"decided_rate\":{},\
+                 \"swapped_fraction\":{},\"top_churn\":{}}}",
+                trail.controller,
+                trail.lane,
+                trail.applied_rate,
+                trail.decided_rate,
+                trail.swapped_fraction,
+                trail.top_churn
+            )?;
+        }
+        out.write_all(b"}\n")
     }
 }
 
@@ -542,7 +558,7 @@ impl<W: Write> ReportSink for NdjsonSink<W> {
 }
 
 /// Streams every report as flat per-lane CSV rows
-/// (`bin,bin_start_s,packets,flows,rate,run,sampler,sampled_flows,sampled_packets,ranking_swaps,detection_swaps`),
+/// (`bin,bin_start_s,packets,flows,rate,run,sampler,sampled_flows,sampled_packets,ranking_swaps,detection_swaps,controlled`),
 /// with a header row before the first report. Same latching error handling
 /// as [`NdjsonSink`].
 #[derive(Debug)]
@@ -576,14 +592,15 @@ impl<W: Write> CsvSink<W> {
             writeln!(
                 out,
                 "bin,bin_start_s,packets,flows,rate,run,sampler,\
-                 sampled_flows,sampled_packets,ranking_swaps,detection_swaps"
+                 sampled_flows,sampled_packets,ranking_swaps,detection_swaps,\
+                 controlled"
             )?;
             *wrote_header = true;
         }
         for lane in &report.lanes {
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
                 report.bin_index,
                 report.bin_start.as_secs_f64(),
                 report.packets,
@@ -594,7 +611,8 @@ impl<W: Write> CsvSink<W> {
                 lane.sampled_flows,
                 lane.sampled_packets,
                 lane.outcome.ranking_swaps,
-                lane.outcome.detection_swaps
+                lane.outcome.detection_swaps,
+                lane.controlled
             )?;
         }
         Ok(())
@@ -760,6 +778,26 @@ mod tests {
     fn trace() -> Vec<PacketRecord> {
         let flows = SprintModel::small(130.0, 12.0).generate_flows(3);
         flowrank_trace::synthesize_packets(&flows, &SynthesisConfig::default(), 3)
+    }
+
+    /// Flow `i` of `flows` sends `10 * (flows − i)` packets inside the bin
+    /// starting at `offset_secs`.
+    fn synth_packets(flows: u8, offset_secs: f64) -> Vec<PacketRecord> {
+        let mut packets = Vec::new();
+        for i in 0..flows {
+            for j in 0..(10 * (flows - i) as usize) {
+                packets.push(PacketRecord::udp(
+                    Timestamp::from_secs_f64(offset_secs + j as f64 * 0.01),
+                    Ipv4Addr::new(10, 0, 0, i),
+                    1000 + i as u16,
+                    Ipv4Addr::new(100, 64, i, 1),
+                    80,
+                    500,
+                ));
+            }
+        }
+        packets.sort_by_key(|p| p.timestamp);
+        packets
     }
 
     fn monitor() -> Monitor {
@@ -995,10 +1033,102 @@ mod tests {
         let text = String::from_utf8(csv.finish().unwrap()).unwrap();
         let row = text.lines().nth(1).unwrap();
         let fields: Vec<&str> = row.split(',').collect();
-        assert_eq!(fields.len(), 11);
+        assert_eq!(fields.len(), 12);
         assert_eq!(fields[0], "0");
         assert_eq!(fields[2], "1", "one packet");
         assert_eq!(fields[3], "1", "one flow");
         assert_eq!(fields[6], "random");
+        assert_eq!(fields[11], "false", "static lane is not controlled");
+    }
+
+    #[test]
+    fn rate_curve_with_zero_bins_is_empty() {
+        let curve = RateCurve::new();
+        assert_eq!(curve.bins(), 0);
+        assert!(curve.points().is_empty());
+    }
+
+    #[test]
+    fn rate_curve_from_a_single_report_is_finite() {
+        // One bin, one lane, one observation per stat: the std-dev of a
+        // single sample is undefined, and points() must report 0.0 for it
+        // rather than NaN.
+        let packet = PacketRecord::udp(
+            Timestamp::from_secs_f64(1.0),
+            Ipv4Addr::new(10, 0, 0, 1),
+            53,
+            Ipv4Addr::new(100, 64, 0, 9),
+            53,
+            120,
+        );
+        let mut m = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .build();
+        let mut curve = RateCurve::new();
+        m.push_into(&packet, &mut curve);
+        m.finish_into(&mut curve);
+        let points = curve.points();
+        assert_eq!(curve.bins(), 1);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].observations, 1);
+        assert_eq!(points[0].ranking_std, 0.0);
+        assert_eq!(points[0].detection_std, 0.0);
+        assert!(points[0].ranking_mean.is_finite());
+    }
+
+    #[test]
+    fn rate_curve_folds_duplicate_rate_ids_across_runs_and_bins() {
+        // Three runs share each rate_id, over two bins: every point must
+        // fold bins × runs observations into one entry per rate, in grid
+        // order, not one entry per lane.
+        let mut packets = synth_packets(40, 0.0);
+        packets.extend(synth_packets(40, 61.0));
+        let mut m = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.1 })
+            .rates(&[0.05, 0.5])
+            .runs(3)
+            .seed(9)
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        let mut curve = RateCurve::new();
+        let batch = PacketBatch::from_records(&packets);
+        m.push_batch_into(&batch, &mut curve);
+        m.finish_into(&mut curve);
+        let points = curve.points();
+        assert_eq!(curve.bins(), 2);
+        assert_eq!(points.len(), 2, "one point per rate_id");
+        for (i, point) in points.iter().enumerate() {
+            assert_eq!(point.rate_id, i, "grid order");
+            assert_eq!(point.observations, 6, "2 bins × 3 runs");
+        }
+    }
+
+    #[test]
+    fn rate_curve_is_nan_free_when_a_lane_keeps_nothing() {
+        // A rate-0 lane never samples a packet: every metric it reports is
+        // constant, and the curve must stay finite everywhere.
+        let mut packets = synth_packets(30, 0.0);
+        packets.extend(synth_packets(30, 61.0));
+        let mut m = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.0 })
+            .seed(4)
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .build();
+        let mut curve = RateCurve::new();
+        let batch = PacketBatch::from_records(&packets);
+        m.push_batch_into(&batch, &mut curve);
+        m.finish_into(&mut curve);
+        let points = curve.points();
+        assert_eq!(points.len(), 1);
+        for point in &points {
+            for value in [
+                point.ranking_mean,
+                point.ranking_std,
+                point.detection_mean,
+                point.detection_std,
+            ] {
+                assert!(value.is_finite(), "NaN/inf leaked into {point:?}");
+            }
+        }
     }
 }

@@ -47,6 +47,11 @@ pub struct LaneReport {
     pub outcome: ComparisonOutcome,
     /// End-of-bin top-k state, when the lane runs a backend.
     pub topk: Option<TopKReport>,
+    /// Whether this lane's rate is steered by the monitor's controller
+    /// (at most one lane per monitor; its `rate` field is the rate that
+    /// was *applied* during this bin, so the trail of `rate` values across
+    /// bins is the controller's audit log in every sink).
+    pub controlled: bool,
 }
 
 impl LaneReport {
@@ -61,6 +66,26 @@ impl LaneReport {
     }
 }
 
+/// One bin's entry in the controller's decision trail: what rate the
+/// controlled lane ran, what the controller decided for the next bin, and
+/// the feedback it decided on. Carried on [`BinReport::controller`] so
+/// every sink (csv, ndjson, rate-curve, digest) can audit the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerTrail {
+    /// Controller discipline name (`model-driven`, `aimd-slo`, …).
+    pub controller: &'static str,
+    /// Index of the controlled lane in [`BinReport::lanes`].
+    pub lane: usize,
+    /// Rate the controlled lane ran during this bin.
+    pub applied_rate: f64,
+    /// Rate the controller decided for the next bin.
+    pub decided_rate: f64,
+    /// Fraction of adjacent top-t pairs the controlled lane misranked.
+    pub swapped_fraction: f64,
+    /// Fraction of the true top-t set that changed since the previous bin.
+    pub top_churn: f64,
+}
+
 /// Everything the monitor learned about one measurement bin.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinReport {
@@ -72,8 +97,11 @@ pub struct BinReport {
     pub packets: u64,
     /// Distinct ground-truth flows in the bin.
     pub flows: usize,
-    /// One report per lane, in lane order (rates outer, runs inner).
+    /// One report per lane, in lane order (rates outer, runs inner; the
+    /// controlled lane, when one is attached, comes last).
     pub lanes: Vec<LaneReport>,
+    /// The controller's decision for this bin, when one is attached.
+    pub controller: Option<ControllerTrail>,
 }
 
 impl BinReport {

@@ -15,6 +15,12 @@ use flowrank_stats::rng::Rng;
 
 use crate::sampler::PacketSampler;
 
+/// Empty-interval steps replayed after an idle gap, at most. The per-step
+/// factor is already clamped to ×4, so the rate saturates at `max_rate`
+/// within a few steps; capping the replay keeps a very long idle period
+/// from costing work proportional to its length.
+const MAX_EMPTY_REPLAY: u64 = 16;
+
 /// Packet sampler that adapts its rate to a per-interval sample budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveRateSampler {
@@ -26,6 +32,10 @@ pub struct AdaptiveRateSampler {
     current_interval: u64,
     sampled_in_interval: u64,
     initial_rate: f64,
+    /// No packet observed since construction/reset: the first packet may
+    /// land in any interval (the enclosing monitor resets samplers per
+    /// measurement bin), which must not be mistaken for an idle gap.
+    fresh: bool,
 }
 
 impl AdaptiveRateSampler {
@@ -45,6 +55,7 @@ impl AdaptiveRateSampler {
             current_interval: 0,
             sampled_in_interval: 0,
             initial_rate: rate,
+            fresh: true,
         }
     }
 
@@ -63,11 +74,29 @@ impl AdaptiveRateSampler {
     }
 
     fn roll_interval(&mut self, packet_interval: u64) {
-        // Multiplicative update: scale the rate by budget / realised count,
-        // bounded to a factor of 4 per step to avoid oscillation.
+        // Multiplicative update for the interval that just ended: scale the
+        // rate by budget / realised count, bounded to a factor of 4 per step
+        // to avoid oscillation.
         let realised = self.sampled_in_interval.max(1) as f64;
         let factor = (self.budget_per_interval as f64 / realised).clamp(0.25, 4.0);
         self.rate = (self.rate * factor).clamp(self.min_rate, self.max_rate);
+        // A quiet gap skipped whole intervals in which nothing was sampled:
+        // replay one empty-interval step per elapsed interval (realised = 0,
+        // so the step factor is the clamped budget), so the rate coming out
+        // of an idle period matches what rolling through it interval by
+        // interval would have produced, instead of staying one stale step
+        // behind. A fresh sampler skips the replay — its first packet may
+        // legitimately land in any interval.
+        let elapsed = packet_interval.saturating_sub(self.current_interval);
+        if !self.fresh && elapsed > 1 {
+            let empty_factor = (self.budget_per_interval as f64).clamp(0.25, 4.0);
+            for _ in 1..elapsed.min(MAX_EMPTY_REPLAY) {
+                if empty_factor <= 1.0 || self.rate >= self.max_rate {
+                    break;
+                }
+                self.rate = (self.rate * empty_factor).clamp(self.min_rate, self.max_rate);
+            }
+        }
         self.sampled_in_interval = 0;
         self.current_interval = packet_interval;
     }
@@ -79,6 +108,7 @@ impl PacketSampler for AdaptiveRateSampler {
         if packet_interval != self.current_interval {
             self.roll_interval(packet_interval);
         }
+        self.fresh = false;
         let keep = rng.bernoulli(self.rate);
         if keep {
             self.sampled_in_interval += 1;
@@ -94,6 +124,7 @@ impl PacketSampler for AdaptiveRateSampler {
         self.rate = self.initial_rate;
         self.current_interval = 0;
         self.sampled_in_interval = 0;
+        self.fresh = true;
     }
 
     fn name(&self) -> &'static str {
@@ -175,6 +206,54 @@ mod tests {
         assert!(
             (80..=500).contains(&sampled_last_second),
             "sampled {sampled_last_second} in final second"
+        );
+    }
+
+    #[test]
+    fn idle_gap_replays_one_step_per_elapsed_interval() {
+        // Pinned-seed regression for the stale-rate-after-idle bug: a gap of
+        // k quiet intervals used to trigger a single multiplicative step.
+        // With budget 2 the empty-interval factor is ×2, so a packet at
+        // interval 0 followed by one at interval 4 (intervals 1–3 empty)
+        // must step ×2 four times: once for interval 0 (nothing sampled at
+        // a 1% rate under this seed) and once per empty interval.
+        let mut sampler = AdaptiveRateSampler::new(0.01, 2, Timestamp::from_secs_f64(1.0));
+        let mut rng = Pcg64::seed_from_u64(0xD00D_2026);
+        sampler.keep(&packet_at(0.5), &mut rng);
+        sampler.keep(&packet_at(4.5), &mut rng);
+        assert!(
+            (sampler.current_rate() - 0.16).abs() < 1e-12,
+            "expected 0.01 × 2⁴ after the gap, got {}",
+            sampler.current_rate()
+        );
+    }
+
+    #[test]
+    fn replay_saturates_instead_of_scaling_with_idle_time() {
+        // A week-long gap must not cost a week of steps: the replay caps
+        // once the rate pins at max_rate.
+        let mut sampler = AdaptiveRateSampler::new(0.01, 1000, Timestamp::from_secs_f64(1.0));
+        let mut rng = Pcg64::seed_from_u64(7);
+        sampler.keep(&packet_at(0.5), &mut rng);
+        sampler.keep(&packet_at(604_800.5), &mut rng);
+        assert_eq!(sampler.current_rate(), 1.0);
+    }
+
+    #[test]
+    fn fresh_sampler_takes_one_legacy_step_for_a_late_first_packet() {
+        // The enclosing monitor resets samplers at every bin close, so the
+        // first packet of a bin can land many intervals in. That is not an
+        // idle gap: exactly one multiplicative step fires (0.2 × 4 = 0.8),
+        // the behaviour the conformance goldens pin.
+        let mut sampler = AdaptiveRateSampler::new(0.2, 400, Timestamp::from_secs_f64(5.0));
+        let mut rng = Pcg64::seed_from_u64(1);
+        sampler.keep(&packet_at(2.0), &mut rng);
+        sampler.reset();
+        sampler.keep(&packet_at(62.0), &mut rng);
+        assert!(
+            (sampler.current_rate() - 0.8).abs() < 1e-12,
+            "got {}",
+            sampler.current_rate()
         );
     }
 

@@ -1,0 +1,272 @@
+//! Closed-loop convergence harness: controllers vs the offline optimum.
+//!
+//! The paper's model gives, for any bin whose true flow sizes are known,
+//! the minimal sampling rate meeting a misranking target — an *offline*
+//! optimum no online controller can see ahead of time. This harness drives
+//! a controlled monitor over a non-stationary scenario workload, computes
+//! that offline-optimal rate for every bin from the same packets, and
+//! reports the per-bin **regret** `|applied − optimal|` plus a stable
+//! FNV-1a digest of the full decision trace. The `controller_convergence`
+//! golden test pins both: `ModelDriven` and `AimdSlo` must come within ε
+//! of the offline optimum within N bins on the flash-crowd and rank-churn
+//! scenarios, and any change to any controller's decisions shows up as a
+//! digest mismatch.
+
+use std::collections::HashMap;
+
+use flowrank_control::{optimal_rate_for_sizes, ControllerSpec};
+use flowrank_monitor::{Collect, Monitor, MonitorBuilder, SamplerSpec};
+use flowrank_net::{AnyFlowKey, FlowDefinition, Timestamp};
+use flowrank_trace::Workload;
+
+/// One fully specified convergence run: a scenario workload, a controller,
+/// and the offline model the controller is judged against.
+#[derive(Debug, Clone)]
+pub struct ConvergenceConfig {
+    /// Scenario the monitor is driven over (streamed; never materialised).
+    pub workload: Workload,
+    /// Controller under test.
+    pub controller: ControllerSpec,
+    /// Sampler template of the controlled lane.
+    pub sampler: SamplerSpec,
+    /// Flow definition for ground truth and sampled classification.
+    pub flow_definition: FlowDefinition,
+    /// Measurement-bin length in seconds.
+    pub bin_seconds: f64,
+    /// Top flows ranked per bin.
+    pub top_t: usize,
+    /// Seed of the workload's packet synthesis.
+    pub trace_seed: u64,
+    /// Master seed of the monitor (the controlled lane's seed derives
+    /// from it).
+    pub lane_seed: u64,
+    /// Misranking target defining the offline-optimal rate.
+    pub target_misranking: f64,
+    /// Rate floor shared by the offline optimum and the comparison.
+    pub min_rate: f64,
+}
+
+/// One bin of a convergence run: what the controller did vs what the
+/// offline model says it should have done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Bin index.
+    pub bin_index: u64,
+    /// Rate the controlled lane ran during the bin.
+    pub applied_rate: f64,
+    /// Rate the controller decided for the next bin.
+    pub decided_rate: f64,
+    /// Offline-optimal rate for the bin's true top-t sizes.
+    pub optimal_rate: f64,
+    /// `|applied_rate − optimal_rate|`.
+    pub regret: f64,
+    /// Swapped-pair fraction the controlled lane realized in the bin.
+    pub swapped_fraction: f64,
+}
+
+/// The trace of a whole convergence run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceResult {
+    /// Controller discipline name.
+    pub controller: &'static str,
+    /// Per-bin trail, in bin order.
+    pub points: Vec<ConvergencePoint>,
+    /// FNV-1a digest of the full decision trace (bin index, applied,
+    /// decided and optimal rate bits per bin) — the golden-pinned value.
+    pub digest: u64,
+}
+
+impl ConvergenceResult {
+    /// Smallest bin index from which *every* later bin (that one included)
+    /// stays within `epsilon` of the offline optimum, or `None` when the
+    /// run never settles.
+    pub fn bins_to_converge(&self, epsilon: f64) -> Option<u64> {
+        let mut converged_from = None;
+        for point in &self.points {
+            if point.regret <= epsilon {
+                converged_from.get_or_insert(point.bin_index);
+            } else {
+                converged_from = None;
+            }
+        }
+        converged_from
+    }
+
+    /// Mean per-bin regret over the whole run.
+    pub fn mean_regret(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.regret).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// FNV-1a over the decision trace; deliberately the same fold the
+/// conformance `DigestSink` uses for reports, so golden files stay
+/// comparable in spirit (one 16-hex-digit digest per cell).
+struct TraceDigest(u64);
+
+impl TraceDigest {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Self {
+        TraceDigest(Self::OFFSET)
+    }
+
+    fn fold(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// Offline-optimal rate per bin: classify the workload's packets bin by
+/// bin under the config's flow definition, sort each bin's true sizes
+/// descending, and invert the paper's model on the top `t + 1` — exactly
+/// the computation `ModelDriven` performs online, but on the *current*
+/// bin's sizes instead of the previous bin's.
+fn offline_optimal_rates(config: &ConvergenceConfig) -> Vec<f64> {
+    let packets = config.workload.synthesize(config.trace_seed);
+    let bin_length = Timestamp::from_secs_f64(config.bin_seconds);
+    let mut bins: Vec<HashMap<AnyFlowKey, u64>> = Vec::new();
+    for packet in &packets {
+        let bin = packet.timestamp.bin_index(bin_length) as usize;
+        if bin >= bins.len() {
+            bins.resize_with(bin + 1, HashMap::new);
+        }
+        *bins[bin]
+            .entry(config.flow_definition.key_of(packet))
+            .or_insert(0) += 1;
+    }
+    bins.into_iter()
+        .map(|flows| {
+            let mut sizes: Vec<u64> = flows.into_values().collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            sizes.truncate(config.top_t + 1);
+            optimal_rate_for_sizes(&sizes, config.target_misranking, config.min_rate)
+        })
+        .collect()
+}
+
+/// Runs one convergence cell: drives a monitor carrying only the
+/// controlled lane over the streamed workload, joins its decision trail
+/// with the offline-optimal rates, and digests the result.
+pub fn run_convergence(config: &ConvergenceConfig) -> ConvergenceResult {
+    let mut monitor: Monitor = MonitorBuilder::new()
+        .flow_definition(config.flow_definition)
+        .sampler(config.sampler)
+        // An empty rate grid leaves no static lanes: the monitor carries
+        // exactly one lane — the controlled one — so the harness pays for
+        // nothing it does not measure.
+        .rates(&[])
+        .controller(config.controller)
+        .bin_length(Timestamp::from_secs_f64(config.bin_seconds))
+        .top_t(config.top_t)
+        .seed(config.lane_seed)
+        .build();
+    let mut sink = Collect::new();
+    monitor.drive(&mut config.workload.stream(config.trace_seed), &mut sink);
+
+    let optimal = offline_optimal_rates(config);
+    let mut digest = TraceDigest::new();
+    let points: Vec<ConvergencePoint> = sink
+        .reports
+        .iter()
+        .map(|report| {
+            let trail = report
+                .controller
+                .as_ref()
+                .expect("controlled monitor reports a trail on every bin");
+            let optimal_rate = optimal
+                .get(report.bin_index as usize)
+                .copied()
+                .unwrap_or(config.min_rate);
+            digest.fold(report.bin_index);
+            digest.fold(trail.applied_rate.to_bits());
+            digest.fold(trail.decided_rate.to_bits());
+            digest.fold(optimal_rate.to_bits());
+            ConvergencePoint {
+                bin_index: report.bin_index,
+                applied_rate: trail.applied_rate,
+                decided_rate: trail.decided_rate,
+                optimal_rate,
+                regret: (trail.applied_rate - optimal_rate).abs(),
+                swapped_fraction: trail.swapped_fraction,
+            }
+        })
+        .collect();
+    ConvergenceResult {
+        controller: config.controller.name(),
+        points,
+        digest: digest.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(controller: ControllerSpec) -> ConvergenceConfig {
+        ConvergenceConfig {
+            workload: Workload::flash_crowd(),
+            controller,
+            sampler: SamplerSpec::Random { rate: 0.1 },
+            flow_definition: FlowDefinition::FiveTuple,
+            bin_seconds: 60.0,
+            top_t: 8,
+            trace_seed: 0x5EED_2026,
+            lane_seed: 0xACE5_0001,
+            target_misranking: 0.05,
+            min_rate: 0.001,
+        }
+    }
+
+    #[test]
+    fn convergence_run_is_deterministic() {
+        let cfg = config(ControllerSpec::model_driven());
+        let a = run_convergence(&cfg);
+        let b = run_convergence(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.controller, "model-driven");
+        assert!(!a.points.is_empty());
+    }
+
+    #[test]
+    fn offline_optimum_spans_every_bin() {
+        let cfg = config(ControllerSpec::aimd_slo());
+        let result = run_convergence(&cfg);
+        for point in &result.points {
+            assert!(point.optimal_rate >= cfg.min_rate);
+            assert!(point.optimal_rate <= 1.0);
+            assert!(point.regret >= 0.0);
+            assert!(point.regret.is_finite());
+        }
+    }
+
+    #[test]
+    fn bins_to_converge_requires_staying_converged() {
+        let mut result = run_convergence(&config(ControllerSpec::model_driven()));
+        // Synthetic trace: regret dips under ε at bin 1, escapes at bin 2,
+        // settles from bin 3 — convergence must be reported at 3, not 1.
+        result.points = (0..5)
+            .map(|bin_index| ConvergencePoint {
+                bin_index,
+                applied_rate: 0.1,
+                decided_rate: 0.1,
+                optimal_rate: 0.1,
+                regret: match bin_index {
+                    0 => 1.0,
+                    1 => 0.0,
+                    2 => 1.0,
+                    _ => 0.0,
+                },
+                swapped_fraction: 0.0,
+            })
+            .collect();
+        assert_eq!(result.bins_to_converge(0.01), Some(3));
+        result.points[4].regret = 1.0;
+        assert_eq!(result.bins_to_converge(0.01), None);
+    }
+}

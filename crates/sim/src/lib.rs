@@ -25,6 +25,10 @@
 //!   and chunked, sharded `threads(n)`, legacy [`run_bin`]), asserts
 //!   bit-identical reports and condenses the stream into a stable golden
 //!   digest.
+//! * [`convergence`] — the closed-loop harness: drives a
+//!   `flowrank-control` controller over a scenario workload, computes
+//!   per-bin regret against the offline-optimal rate from `core::optimal`,
+//!   and digests the decision trace for golden pinning.
 //! * [`engine`] — the legacy single-run batch entry points ([`run_bin`],
 //!   [`engine::run_bin_random_sampling`]), kept as thin wrappers that share
 //!   the monitor's ranking primitives and produce bit-identical results.
@@ -39,6 +43,7 @@
 
 pub mod binning;
 pub mod conformance;
+pub mod convergence;
 pub mod engine;
 pub mod experiment;
 pub mod report;
@@ -48,13 +53,14 @@ pub use binning::{split_batch_into_bin_ranges, split_into_bins};
 pub use conformance::{
     digest_reports, run_conformance, run_streamed_conformance, ConformanceConfig,
 };
+pub use convergence::{run_convergence, ConvergenceConfig, ConvergencePoint, ConvergenceResult};
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
 pub use scenarios::{
-    abilene_experiment, sprint_experiment, sprint_experiment_with_sampler, workload_experiment,
-    workload_monitor, workload_rate_curve,
+    abilene_experiment, sprint_experiment, sprint_experiment_with_sampler,
+    workload_controlled_monitor, workload_experiment, workload_monitor, workload_rate_curve,
 };
 
 // The monitor is the front door experiments are built on; re-export the
 // names needed to configure one from simulation code.
-pub use flowrank_monitor::{Monitor, MonitorBuilder, SamplerSpec, TopKSpec};
+pub use flowrank_monitor::{ControllerSpec, Monitor, MonitorBuilder, SamplerSpec, TopKSpec};

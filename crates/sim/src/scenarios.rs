@@ -123,6 +123,32 @@ pub fn workload_monitor(
         .build()
 }
 
+/// [`workload_monitor`] with a closed-loop rate controller attached: the
+/// same fanned-out grid plus one controlled lane (its own `rate_id` after
+/// the grid) retuned at every bin close — the configuration behind
+/// `reproduce --controller`.
+pub fn workload_controlled_monitor(
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+    threads: usize,
+    controller: flowrank_monitor::ControllerSpec,
+) -> Monitor {
+    MonitorBuilder::new()
+        .flow_definition(flow_definition)
+        .sampler(sampler)
+        .rates(&SPRINT_RATES)
+        .runs(runs)
+        .top_t(10)
+        .seed(seed)
+        .bin_length(Timestamp::from_secs_f64(bin_seconds))
+        .threads(threads)
+        .controller(controller)
+        .build()
+}
+
 /// The streamed form of [`workload_experiment`]: drives the scenario's
 /// windowed synthesis ([`Workload::stream`]) through one fanned-out monitor
 /// into an online [`RateCurve`] — no materialised trace, no retained bins,

@@ -1,0 +1,119 @@
+//! SLO tracking through a flash crowd: an AIMD rate controller holding a
+//! ranking-accuracy target while the traffic underneath it triples.
+//!
+//! The paper's optimal-rate model answers "what rate do I need for this
+//! accuracy?" offline. This example closes the loop online: a monitor
+//! carries one controlled lane whose rate the `aimd-slo` controller retunes
+//! at every bin close — additive increase while the observed swapped-pair
+//! fraction violates the SLO, gentle multiplicative decrease once it is
+//! comfortably met. A flash crowd erupts mid-trace; watch the applied rate
+//! climb through the spike and relax after it passes, while the
+//! `model-driven` controller (the paper's model inverted on the observed
+//! top-t sizes) is shown beside it as the reference.
+//!
+//! Run with `cargo run --release -p flowrank-examples --bin slo_tracking`.
+
+use flowrank_monitor::{Collect, ControllerSpec, Monitor, SamplerSpec};
+use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_trace::Workload;
+
+/// A 15-minute trace: steady base load, a two-minute flash crowd from
+/// minute 4 that roughly triples the arrival rate onto three hot prefixes.
+fn flash_crowd() -> Workload {
+    Workload::FlashCrowd {
+        base_rate: 3.0,
+        spike_rate: 30.0,
+        spike_start: 240.0,
+        spike_secs: 120.0,
+        hot_prefixes: 3,
+        duration_secs: 900.0,
+    }
+}
+
+/// Drives one controller over the flash crowd and returns the per-bin
+/// (applied rate, swapped fraction) trail of its controlled lane.
+fn drive(controller: ControllerSpec) -> Vec<(u64, f64, f64, f64)> {
+    let mut monitor: Monitor = Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.1 })
+        // No static grid: the monitor carries exactly one lane — the
+        // controlled one.
+        .rates(&[])
+        .controller(controller)
+        .bin_length(Timestamp::from_secs_f64(60.0))
+        .top_t(8)
+        .seed(0xACE5_0001)
+        .build();
+    let mut sink = Collect::new();
+    monitor.drive(&mut flash_crowd().stream(0x5EED_2026), &mut sink);
+    sink.reports
+        .iter()
+        .map(|report| {
+            let trail = report.controller.as_ref().expect("controlled lane trail");
+            (
+                report.bin_index,
+                trail.applied_rate,
+                trail.decided_rate,
+                trail.swapped_fraction,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== SLO tracking: aimd-slo through a flash crowd ==\n");
+
+    // The SLO: at most 2% of ranking pairs swapped in any bin. Increase
+    // while violated, decay once the error drops under half the target.
+    let slo = ControllerSpec::AimdSlo {
+        target_fraction: 0.02,
+        hysteresis: 0.5,
+        increase: 0.1,
+        decrease: 0.9,
+        min_rate: 0.001,
+        max_rate: 1.0,
+        initial_rate: 0.02,
+    };
+    let aimd = drive(slo);
+    let model = drive(ControllerSpec::model_driven());
+
+    println!("SLO: swapped-pair fraction <= 2.0% per bin (flash crowd: bins 4-5)\n");
+    println!(
+        "{:>3}  {:>12} {:>10} {:>9}   {:>12} {:>9}",
+        "bin", "aimd applied", "aimd next", "swapped", "model applied", "swapped"
+    );
+    for ((bin, applied, decided, swapped), (_, m_applied, _, m_swapped)) in aimd.iter().zip(&model)
+    {
+        let badge = if *swapped > 0.02 {
+            " <- SLO violated"
+        } else {
+            ""
+        };
+        println!(
+            "{bin:>3}  {applied:>12.4} {decided:>10.4} {:>8.2}%   {m_applied:>13.4} {:>8.2}%{badge}",
+            swapped * 100.0,
+            m_swapped * 100.0,
+        );
+    }
+
+    // Skip the 3-bin warm-up and the final flush (a partial bin whose few
+    // packets make the swapped fraction meaningless).
+    let steady = &aimd[3..aimd.len().saturating_sub(1)];
+    let worst = steady
+        .iter()
+        .map(|(_, _, _, swapped)| *swapped)
+        .fold(0.0f64, f64::max);
+    let mean_rate = steady
+        .iter()
+        .map(|(_, applied, _, _)| *applied)
+        .sum::<f64>()
+        / steady.len() as f64;
+    println!(
+        "\nSteady state (warm-up and final partial bin excluded): worst bin swapped \
+         {:.2}% of pairs at a mean\napplied rate of {:.0}% — the AIMD loop rides the \
+         SLO boundary through the spike, while model-driven\npays the full \
+         model-optimal rate (~99%) for near-zero error.",
+        worst * 100.0,
+        mean_rate * 100.0
+    );
+}

@@ -6,15 +6,22 @@
 #
 # Usage: scripts/bench_snapshot.sh
 #
-# Runs the flowrank-bench `throughput` and `scenario_throughput` benches
-# with BENCH_JSON set (the in-tree criterion shim appends one JSON line per
-# benchmark; new bench cases are picked up automatically) and assembles the
-# lines. Compare two snapshots with e.g. `jq '.results[] | {name, mean_ns}'
-# BENCH_throughput.json`, or plot one bench across PRs with
+# Runs the flowrank-bench `throughput`, `scenario_throughput` and
+# `controller_convergence` benches with BENCH_JSON set (the in-tree
+# criterion shim appends one JSON line per benchmark; new bench cases are
+# picked up automatically) and assembles the lines. Compare two snapshots
+# with e.g. `jq '.results[] | {name, mean_ns}' BENCH_throughput.json`, or
+# plot one bench across PRs with
 # `jq -c '{sha: .git_sha, r: (.results[] | select(.name == "pcap_decode"))}'
 # BENCH_trajectory.ndjson`. The scenario group shows how throughput varies
 # with traffic shape (heavy-tail, flash-crowd, ddos-flood, port-scan,
-# rank-churn, mixed), not just with the one Sprint-like mix.
+# rank-churn, mixed), not just with the one Sprint-like mix; the
+# controller group prices the closed-loop path per controller discipline.
+#
+# Each record carries `test_threads` (set BENCH_THREADS to label runs that
+# pinned a different libtest/bench parallelism; defaults to 1, the bench
+# box's single-CPU configuration) alongside host_cpus, so snapshots from
+# differently-parallel runs are distinguishable in the trajectory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +31,7 @@ trap 'rm -f "$tmp"' EXIT
 
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench throughput
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scenario_throughput
+BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench controller_convergence
 
 if [ ! -s "$tmp" ]; then
     echo "error: bench run produced no BENCH_JSON lines" >&2
@@ -33,6 +41,7 @@ fi
 git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 recorded_at=$(date -u +%FT%TZ)
 host_cpus=$(nproc)
+test_threads=${BENCH_THREADS:-1}
 
 {
     echo '{'
@@ -40,6 +49,7 @@ host_cpus=$(nproc)
     echo "  \"git_sha\": \"$git_sha\","
     echo "  \"recorded_at\": \"$recorded_at\","
     echo "  \"host_cpus\": $host_cpus,"
+    echo "  \"test_threads\": $test_threads,"
     echo '  "results": ['
     sed 's/^/    /; $!s/$/,/' "$tmp"
     echo '  ]'
@@ -47,8 +57,8 @@ host_cpus=$(nproc)
 } > BENCH_throughput.json
 
 {
-    printf '{"bench":"throughput","git_sha":"%s","recorded_at":"%s","host_cpus":%s,"results":[' \
-        "$git_sha" "$recorded_at" "$host_cpus"
+    printf '{"bench":"throughput","git_sha":"%s","recorded_at":"%s","host_cpus":%s,"test_threads":%s,"results":[' \
+        "$git_sha" "$recorded_at" "$host_cpus" "$test_threads"
     paste -sd, "$tmp" | tr -d '\n'
     printf ']}\n'
 } >> BENCH_trajectory.ndjson

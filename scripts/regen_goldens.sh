@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates the committed conformance golden digests
-# (tests/goldens/scenario_conformance.txt).
+# Regenerates the committed golden digests:
+#   tests/goldens/scenario_conformance.txt    (conformance matrix)
+#   tests/goldens/controller_convergence.txt  (closed-loop decision traces)
 #
 # Golden digests pin the *results* of the scenario × sampler × top-k
-# conformance matrix, so they must only ever change together with the code
-# change that intentionally moved them (e.g. a new RNG stream or a new
-# matrix cell). To keep every regeneration reviewable, this script refuses
-# to run on a dirty working tree: regenerate on a clean checkout of your
-# change, and the golden diff lands in the same commit series as the code
-# that caused it.
+# conformance matrix and of the rate controllers' per-bin decision traces,
+# so they must only ever change together with the code change that
+# intentionally moved them (e.g. a new RNG stream, a new matrix cell, a
+# retuned controller). To keep every regeneration reviewable, this script
+# refuses to run on a dirty working tree: regenerate on a clean checkout of
+# your change, and the golden diff lands in the same commit series as the
+# code that caused it.
 #
 # Usage: scripts/regen_goldens.sh
 
@@ -23,6 +25,7 @@ if [ -n "$(git status --porcelain)" ]; then
 fi
 
 REGEN_GOLDENS=1 cargo test -p flowrank-tests --test scenario_conformance -- --nocapture
+REGEN_GOLDENS=1 cargo test --release -p flowrank-tests --test controller_convergence -- --nocapture
 
 if git diff --quiet -- tests/goldens/; then
     echo "goldens unchanged — the matrix still digests to the committed values"
