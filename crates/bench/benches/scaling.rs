@@ -1,0 +1,89 @@
+//! Multi-core scaling leg: the monitor's headline runs × rates grid at a
+//! worker-pool width chosen on the command line, e.g.
+//!
+//! ```text
+//! cargo bench -p flowrank-bench --bench scaling -- --threads 4
+//! ```
+//!
+//! `scripts/bench_snapshot.sh` sweeps `--threads {1, 2, 4}` and every
+//! result line carries a `threads` field, so `BENCH_throughput.json` and
+//! `BENCH_trajectory.ndjson` record the scaling curve — threads(1) runs the
+//! serial engine (the zero-overhead baseline), threads(n > 1) the pipelined
+//! worker runtime — rather than a single-core point. The workloads mirror
+//! `throughput.rs`'s `push_batch_multi_run` and `drive_end_to_end` benches
+//! (same flows, same grid, same seeds) so serial numbers are directly
+//! comparable across the two files; monitor construction (pool spawn +
+//! teardown) is inside the timed routine, matching the convention there.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_monitor::{Monitor, RateCurve, SamplerSpec};
+use flowrank_net::{FlowDefinition, PacketBatch, Timestamp};
+use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig, SynthesisStream};
+
+/// The experiment grid, identical to `throughput.rs`'s fan-out benches.
+const FAN_OUT_RATES: [f64; 4] = [0.001, 0.01, 0.1, 0.5];
+const FAN_OUT_RUNS: usize = 30;
+const FAN_OUT_SEED: u64 = 2026;
+
+fn monitor(threads: usize) -> Monitor {
+    Monitor::builder()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&FAN_OUT_RATES)
+        .runs(FAN_OUT_RUNS)
+        .top_t(10)
+        .seed(FAN_OUT_SEED)
+        .bin_length(Timestamp::ZERO)
+        .threads(threads)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let threads = c.threads();
+    let flows = SprintModel::small(30.0, 100.0).generate_flows(21);
+    let packets = synthesize_packets(&flows, &SynthesisConfig::default(), 21);
+    let batch = PacketBatch::from_records(&packets);
+
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .throughput(Throughput::Elements(packets.len() as u64))
+        .thread_count(threads);
+
+    // Whole-trace batch replay: bin-sized segments fan out to the worker
+    // pool, so this is the dispatch path end to end (ingest → SPSC queues →
+    // shard workers → sequencer).
+    group.bench_function("push_batch_multi_run", |b| {
+        b.iter(|| {
+            let mut monitor = monitor(threads);
+            let reports = monitor.run_batch(&batch);
+            let total_swaps: u64 = reports
+                .iter()
+                .flat_map(|r| r.lanes.iter())
+                .map(|lane| lane.outcome.ranking_swaps)
+                .sum();
+            black_box(total_swaps)
+        })
+    });
+
+    // The bounded-memory pipeline: windowed synthesis overlaps with worker
+    // classification, the online curve aggregates each bin as it seals.
+    group.bench_function("drive_end_to_end", |b| {
+        b.iter(|| {
+            let mut monitor = monitor(threads);
+            let mut source = SynthesisStream::new(&flows, &SynthesisConfig::default(), 21);
+            let mut curve = RateCurve::new();
+            let summary = monitor.drive(&mut source, &mut curve);
+            black_box((summary.packets, curve.points().len()))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

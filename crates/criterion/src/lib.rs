@@ -16,9 +16,16 @@
 //!   benchmark once with a minimal budget — the CI smoke mode that proves
 //!   the benches still compile and execute without paying measurement time.
 //! * The `BENCH_JSON` environment variable names a file to append one JSON
-//!   line per benchmark to (`{"group":…,"name":…,"mean_ns":…,"std_ns":…,
-//!   "samples":…,"melem_per_s":…}`), which `scripts/bench_snapshot.sh` uses
-//!   to keep `BENCH_throughput.json` machine-readable.
+//!   line per benchmark to (`{"group":…,"name":…,"threads":…,"mean_ns":…,
+//!   "std_ns":…,"samples":…,"melem_per_s":…}`), which
+//!   `scripts/bench_snapshot.sh` uses to keep `BENCH_throughput.json`
+//!   machine-readable.
+//! * `--threads N` on the bench binary (i.e. `cargo bench -- --threads 4`)
+//!   sets the core-count dimension a scaling bench should run at. The value
+//!   is surfaced through [`Criterion::threads`]; a bench opts in by
+//!   building its workload at that width and labelling the group with
+//!   [`BenchmarkGroup::thread_count`], which stamps the `threads` field on
+//!   every JSON line (default 1, the serial configuration).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,7 @@ pub enum Throughput {
 #[derive(Debug)]
 pub struct Criterion {
     test_mode: bool,
+    threads: usize,
 }
 
 impl Default for Criterion {
@@ -46,11 +54,21 @@ impl Default for Criterion {
             // `cargo bench -- --test` parity with the real criterion: run
             // every bench once, skip measurement.
             test_mode: std::env::args().any(|a| a == "--test"),
+            threads: parse_threads(std::env::args()),
         }
     }
 }
 
 impl Criterion {
+    /// The worker-thread count requested on the command line via
+    /// `--threads N` (default 1). Scaling benches read this to size their
+    /// workload — e.g. `Monitor::builder().threads(c.threads())` — so one
+    /// bench binary covers the whole core-count sweep that
+    /// `scripts/bench_snapshot.sh` drives.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\ngroup: {name}");
@@ -62,9 +80,27 @@ impl Criterion {
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_millis(500),
             throughput: None,
+            threads: 1,
             test_mode,
         }
     }
+}
+
+/// Parses `--threads N` / `--threads=N` from a bench binary's argv.
+/// Returns 1 (the serial configuration) when absent or malformed — a bench
+/// run must never fail because of a label flag.
+fn parse_threads<I: Iterator<Item = String>>(mut args: I) -> usize {
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_string)
+        };
+        if let Some(n) = value.and_then(|v| v.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    1
 }
 
 /// A named group of benchmarks sharing sample-size/throughput settings.
@@ -76,6 +112,7 @@ pub struct BenchmarkGroup<'a> {
     measurement_time: Duration,
     warm_up_time: Duration,
     throughput: Option<Throughput>,
+    threads: usize,
     test_mode: bool,
 }
 
@@ -108,6 +145,15 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Labels every result in the group with a worker-thread count (the
+    /// `threads` field of the `BENCH_JSON` lines; default 1). Scaling
+    /// benches set this to [`Criterion::threads`] so one JSON stream keeps
+    /// the core-count sweep distinguishable.
+    pub fn thread_count(&mut self, n: usize) -> &mut Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Measures one benchmark: `f` receives a [`Bencher`] and calls
     /// [`Bencher::iter`] with the routine under test.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
@@ -129,7 +175,13 @@ impl BenchmarkGroup<'_> {
         if self.test_mode {
             println!("  {name:<40} ok (smoke)");
         } else {
-            report(&self.name, name, &bencher.samples, self.throughput);
+            report(
+                &self.name,
+                name,
+                self.threads,
+                &bencher.samples,
+                self.throughput,
+            );
         }
         self
     }
@@ -181,7 +233,13 @@ impl Bencher {
     }
 }
 
-fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+fn report(
+    group: &str,
+    name: &str,
+    threads: usize,
+    samples: &[Duration],
+    throughput: Option<Throughput>,
+) {
     let n = samples.len().max(1) as f64;
     let mean_ns = samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / n;
     let var_ns = samples
@@ -204,18 +262,25 @@ fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Thro
             b as f64 / mean_ns * 1e9 / (1 << 20) as f64
         ),
     });
+    let threads_tag = if threads > 1 {
+        format!(" [{threads} threads]")
+    } else {
+        String::new()
+    };
     println!(
-        "  {name:<40} {:>12} ± {:<10} ({} samples){}",
+        "  {name:<40} {:>12} ± {:<10} ({} samples){}{}",
         format_ns(mean_ns),
         format_ns(std_ns),
         samples.len(),
-        rate.unwrap_or_default()
+        rate.unwrap_or_default(),
+        threads_tag
     );
     if let Ok(path) = std::env::var("BENCH_JSON") {
         append_json_line(
             &path,
             group,
             name,
+            threads,
             mean_ns,
             std_ns,
             samples.len(),
@@ -227,10 +292,12 @@ fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Thro
 /// Appends one machine-readable result line to `path` (ndjson; the snapshot
 /// script assembles the final document). Errors are reported but never fail
 /// the bench run.
+#[allow(clippy::too_many_arguments)]
 fn append_json_line(
     path: &str,
     group: &str,
     name: &str,
+    threads: usize,
     mean_ns: f64,
     std_ns: f64,
     samples: usize,
@@ -241,7 +308,7 @@ fn append_json_line(
     let group = json_escape(group);
     let name = json_escape(name);
     let line = format!(
-        "{{\"group\":\"{group}\",\"name\":\"{name}\",\"mean_ns\":{mean_ns:.1},\"std_ns\":{std_ns:.1},\"samples\":{samples},\"melem_per_s\":{melem}}}\n"
+        "{{\"group\":\"{group}\",\"name\":\"{name}\",\"threads\":{threads},\"mean_ns\":{mean_ns:.1},\"std_ns\":{std_ns:.1},\"samples\":{samples},\"melem_per_s\":{melem}}}\n"
     );
     let written = std::fs::OpenOptions::new()
         .create(true)
@@ -342,6 +409,33 @@ mod tests {
         group.finish();
         // ~6 warm-up iterations before the 2 measured samples.
         assert!(runs >= 5, "expected warm-up iterations, got {runs} runs");
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let argv = |args: &[&str]| {
+            args.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        assert_eq!(parse_threads(argv(&["bench", "--threads", "4"])), 4);
+        assert_eq!(parse_threads(argv(&["bench", "--threads=2"])), 2);
+        assert_eq!(parse_threads(argv(&["bench", "--test"])), 1);
+        // Malformed or zero values fall back to the serial default.
+        assert_eq!(parse_threads(argv(&["bench", "--threads", "lots"])), 1);
+        assert_eq!(parse_threads(argv(&["bench", "--threads=0"])), 1);
+        assert_eq!(parse_threads(argv(&["bench"])), 1);
+    }
+
+    #[test]
+    fn thread_count_labels_the_group() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-threads");
+        group.thread_count(4);
+        assert_eq!(group.threads, 4);
+        group.thread_count(0);
+        assert_eq!(group.threads, 1, "zero clamps to the serial default");
     }
 
     #[test]

@@ -39,6 +39,39 @@
 //! [`MonitorBuilder::threads`] sharding (pinned by the
 //! `streaming_equivalence` integration suite).
 //!
+//! # The pipelined worker runtime
+//!
+//! [`MonitorBuilder::threads`] `(n > 1)` replaces the serial engine with a
+//! persistent worker pool — spawned once at `build()`, joined on drop — so
+//! ingestion (the caller's thread), ground-truth classification and lane
+//! scoring overlap across bins instead of barrier-stepping. The caller
+//! splits each batch on bin boundaries, derives keys once, routes every
+//! key to its ground-truth shard, and broadcasts the segment over bounded
+//! SPSC channels; worker `w` owns shard `w` plus the strided lane set
+//! `{i : i mod n == w}`, and a sequencer thread merges the sealed shards,
+//! ranks the bin once, scatters the scored lane reports back into lane
+//! order and runs the controller step. The guarantees, pinned by the
+//! `worker_runtime` suite and the golden conformance matrix:
+//!
+//! * **Determinism** — reports are bit-identical to the serial engine for
+//!   every thread count, chunking and entry point. Shards are disjoint and
+//!   merged in a fixed order, the combined ranking is re-sorted by
+//!   `(size, key)`, and every queue carries the same message sequence, so
+//!   scheduling is invisible in the output.
+//! * **Backpressure** — segment queues are bounded (`sync_channel`): a
+//!   source that outruns the pool blocks in `push_batch` instead of
+//!   buffering unbounded work, which keeps `drive`'s bounded-memory
+//!   promise intact. Segments smaller than
+//!   [`MonitorBuilder::parallel_segment_min`] (default
+//!   [`DEFAULT_PARALLEL_SEGMENT_MIN`]) run inline on the calling thread
+//!   after a quiescence drain — per-packet `push` never pays a queue
+//!   round-trip ([`Monitor::segment_stats`] counts both paths).
+//! * **Ordering & shutdown** — sinks observe bins strictly in order with
+//!   reports delivered on the calling thread; synchronous entry points
+//!   drain fully before returning, so no report is ever in flight when a
+//!   call returns. Dropping the monitor mid-bin sends shutdown markers
+//!   behind in-flight work and joins every thread.
+//!
 //! # The source/sink pipeline and `drive`
 //!
 //! [`Monitor::drive`] is the canonical way to run a whole measurement: a
@@ -116,9 +149,10 @@
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
+mod runtime;
 pub mod spec;
 
-pub use monitor::{Monitor, MonitorBuilder};
+pub use monitor::{Monitor, MonitorBuilder, DEFAULT_PARALLEL_SEGMENT_MIN};
 pub use pipeline::{
     BatchSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary, NdjsonSink, PacketSource,
     PcapBytesSource, PcapReaderSource, RateCurve, RatePoint, RecordSource, ReportSink, Tee,

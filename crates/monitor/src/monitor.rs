@@ -13,15 +13,14 @@ use std::ops::Range;
 
 use flowrank_control::{BinObservation, ControllerSpec, RateController};
 use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
-use flowrank_net::{
-    AnyFlowKey, FlowDefinition, FlowTable, PacketBatch, PacketRecord, ShardedFlowTable, Timestamp,
-};
+use flowrank_net::{AnyFlowKey, FlowDefinition, FlowTable, PacketBatch, PacketRecord, Timestamp};
 use flowrank_sampling::SamplerStage;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_topk::TopKTracker;
 
 use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink};
 use crate::report::{BinReport, ControllerTrail, LaneReport, TopKReport};
+use crate::runtime::PipelinedRuntime;
 use crate::spec::{SamplerSpec, TopKSpec};
 
 /// Salt mixed into a lane's seed for its top-k backend RNG, so that backend
@@ -31,6 +30,14 @@ const TRACKER_SEED_SALT: u64 = 0x70B5_A17E_D00D_F00D;
 /// Salt mixed into the master seed for the controlled lane, so attaching a
 /// controller never perturbs the static lanes' derived seed streams.
 const CONTROLLER_SEED_SALT: u64 = 0xC011_7801_5EED_CAFE;
+
+/// Default for [`MonitorBuilder::parallel_segment_min`]: the smallest
+/// within-bin segment a multi-threaded monitor hands to its worker pool. A
+/// packet costs tens of nanoseconds per lane while a channel hand-off costs
+/// on the order of a microsecond per worker, so segments below roughly a
+/// thousand packets are cheaper to process on the calling thread. Results
+/// are bit-identical either way — the knob only moves work between threads.
+pub const DEFAULT_PARALLEL_SEGMENT_MIN: usize = 1024;
 
 /// Fluent builder for [`Monitor`].
 ///
@@ -60,6 +67,7 @@ pub struct MonitorBuilder {
     top_t: usize,
     seed: u64,
     threads: usize,
+    parallel_segment_min: usize,
     controller: Option<ControllerSpec>,
 }
 
@@ -75,6 +83,7 @@ impl Default for MonitorBuilder {
             top_t: 10,
             seed: 0xF10A_4A9C,
             threads: 1,
+            parallel_segment_min: DEFAULT_PARALLEL_SEGMENT_MIN,
             controller: None,
         }
     }
@@ -165,17 +174,28 @@ impl MonitorBuilder {
         self
     }
 
-    /// Worker threads for whole-bin processing (default 1).
+    /// Worker threads for batch processing (default 1).
     ///
-    /// The ground truth becomes a [`ShardedFlowTable`] with one shard per
-    /// thread, and [`Monitor::run_trace`] classifies each buffered bin in
-    /// parallel — shards over the key hash, lanes partitioned across
-    /// workers — before scoring lanes concurrently at bin close. Every
-    /// lane still sees every packet in order with its own RNG, so reports
-    /// are **bit-identical** across thread counts (pinned by the
-    /// `streaming_equivalence` suite). [`Monitor::push`] stays
-    /// single-threaded: one packet cannot be fanned out profitably, so
-    /// threads only pay off on buffered traces. `0` means one thread per
+    /// Above 1, `build()` spawns a **persistent pipelined worker runtime**
+    /// (torn down when the monitor drops): the calling thread becomes the
+    /// ingest stage — splitting batches on bin boundaries, deriving keys,
+    /// routing packets to ground-truth shards — and broadcasts keyed
+    /// segments over bounded queues to one classification worker per
+    /// thread. Worker *w* owns ground-truth shard *w* and every lane with
+    /// index ≡ *w* (mod threads); at each bin seal the workers score their
+    /// lanes in parallel while a single sequencer thread merges the shards,
+    /// ranks the ground truth once, reassembles the [`BinReport`] in lane
+    /// order and runs the control step. Ingestion, classification and lane
+    /// scoring overlap instead of barrier-stepping, and the bounded queues
+    /// provide backpressure so peak memory stays flows + in-flight windows.
+    ///
+    /// Every lane still sees every packet in order with its own RNG, so
+    /// reports are **bit-identical** across thread counts and ingestion
+    /// paths (pinned by the `streaming_equivalence` suite and all 216
+    /// scenario-conformance goldens). Segments smaller than
+    /// [`MonitorBuilder::parallel_segment_min`] — per-packet [`Monitor::push`]
+    /// in particular — are processed on the calling thread, where a channel
+    /// round-trip would cost more than the work. `0` means one thread per
     /// available CPU.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = if threads == 0 {
@@ -183,6 +203,21 @@ impl MonitorBuilder {
         } else {
             threads
         };
+        self
+    }
+
+    /// Smallest within-bin segment (in packets) a multi-threaded monitor
+    /// hands to its worker pool; smaller segments are processed inline on
+    /// the calling thread (default
+    /// [`DEFAULT_PARALLEL_SEGMENT_MIN`] = 1024).
+    ///
+    /// This is a pure performance knob: reports are bit-identical on both
+    /// sides of the threshold. Lower it (e.g. to 1) to force every segment
+    /// through the worker pool, raise it (e.g. to `usize::MAX`) to keep all
+    /// classification on the calling thread while still scoring bin seals
+    /// on the pool. Ignored when `threads(1)`.
+    pub fn parallel_segment_min(mut self, min_packets: usize) -> Self {
+        self.parallel_segment_min = min_packets.max(1);
         self
     }
 
@@ -256,16 +291,29 @@ impl MonitorBuilder {
                 observation: BinObservation::default(),
             }
         });
+        let threads = self.threads.max(1);
+        let engine = if threads > 1 {
+            Engine::Pipelined(PipelinedRuntime::spawn(
+                lanes, controller, threads, self.top_t,
+            ))
+        } else {
+            Engine::Serial(SerialEngine {
+                ground_truth: FlowTable::new(),
+                lanes,
+                controller,
+            })
+        };
         Monitor {
             flow_definition: self.flow_definition,
             bin_length: self.bin_length,
             top_t: self.top_t,
-            ground_truth: ShardedFlowTable::new(self.threads),
-            lanes,
-            controller,
+            engine,
             current_bin: 0,
             saw_packet: false,
-            threads: self.threads.max(1),
+            threads,
+            parallel_segment_min: self.parallel_segment_min,
+            segments_inline: 0,
+            segments_dispatched: 0,
             scratch_batch: PacketBatch::with_capacity(1),
             scratch_keys: Vec::new(),
             scratch_report: BinReport::default(),
@@ -278,10 +326,10 @@ impl MonitorBuilder {
 /// everything needed to derive its per-bin observation and retune the
 /// controlled lane.
 #[derive(Debug)]
-struct ControllerState {
+pub(crate) struct ControllerState {
     controller: Box<dyn RateController + Send>,
-    /// Index of the controlled lane in `Monitor::lanes`.
-    lane: usize,
+    /// Index of the controlled lane in the monitor's lane list.
+    pub(crate) lane: usize,
     /// Sampler template re-targeted (`SamplerSpec::with_rate`) at every
     /// retune.
     template: SamplerSpec,
@@ -294,9 +342,75 @@ struct ControllerState {
     observation: BinObservation,
 }
 
+impl ControllerState {
+    pub(crate) fn name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// The per-bin control step, shared verbatim by the serial engine and
+    /// the pipelined sequencer so controller decisions stay a pure function
+    /// of the report stream: derives the [`BinObservation`] from the sealed
+    /// report and the bin's still-live ranking, records the decision trail
+    /// on the report, and — when the decided rate differs from the applied
+    /// one — returns the rate tag and re-targeted sampler spec the
+    /// controlled lane must be rebuilt with before the next bin's packets.
+    pub(crate) fn step(
+        &mut self,
+        report: &mut BinReport,
+        truth: &GroundTruthRanking<AnyFlowKey>,
+        top_t: usize,
+    ) -> Option<(f64, SamplerSpec)> {
+        let lane_report = &mut report.lanes[self.lane];
+        lane_report.controlled = true;
+        let observation = &mut self.observation;
+        observation.bin_index = report.bin_index;
+        observation.applied_rate = self.applied_rate;
+        observation.packets = report.packets;
+        observation.flows = report.flows as u64;
+        observation.kept_packets = lane_report.sampled_packets;
+        observation.ranking_swaps = lane_report.outcome.ranking_swaps;
+        observation.ranking_pairs = lane_report.outcome.ranking_pairs;
+        observation.missed_top_flows = lane_report.outcome.missed_top_flows;
+        // Top t+1 true sizes: every adjacent top-t pair, including the
+        // boundary pair against the first flow below the cut.
+        observation.top_sizes.clear();
+        observation
+            .top_sizes
+            .extend(truth.flows().iter().take(top_t + 1).map(|f| f.packets));
+        let top = &truth.flows()[..truth.flows().len().min(top_t)];
+        observation.top_churn = if self.prev_top.is_empty() || top.is_empty() {
+            0.0
+        } else {
+            let changed = top
+                .iter()
+                .filter(|f| !self.prev_top.contains(&f.key))
+                .count();
+            changed as f64 / top.len() as f64
+        };
+        self.prev_top.clear();
+        self.prev_top.extend(top.iter().map(|f| f.key));
+
+        let decision = self.controller.observe(observation);
+        report.controller = Some(ControllerTrail {
+            controller: self.controller.name(),
+            lane: self.lane,
+            applied_rate: self.applied_rate,
+            decided_rate: decision.rate,
+            swapped_fraction: observation.swapped_fraction(),
+            top_churn: observation.top_churn,
+        });
+        if decision.rate != self.applied_rate {
+            self.applied_rate = decision.rate;
+            Some((decision.rate, self.template.with_rate(decision.rate)))
+        } else {
+            None
+        }
+    }
+}
+
 /// One independent sampling pipeline inside the monitor: a sampler + RNG
 /// stage, the sampled flow table it fills, and an optional top-k backend.
-struct Lane {
+pub(crate) struct Lane {
     spec: SamplerSpec,
     rate: f64,
     rate_id: usize,
@@ -339,7 +453,12 @@ impl Lane {
     /// the sampler stage appends the indices it keeps — skipping directly
     /// from keep to keep for skip-capable samplers — and only the retained
     /// packets touch the lane's flow table and top-k backend.
-    fn offer_batch(&mut self, keys: &[AnyFlowKey], batch: &PacketBatch, range: Range<usize>) {
+    pub(crate) fn offer_batch(
+        &mut self,
+        keys: &[AnyFlowKey],
+        batch: &PacketBatch,
+        range: Range<usize>,
+    ) {
         self.kept.clear();
         self.stage.admit_batch(batch, range.clone(), &mut self.kept);
         for slot in 0..self.kept.len() {
@@ -358,7 +477,11 @@ impl Lane {
 
     /// Scores the lane against the bin's prepared ground truth and restarts
     /// it for the next bin.
-    fn close_bin(&mut self, truth: &GroundTruthRanking<AnyFlowKey>, top_t: usize) -> LaneReport {
+    pub(crate) fn close_bin(
+        &mut self,
+        truth: &GroundTruthRanking<AnyFlowKey>,
+        top_t: usize,
+    ) -> LaneReport {
         let outcome = truth.compare_with(|key| self.table.size_of(key));
         let topk = self.tracker.as_ref().map(|tracker| TopKReport {
             backend: tracker.name(),
@@ -388,6 +511,18 @@ impl Lane {
         }
         report
     }
+
+    /// Rebuilds the lane's sampler at a controller-decided rate from the
+    /// lane's fixed seed. `close_bin` already reseeds every lane per bin,
+    /// so this is the same restart it would have performed — just at a
+    /// different rate. `rate_tag` is the decided rate the lane is labelled
+    /// with (it can differ from the spec's own nominal rate for disciplines
+    /// whose retargeting is a no-op, e.g. smart sampling).
+    pub(crate) fn retune(&mut self, rate_tag: f64, spec: SamplerSpec) {
+        self.rate = rate_tag;
+        self.spec = spec;
+        self.stage = SamplerStage::new(self.spec.build(self.seed), Pcg64::seed_from_u64(self.seed));
+    }
 }
 
 impl std::fmt::Debug for Lane {
@@ -412,12 +547,17 @@ pub struct Monitor {
     flow_definition: FlowDefinition,
     bin_length: Timestamp,
     top_t: usize,
-    ground_truth: ShardedFlowTable<AnyFlowKey>,
-    lanes: Vec<Lane>,
-    controller: Option<ControllerState>,
+    engine: Engine,
     current_bin: u64,
     saw_packet: bool,
     threads: usize,
+    /// Segments at or above this many packets go to the worker pool;
+    /// smaller ones are processed inline ([`MonitorBuilder::parallel_segment_min`]).
+    parallel_segment_min: usize,
+    /// Observability counters for the fan-out heuristic: how many within-bin
+    /// segments took each path.
+    segments_inline: u64,
+    segments_dispatched: u64,
     /// Reusable one-element batch backing [`Monitor::push`], and a reusable
     /// key buffer for batch segments — per-packet pushes never allocate.
     scratch_batch: PacketBatch,
@@ -432,6 +572,87 @@ pub struct Monitor {
     last_ts_nanos: Option<u64>,
 }
 
+/// How the monitor executes classification and bin seals: entirely on the
+/// calling thread (`threads(1)`, the default), or on the persistent
+/// pipelined worker pool spawned at `build()` (`threads(n > 1)`). The two
+/// engines produce bit-identical reports; only the execution schedule
+/// differs.
+#[derive(Debug)]
+enum Engine {
+    Serial(SerialEngine),
+    Pipelined(PipelinedRuntime),
+}
+
+/// The single-threaded engine: one ground-truth table, the lanes, and the
+/// controller, all driven on the calling thread — unchanged from the
+/// pre-runtime monitor, so `threads(1)` pays zero synchronisation cost.
+#[derive(Debug)]
+struct SerialEngine {
+    ground_truth: FlowTable<AnyFlowKey>,
+    lanes: Vec<Lane>,
+    controller: Option<ControllerState>,
+}
+
+impl SerialEngine {
+    /// Observes one keyed within-bin segment: ground truth first, then
+    /// every lane in lane order.
+    fn observe(&mut self, keys: &[AnyFlowKey], batch: &PacketBatch, range: Range<usize>) {
+        for (slot, i) in range.clone().enumerate() {
+            self.ground_truth.observe_keyed_parts(
+                keys[slot],
+                batch.timestamp(i),
+                batch.length(i),
+                batch.tcp_seq(i),
+            );
+        }
+        for lane in &mut self.lanes {
+            lane.offer_batch(keys, batch, range.clone());
+        }
+    }
+
+    /// Ranks the ground truth once, scores every lane against it, writes
+    /// the bin report into `report` (reusing its lane buffer), runs the
+    /// control step and resets all per-bin state.
+    fn seal_bin(
+        &mut self,
+        report: &mut BinReport,
+        bin_index: u64,
+        bin_start: Timestamp,
+        top_t: usize,
+    ) {
+        // One classification and one sort per bin, regardless of lane
+        // count: this is the entire point of the shared-ground-truth
+        // design.
+        let truth = GroundTruthRanking::new(
+            self.ground_truth
+                .iter_sizes()
+                .map(|(key, packets)| SizedFlow { key, packets })
+                .collect(),
+            top_t,
+        );
+        report.reset();
+        report.lanes.extend(
+            self.lanes
+                .iter_mut()
+                .map(|lane| lane.close_bin(&truth, top_t)),
+        );
+        report.bin_index = bin_index;
+        report.bin_start = bin_start;
+        report.packets = self.ground_truth.total_packets();
+        report.flows = self.ground_truth.flow_count();
+        // The control step runs after lane scoring while the bin's ground
+        // truth is still live — so controller decisions are a pure function
+        // of the report stream, independent of thread count and ingestion
+        // path like everything else in the report.
+        if let Some(state) = self.controller.as_mut() {
+            if let Some((rate, spec)) = state.step(report, &truth, top_t) {
+                self.lanes[state.lane].retune(rate, spec);
+            }
+        }
+        self.ground_truth.clear();
+    }
+}
+
 impl Monitor {
     /// Starts building a monitor.
     pub fn builder() -> MonitorBuilder {
@@ -440,7 +661,10 @@ impl Monitor {
 
     /// Number of sampling lanes (runs × rates).
     pub fn lane_count(&self) -> usize {
-        self.lanes.len()
+        match &self.engine {
+            Engine::Serial(engine) => engine.lanes.len(),
+            Engine::Pipelined(runtime) => runtime.lane_count(),
+        }
     }
 
     /// The configured flow definition.
@@ -463,20 +687,40 @@ impl Monitor {
         self.current_bin
     }
 
-    /// Worker threads used for buffered-bin processing.
+    /// Worker threads used for batch processing.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// The configured fan-out threshold
+    /// ([`MonitorBuilder::parallel_segment_min`]).
+    pub fn parallel_segment_min(&self) -> usize {
+        self.parallel_segment_min
+    }
+
+    /// How many within-bin segments were processed on the calling thread
+    /// vs. dispatched to the worker pool, since the monitor was built —
+    /// `(inline, dispatched)`. A `threads(1)` monitor counts everything as
+    /// inline. Backs the regression tests around the fan-out threshold.
+    pub fn segment_stats(&self) -> (u64, u64) {
+        (self.segments_inline, self.segments_dispatched)
+    }
+
     /// Name of the attached rate controller, when one is attached.
     pub fn controller_name(&self) -> Option<&'static str> {
-        self.controller.as_ref().map(|s| s.controller.name())
+        match &self.engine {
+            Engine::Serial(engine) => engine.controller.as_ref().map(|s| s.name()),
+            Engine::Pipelined(runtime) => runtime.controller_name(),
+        }
     }
 
     /// Index of the controlled lane in every bin's `lanes`, when a
     /// controller is attached.
     pub fn controlled_lane(&self) -> Option<usize> {
-        self.controller.as_ref().map(|s| s.lane)
+        match &self.engine {
+            Engine::Serial(engine) => engine.controller.as_ref().map(|s| s.lane),
+            Engine::Pipelined(runtime) => runtime.controlled_lane(),
+        }
     }
 
     /// Observes one packet.
@@ -549,8 +793,15 @@ impl Monitor {
             {
                 end += 1;
             }
-            self.process_segment(batch, start..end);
+            self.process_segment(batch, start..end, sink);
             start = end;
+        }
+        // Tail barrier of the pipelined runtime: every bin this call sealed
+        // reaches the sink before the call returns, keeping the synchronous
+        // API contract. (Observation work may still be in flight — that is
+        // the pipelining — only *seals* are awaited.)
+        if let Engine::Pipelined(runtime) = &mut self.engine {
+            runtime.drain_into(sink);
         }
     }
 
@@ -587,47 +838,51 @@ impl Monitor {
     }
 
     /// Feeds one within-bin segment of a batch to the ground truth and the
-    /// lanes. Keys are derived once per segment and shared by every
-    /// consumer; ground truth and lanes run on worker threads when the
-    /// monitor has them and the segment is large enough to amortise the
-    /// thread spawns.
-    fn process_segment(&mut self, batch: &PacketBatch, range: Range<usize>) {
-        /// Smallest segment worth fanning out: below this, the scoped-thread
-        /// spawns of the sharded ground truth and the lane chunks cost more
-        /// than the classification they parallelise (a spawn is tens of
-        /// microseconds; a packet costs tens of nanoseconds per lane), so
-        /// small pushes on a threaded monitor stay sequential. Results are
-        /// bit-identical either way.
-        const PARALLEL_SEGMENT_MIN: usize = 1024;
+    /// lanes. On the serial engine everything runs here on the calling
+    /// thread. On the pipelined engine, segments of at least
+    /// [`MonitorBuilder::parallel_segment_min`] packets are keyed, routed
+    /// and broadcast to the worker pool (overlapping with whatever the
+    /// workers are still classifying), while smaller segments — per-packet
+    /// `push` in particular — are processed inline after a quiescence
+    /// barrier, where a channel round-trip would cost more than the work.
+    /// Results are bit-identical on every path.
+    fn process_segment<K: ReportSink + ?Sized>(
+        &mut self,
+        batch: &PacketBatch,
+        range: Range<usize>,
+        sink: &mut K,
+    ) {
         self.saw_packet = true;
         let definition = self.flow_definition;
-        let mut keys = std::mem::take(&mut self.scratch_keys);
-        keys.clear();
-        keys.extend(range.clone().map(|i| batch.flow_key(i, definition)));
-        if self.threads > 1 && range.len() >= PARALLEL_SEGMENT_MIN {
-            self.ground_truth
-                .observe_batch_parallel(&keys, batch, range.clone());
-            let keys_ref = &keys;
-            let range_ref = &range;
-            Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
-                for lane in lane_chunk {
-                    lane.offer_batch(keys_ref, batch, range_ref.clone());
-                }
-            });
-        } else {
-            for (slot, i) in range.clone().enumerate() {
-                self.ground_truth.observe_keyed_parts(
-                    keys[slot],
-                    batch.timestamp(i),
-                    batch.length(i),
-                    batch.tcp_seq(i),
-                );
+        match &mut self.engine {
+            Engine::Serial(engine) => {
+                self.segments_inline += 1;
+                let mut keys = std::mem::take(&mut self.scratch_keys);
+                keys.clear();
+                keys.extend(range.clone().map(|i| batch.flow_key(i, definition)));
+                engine.observe(&keys, batch, range);
+                self.scratch_keys = keys;
             }
-            for lane in &mut self.lanes {
-                lane.offer_batch(&keys, batch, range.clone());
+            Engine::Pipelined(runtime) => {
+                if range.len() >= self.parallel_segment_min {
+                    self.segments_dispatched += 1;
+                    runtime.dispatch_segment(definition, batch, range);
+                    runtime.try_drain_into(sink);
+                } else {
+                    self.segments_inline += 1;
+                    // Inline work touches the shared shards and lanes, so
+                    // the pipe must be quiet: deliver pending seal reports,
+                    // then barrier any in-flight segments.
+                    runtime.drain_into(sink);
+                    runtime.flush();
+                    let mut keys = std::mem::take(&mut self.scratch_keys);
+                    keys.clear();
+                    keys.extend(range.clone().map(|i| batch.flow_key(i, definition)));
+                    runtime.observe_inline(&keys, batch, range);
+                    self.scratch_keys = keys;
+                }
             }
         }
-        self.scratch_keys = keys;
     }
 
     /// Closes the bin currently being filled and returns its report, or
@@ -650,6 +905,9 @@ impl Monitor {
             return false;
         }
         self.emit_current_bin(sink);
+        if let Engine::Pipelined(runtime) = &mut self.engine {
+            runtime.drain_into(sink);
+        }
         self.saw_packet = false;
         true
     }
@@ -725,142 +983,30 @@ impl Monitor {
         }
     }
 
-    /// Partitions the lanes into at most `threads` contiguous chunks and
-    /// runs `work` over each chunk concurrently, returning per-chunk
-    /// results in lane order. This is the single home of the partitioning
-    /// rule — the parallel bin fill and the parallel bin close must agree
-    /// on it so both preserve the sequential path's lane order.
-    fn map_lane_chunks<T: Send>(
-        lanes: &mut [Lane],
-        threads: usize,
-        work: impl Fn(&mut [Lane]) -> T + Sync,
-    ) -> Vec<T> {
-        let chunk = lanes.len().div_ceil(threads).max(1);
-        let work = &work;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = lanes
-                .chunks_mut(chunk)
-                .map(|lane_chunk| scope.spawn(move || work(lane_chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("lane worker panicked"))
-                .collect()
-        })
-    }
-
-    /// Closes the bin currently being filled into the recycled scratch
-    /// report, hands it to the sink by reference, and takes the buffer back
-    /// for the next bin.
+    /// Closes the bin currently being filled and advances to the next one.
+    /// The serial engine seals synchronously into the recycled scratch
+    /// report; the pipelined engine broadcasts a seal down the worker
+    /// queues (so it lands after everything already dispatched) and lets
+    /// the sequencer assemble the report — the caller picks finished
+    /// reports up opportunistically here and drains the rest before the
+    /// enclosing call returns, so the sink still sees every bin in order.
     fn emit_current_bin<K: ReportSink + ?Sized>(&mut self, sink: &mut K) {
-        let mut report = std::mem::take(&mut self.scratch_report);
-        self.fill_current_bin(&mut report);
-        sink.accept(&report);
-        self.scratch_report = report;
-    }
-
-    /// Ranks the ground truth once, scores every lane against it, writes the
-    /// bin report into `report` (reusing its lane buffer) and resets all
-    /// per-bin state.
-    fn fill_current_bin(&mut self, report: &mut BinReport) {
-        // One classification and one sort per bin, regardless of lane count:
-        // this is the entire point of the shared-ground-truth design. The
-        // sharded drain order differs from single-table insertion order, but
-        // `GroundTruthRanking::new` re-sorts with a total (size, key) order,
-        // so the ranking — and every outcome derived from it — does not
-        // depend on the shard count.
-        let truth = GroundTruthRanking::new(
-            self.ground_truth
-                .iter_sizes()
-                .map(|(key, packets)| SizedFlow { key, packets })
-                .collect(),
-            self.top_t,
-        );
-        let top_t = self.top_t;
-        report.lanes.clear();
-        report.controller = None;
-        if self.threads > 1 && self.lanes.len() > 1 {
-            // Lanes are independent given the shared truth; score them in
-            // chunk order so the report order matches the sequential path.
-            let truth = &truth;
-            let chunks = Self::map_lane_chunks(&mut self.lanes, self.threads, |lane_chunk| {
-                lane_chunk
-                    .iter_mut()
-                    .map(|lane| lane.close_bin(truth, top_t))
-                    .collect::<Vec<_>>()
-            });
-            report.lanes.extend(chunks.into_iter().flatten());
-        } else {
-            report.lanes.extend(
-                self.lanes
-                    .iter_mut()
-                    .map(|lane| lane.close_bin(&truth, top_t)),
-            );
-        }
-        report.bin_index = self.current_bin;
-        report.bin_start =
-            Timestamp::from_micros(self.current_bin.saturating_mul(self.bin_length.as_micros()));
-        report.packets = self.ground_truth.total_packets();
-        report.flows = self.ground_truth.flow_count();
-        // The control step runs after lane scoring, single-threaded, while
-        // the bin's ground truth is still live — so controller decisions are
-        // a pure function of the report stream, independent of thread count
-        // and ingestion path like everything else in the report.
-        if let Some(state) = self.controller.as_mut() {
-            let lane_report = &mut report.lanes[state.lane];
-            lane_report.controlled = true;
-            let observation = &mut state.observation;
-            observation.bin_index = report.bin_index;
-            observation.applied_rate = state.applied_rate;
-            observation.packets = report.packets;
-            observation.flows = report.flows as u64;
-            observation.kept_packets = lane_report.sampled_packets;
-            observation.ranking_swaps = lane_report.outcome.ranking_swaps;
-            observation.ranking_pairs = lane_report.outcome.ranking_pairs;
-            observation.missed_top_flows = lane_report.outcome.missed_top_flows;
-            // Top t+1 true sizes: every adjacent top-t pair, including the
-            // boundary pair against the first flow below the cut.
-            observation.top_sizes.clear();
-            observation
-                .top_sizes
-                .extend(truth.flows().iter().take(top_t + 1).map(|f| f.packets));
-            let top = &truth.flows()[..truth.flows().len().min(top_t)];
-            observation.top_churn = if state.prev_top.is_empty() || top.is_empty() {
-                0.0
-            } else {
-                let changed = top
-                    .iter()
-                    .filter(|f| !state.prev_top.contains(&f.key))
-                    .count();
-                changed as f64 / top.len() as f64
-            };
-            state.prev_top.clear();
-            state.prev_top.extend(top.iter().map(|f| f.key));
-
-            let decision = state.controller.observe(observation);
-            report.controller = Some(ControllerTrail {
-                controller: state.controller.name(),
-                lane: state.lane,
-                applied_rate: state.applied_rate,
-                decided_rate: decision.rate,
-                swapped_fraction: observation.swapped_fraction(),
-                top_churn: observation.top_churn,
-            });
-            if decision.rate != state.applied_rate {
-                // Retune: rebuild the controlled lane's sampler at the new
-                // rate from the lane's fixed seed. `close_bin` already
-                // reseeds every lane per bin, so this is the same restart
-                // it would have performed — just at a different rate.
-                let lane = &mut self.lanes[state.lane];
-                lane.rate = decision.rate;
-                lane.spec = state.template.with_rate(decision.rate);
-                lane.stage =
-                    SamplerStage::new(lane.spec.build(lane.seed), Pcg64::seed_from_u64(lane.seed));
-                state.applied_rate = decision.rate;
+        let bin_index = self.current_bin;
+        let bin_start =
+            Timestamp::from_micros(bin_index.saturating_mul(self.bin_length.as_micros()));
+        self.current_bin += 1;
+        match &mut self.engine {
+            Engine::Serial(engine) => {
+                let mut report = std::mem::take(&mut self.scratch_report);
+                engine.seal_bin(&mut report, bin_index, bin_start, self.top_t);
+                sink.accept(&report);
+                self.scratch_report = report;
+            }
+            Engine::Pipelined(runtime) => {
+                runtime.dispatch_seal(bin_index, bin_start);
+                runtime.try_drain_into(sink);
             }
         }
-        self.ground_truth.clear();
-        self.current_bin += 1;
     }
 }
 

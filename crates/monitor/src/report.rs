@@ -105,6 +105,15 @@ pub struct BinReport {
 }
 
 impl BinReport {
+    /// Clears the per-bin payload while keeping the lane buffer's
+    /// allocation, so a recycled report shell can be refilled without
+    /// reallocating — both the serial close path and the worker runtime's
+    /// sequencer reuse report shells through this.
+    pub fn reset(&mut self) {
+        self.lanes.clear();
+        self.controller = None;
+    }
+
     /// Resolves a requested sampling rate to the [`LaneReport::rate_id`] of
     /// the closest rate any lane ran at, or `None` when no lane's rate is
     /// within a 1-part-in-10⁹ relative tolerance of the request.

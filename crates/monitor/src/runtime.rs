@@ -1,0 +1,659 @@
+//! The pipelined worker runtime behind [`MonitorBuilder::threads`].
+//!
+//! A monitor built with more than one thread no longer fans work out with
+//! per-segment scoped spawns and a barrier at every bin close. Instead,
+//! `build()` spawns a **persistent** pool once and tears it down on drop:
+//!
+//! ```text
+//!              caller (ingest: split bins, derive keys, route)
+//!                │ bounded SPSC work queues, one per worker
+//!      ┌─────────┼─────────┬─────────┐
+//!      ▼         ▼         ▼         ▼
+//!  worker 0   worker 1  worker 2  worker 3     shard w of the ground
+//!  (shard 0,  (shard 1,  ...       ...         truth + every lane with
+//!   lanes      lanes                           index ≡ w (mod threads)
+//!   0,4,8…)    1,5,9…)
+//!      │ seal: drained shard sizes, then scored lane reports
+//!      └────────┬┴─────────┴─────────┘
+//!               ▼
+//!           sequencer  — merges shards, ranks the ground truth once,
+//!               │        broadcasts the ranking, reassembles the lane
+//!               ▼        reports in lane order, runs the control step
+//!           out queue  → caller delivers each [`BinReport`] to the sink
+//! ```
+//!
+//! Ingestion, classification and lane scoring **overlap**: while workers
+//! classify one segment, the caller is already copying and keying the next,
+//! and while the sequencer assembles bin *k*'s report, workers may already
+//! be observing bin *k + 1*'s packets. The bounded work queues provide
+//! backpressure — a source that outruns the workers blocks in `send`, so
+//! peak memory stays `flows + in-flight windows` no matter how long the
+//! trace is.
+//!
+//! # Determinism
+//!
+//! Reports are **bit-identical** to the single-threaded path because nothing
+//! order-dependent is ever split:
+//!
+//! * every lane sees every packet in stream order with its own RNG — lanes
+//!   are *partitioned* across workers (strided, lane `i` on worker
+//!   `i % threads`), never shared or reordered;
+//! * each ground-truth shard owns a disjoint key subset
+//!   ([`flowrank_net::shard_of`] on the packed key) and observes its packets
+//!   in stream order, so per-flow counters are exact; the merged drain order
+//!   differs from a single table's insertion order, but
+//!   [`GroundTruthRanking::new`] re-sorts with a total (size, key) order;
+//! * bin totals are sums of per-shard `u64` counters — order-free;
+//! * the sequencer is the only thread that seals bins: it consumes the
+//!   per-worker seal messages in worker order, reassembles lane reports into
+//!   lane order, and runs the controller step exactly where the serial path
+//!   does (after scoring, against the still-live ranking), retuning the
+//!   controlled lane before handing its worker the token to enter the next
+//!   bin.
+//!
+//! # Ordering and shutdown
+//!
+//! The out queue is unbounded and FIFO, so the sink sees every bin exactly
+//! once in bin order; the caller drains it before every `push_batch` /
+//! `finish` call returns, which is what keeps the synchronous API contract
+//! ("`push` returns the bins it closed") intact. On drop the runtime
+//! enqueues one `Shutdown` behind whatever is in flight, joins every worker,
+//! and then joins the sequencer — no detached threads, even when the
+//! monitor is dropped mid-bin.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
+use flowrank_net::{
+    shard_of, AnyFlowKey, CompactKey, FlowDefinition, FlowTable, PacketBatch, Timestamp,
+};
+
+use crate::monitor::{ControllerState, Lane};
+use crate::pipeline::ReportSink;
+use crate::report::{BinReport, LaneReport};
+
+/// Depth of each worker's bounded segment queue. This is the backpressure
+/// knob: the caller blocks once any worker falls this many segments behind,
+/// bounding in-flight memory to a handful of segment buffers.
+const SEGMENT_QUEUE_DEPTH: usize = 4;
+
+/// Packets per dispatched segment buffer. Large within-bin segments are cut
+/// into pieces of this size so ingest (key derivation + copy) and worker
+/// classification overlap instead of serialising on one giant hand-off.
+const DISPATCH_CHUNK_PACKETS: usize = 4096;
+
+/// One decoded, keyed, routed slice of the packet stream, shared read-only
+/// with every worker. Buffers are recycled through a small pool once all
+/// workers drop their handles.
+#[derive(Debug, Default)]
+struct SegmentBuf {
+    batch: PacketBatch,
+    /// Flow key of each packet, derived once by the ingest stage.
+    keys: Vec<AnyFlowKey>,
+    /// Ground-truth shard (= worker index) of each packet.
+    routes: Vec<u16>,
+}
+
+/// Work-queue protocol, identical for every worker: the caller broadcasts
+/// the same message sequence to all queues, which is what makes the seal
+/// handshake deadlock-free (no worker can ever be waiting on a message
+/// another worker already consumed).
+enum ToWorker {
+    /// Observe a segment: classify this worker's route into its shard,
+    /// offer the whole segment to each of its lanes.
+    Segment(Arc<SegmentBuf>),
+    /// Close the current bin: drain the shard to the sequencer, score the
+    /// lanes against the ranking it broadcasts back.
+    Seal {
+        bin_index: u64,
+        bin_start: Timestamp,
+    },
+    /// Quiescence barrier: acknowledge once everything before it is done
+    /// (used before the caller touches shards/lanes inline).
+    Flush,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A worker's half of the seal handshake: its shard drained to flow sizes.
+struct WorkerSeal {
+    bin_index: u64,
+    bin_start: Timestamp,
+    sizes: Vec<SizedFlow<AnyFlowKey>>,
+    packets: u64,
+}
+
+/// Sequencer → worker control messages during a seal.
+enum SequencerCtl {
+    /// The bin's merged ground-truth ranking; score your lanes against it.
+    Score(Arc<GroundTruthRanking<AnyFlowKey>>),
+    /// Controller step done; the controlled lane is retuned, enter the
+    /// next bin. Sent only to the worker owning the controlled lane.
+    Proceed,
+}
+
+/// One classification worker: owns ground-truth shard `index` and every
+/// lane whose index is congruent to `index` mod `threads`. The strided lane
+/// partition spreads a rate grid's expensive high-rate lanes evenly across
+/// workers (a contiguous split would hand one worker the whole top rate
+/// group).
+struct Worker {
+    index: usize,
+    top_t: usize,
+    waits_for_proceed: bool,
+    shard: Arc<Mutex<FlowTable<AnyFlowKey>>>,
+    lanes: Vec<Arc<Mutex<Lane>>>,
+    work_rx: Receiver<ToWorker>,
+    flush_tx: SyncSender<()>,
+    seal_tx: SyncSender<WorkerSeal>,
+    report_tx: SyncSender<Vec<LaneReport>>,
+    ctl_rx: Receiver<SequencerCtl>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        while let Ok(msg) = self.work_rx.recv() {
+            match msg {
+                ToWorker::Segment(seg) => self.observe(&seg),
+                ToWorker::Seal {
+                    bin_index,
+                    bin_start,
+                } => {
+                    if !self.seal(bin_index, bin_start) {
+                        return;
+                    }
+                }
+                ToWorker::Flush => {
+                    if self.flush_tx.send(()).is_err() {
+                        return;
+                    }
+                }
+                ToWorker::Shutdown => return,
+            }
+        }
+    }
+
+    fn observe(&mut self, seg: &SegmentBuf) {
+        let route = self.index as u16;
+        {
+            let mut shard = self.shard.lock().expect("shard mutex");
+            for (i, &r) in seg.routes.iter().enumerate() {
+                if r == route {
+                    shard.observe_keyed_parts(
+                        seg.keys[i],
+                        seg.batch.timestamp(i),
+                        seg.batch.length(i),
+                        seg.batch.tcp_seq(i),
+                    );
+                }
+            }
+        }
+        let range = 0..seg.batch.len();
+        for lane in &self.lanes {
+            lane.lock()
+                .expect("lane mutex")
+                .offer_batch(&seg.keys, &seg.batch, range.clone());
+        }
+    }
+
+    /// One seal handshake. Returns false when a channel closed underneath
+    /// (the runtime is shutting down abnormally), telling the loop to exit.
+    fn seal(&mut self, bin_index: u64, bin_start: Timestamp) -> bool {
+        let (sizes, packets) = {
+            let mut shard = self.shard.lock().expect("shard mutex");
+            let sizes = shard
+                .iter_sizes()
+                .map(|(key, packets)| SizedFlow { key, packets })
+                .collect();
+            let packets = shard.total_packets();
+            shard.clear();
+            (sizes, packets)
+        };
+        if self
+            .seal_tx
+            .send(WorkerSeal {
+                bin_index,
+                bin_start,
+                sizes,
+                packets,
+            })
+            .is_err()
+        {
+            return false;
+        }
+        let truth = match self.ctl_rx.recv() {
+            Ok(SequencerCtl::Score(truth)) => truth,
+            _ => return false,
+        };
+        let mut reports = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            reports.push(
+                lane.lock()
+                    .expect("lane mutex")
+                    .close_bin(&truth, self.top_t),
+            );
+        }
+        if self.report_tx.send(reports).is_err() {
+            return false;
+        }
+        if self.waits_for_proceed {
+            return matches!(self.ctl_rx.recv(), Ok(SequencerCtl::Proceed));
+        }
+        true
+    }
+}
+
+/// The single thread that reassembles bins in deterministic order: for each
+/// seal it consumes every worker's shard drain **in worker order**, builds
+/// the bin's one ranking, broadcasts it, collects the scored lane chunks
+/// back into lane order, runs the controller step, and pushes the finished
+/// report onto the (unbounded, FIFO) out queue.
+struct Sequencer {
+    threads: usize,
+    lane_count: usize,
+    top_t: usize,
+    /// Full lane list in lane order — only touched for the controller
+    /// retune, under the controlled lane's mutex, while its worker waits
+    /// for `Proceed`.
+    lanes: Vec<Arc<Mutex<Lane>>>,
+    controller: Option<ControllerState>,
+    seal_rx: Vec<Receiver<WorkerSeal>>,
+    report_rx: Vec<Receiver<Vec<LaneReport>>>,
+    ctl_tx: Vec<SyncSender<SequencerCtl>>,
+    out_tx: Sender<BinReport>,
+    recycle_rx: Receiver<BinReport>,
+}
+
+impl Sequencer {
+    fn run(mut self) {
+        // Scatter buffer: worker w's k-th report belongs to lane w + k·n.
+        let mut slots: Vec<Option<LaneReport>> = Vec::with_capacity(self.lane_count);
+        loop {
+            // Workers' seal streams advance in lockstep (every queue carries
+            // the same seal sequence), so a plain in-order receive is both
+            // deterministic and deadlock-free. Err means the workers are
+            // gone: shutdown.
+            let Ok(first) = self.seal_rx[0].recv() else {
+                return;
+            };
+            let mut flows = first.sizes;
+            let mut packets = first.packets;
+            for rx in &self.seal_rx[1..] {
+                let Ok(seal) = rx.recv() else { return };
+                flows.extend(seal.sizes);
+                packets += seal.packets;
+            }
+            // Each key lives in exactly one shard, so the concatenation has
+            // one entry per distinct flow and its length *is* the bin's flow
+            // count; the ranking's total (size, key) sort erases the shard
+            // drain order.
+            let flow_count = flows.len();
+            let truth = Arc::new(GroundTruthRanking::new(flows, self.top_t));
+            for tx in &self.ctl_tx {
+                if tx.send(SequencerCtl::Score(truth.clone())).is_err() {
+                    return;
+                }
+            }
+            let mut report = self.recycle_rx.try_recv().unwrap_or_default();
+            report.reset();
+            slots.clear();
+            slots.extend((0..self.lane_count).map(|_| None));
+            for (w, rx) in self.report_rx.iter().enumerate() {
+                let Ok(chunk) = rx.recv() else { return };
+                for (k, lane_report) in chunk.into_iter().enumerate() {
+                    slots[w + k * self.threads] = Some(lane_report);
+                }
+            }
+            report
+                .lanes
+                .extend(slots.drain(..).map(|slot| slot.expect("every lane scored")));
+            report.bin_index = first.bin_index;
+            report.bin_start = first.bin_start;
+            report.packets = packets;
+            report.flows = flow_count;
+            if let Some(state) = self.controller.as_mut() {
+                if let Some((rate, spec)) = state.step(&mut report, &truth, self.top_t) {
+                    self.lanes[state.lane]
+                        .lock()
+                        .expect("lane mutex")
+                        .retune(rate, spec);
+                }
+                // The controlled lane's worker held position until now, so
+                // the retune always lands before the next bin's packets.
+                let owner = state.lane % self.threads;
+                if self.ctl_tx[owner].send(SequencerCtl::Proceed).is_err() {
+                    return;
+                }
+            }
+            // The monitor may already be gone (drop mid-stream); workers
+            // still need their handshakes drained, so keep looping.
+            let _ = self.out_tx.send(report);
+        }
+    }
+}
+
+/// Handle owned by the [`crate::Monitor`]: the caller-facing half of the
+/// pipelined runtime (ingest, seal bookkeeping, report delivery, shutdown).
+pub(crate) struct PipelinedRuntime {
+    threads: usize,
+    lane_count: usize,
+    controller_name: Option<&'static str>,
+    controlled_lane: Option<usize>,
+    /// Full lane list, for the inline (small-segment) path.
+    lanes: Vec<Arc<Mutex<Lane>>>,
+    shards: Vec<Arc<Mutex<FlowTable<AnyFlowKey>>>>,
+    work_tx: Vec<SyncSender<ToWorker>>,
+    flush_rx: Vec<Receiver<()>>,
+    out_rx: Receiver<BinReport>,
+    recycle_tx: Sender<BinReport>,
+    workers: Vec<JoinHandle<()>>,
+    sequencer: Option<JoinHandle<()>>,
+    /// Recycled segment buffers; an entry is free once every worker dropped
+    /// its handle (`Arc::strong_count == 1`).
+    pool: Vec<Arc<SegmentBuf>>,
+    /// Seals dispatched whose reports have not yet reached the sink.
+    pending_seals: usize,
+    /// Segments dispatched since the last quiescence point (flush or seal).
+    dirty: bool,
+}
+
+impl PipelinedRuntime {
+    /// Spawns `threads` workers plus the sequencer. Called once from
+    /// `MonitorBuilder::build`; the pool lives until the monitor drops.
+    pub(crate) fn spawn(
+        lanes: Vec<Lane>,
+        controller: Option<ControllerState>,
+        threads: usize,
+        top_t: usize,
+    ) -> Self {
+        debug_assert!(threads > 1);
+        let lane_count = lanes.len();
+        let controller_name = controller.as_ref().map(|state| state.name());
+        let controlled_lane = controller.as_ref().map(|state| state.lane);
+        let lanes: Vec<Arc<Mutex<Lane>>> = lanes
+            .into_iter()
+            .map(|lane| Arc::new(Mutex::new(lane)))
+            .collect();
+        let shards: Vec<Arc<Mutex<FlowTable<AnyFlowKey>>>> = (0..threads)
+            .map(|_| Arc::new(Mutex::new(FlowTable::new())))
+            .collect();
+        let (out_tx, out_rx) = channel();
+        let (recycle_tx, recycle_rx) = channel();
+        let mut work_tx = Vec::with_capacity(threads);
+        let mut flush_rx = Vec::with_capacity(threads);
+        let mut seal_rx = Vec::with_capacity(threads);
+        let mut report_rx = Vec::with_capacity(threads);
+        let mut ctl_tx = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for (w, shard) in shards.iter().enumerate() {
+            let (wtx, wrx) = sync_channel(SEGMENT_QUEUE_DEPTH);
+            let (ftx, frx) = sync_channel(1);
+            let (stx, srx) = sync_channel(1);
+            let (rtx, rrx) = sync_channel(1);
+            let (ctx, crx) = sync_channel(2);
+            let worker = Worker {
+                index: w,
+                top_t,
+                waits_for_proceed: controlled_lane.is_some_and(|lane| lane % threads == w),
+                shard: Arc::clone(shard),
+                lanes: lanes.iter().skip(w).step_by(threads).cloned().collect(),
+                work_rx: wrx,
+                flush_tx: ftx,
+                seal_tx: stx,
+                report_tx: rtx,
+                ctl_rx: crx,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("flowrank-worker-{w}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn flowrank worker"),
+            );
+            work_tx.push(wtx);
+            flush_rx.push(frx);
+            seal_rx.push(srx);
+            report_rx.push(rrx);
+            ctl_tx.push(ctx);
+        }
+        let sequencer = Sequencer {
+            threads,
+            lane_count,
+            top_t,
+            lanes: lanes.clone(),
+            controller,
+            seal_rx,
+            report_rx,
+            ctl_tx,
+            out_tx,
+            recycle_rx,
+        };
+        let sequencer = std::thread::Builder::new()
+            .name("flowrank-sequencer".into())
+            .spawn(move || sequencer.run())
+            .expect("spawn flowrank sequencer");
+        PipelinedRuntime {
+            threads,
+            lane_count,
+            controller_name,
+            controlled_lane,
+            lanes,
+            shards,
+            work_tx,
+            flush_rx,
+            out_rx,
+            recycle_tx,
+            workers,
+            sequencer: Some(sequencer),
+            pool: Vec::new(),
+            pending_seals: 0,
+            dirty: false,
+        }
+    }
+
+    pub(crate) fn lane_count(&self) -> usize {
+        self.lane_count
+    }
+
+    pub(crate) fn controller_name(&self) -> Option<&'static str> {
+        self.controller_name
+    }
+
+    pub(crate) fn controlled_lane(&self) -> Option<usize> {
+        self.controlled_lane
+    }
+
+    /// Cuts a within-bin segment into pipeline chunks, each copied into a
+    /// recycled buffer with its keys and shard routes derived once, and
+    /// broadcasts them to every worker's bounded queue (identical order on
+    /// every queue — the invariant the seal handshake relies on).
+    pub(crate) fn dispatch_segment(
+        &mut self,
+        definition: FlowDefinition,
+        batch: &PacketBatch,
+        range: Range<usize>,
+    ) {
+        let threads = self.threads;
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + DISPATCH_CHUNK_PACKETS).min(range.end);
+            let mut buf = self.take_buf();
+            {
+                let seg = Arc::get_mut(&mut buf).expect("pooled segment is uniquely owned");
+                let SegmentBuf {
+                    batch: seg_batch,
+                    keys,
+                    routes,
+                } = seg;
+                seg_batch.clear();
+                keys.clear();
+                routes.clear();
+                seg_batch.extend_from_batch(batch, start..end);
+                keys.extend((start..end).map(|i| batch.flow_key(i, definition)));
+                routes.extend(keys.iter().map(|key| shard_of(key.pack(), threads) as u16));
+            }
+            for tx in &self.work_tx {
+                let _ = tx.send(ToWorker::Segment(Arc::clone(&buf)));
+            }
+            self.pool_return(buf);
+            self.dirty = true;
+            start = end;
+        }
+    }
+
+    /// Processes a small segment on the calling thread — the per-packet
+    /// `push` path, where a channel round-trip would cost more than the
+    /// work. Requires quiescence: call only with no pending seals and after
+    /// [`PipelinedRuntime::flush`], so no worker touches shards or lanes
+    /// concurrently. State updates are identical to the worker path, so
+    /// reports stay bit-identical.
+    pub(crate) fn observe_inline(
+        &mut self,
+        keys: &[AnyFlowKey],
+        batch: &PacketBatch,
+        range: Range<usize>,
+    ) {
+        debug_assert_eq!(self.pending_seals, 0);
+        debug_assert!(!self.dirty);
+        {
+            let mut shards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| shard.lock().expect("shard mutex"))
+                .collect();
+            for (slot, i) in range.clone().enumerate() {
+                let shard = shard_of(keys[slot].pack(), self.threads);
+                shards[shard].observe_keyed_parts(
+                    keys[slot],
+                    batch.timestamp(i),
+                    batch.length(i),
+                    batch.tcp_seq(i),
+                );
+            }
+        }
+        for lane in &self.lanes {
+            lane.lock()
+                .expect("lane mutex")
+                .offer_batch(keys, batch, range.clone());
+        }
+    }
+
+    /// Quiescence barrier: returns once every worker has processed
+    /// everything dispatched so far. Cheap when the pipe is already drained
+    /// (one token round-trip per worker), skipped entirely when nothing was
+    /// dispatched since the last barrier.
+    pub(crate) fn flush(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for tx in &self.work_tx {
+            let _ = tx.send(ToWorker::Flush);
+        }
+        for rx in &self.flush_rx {
+            let _ = rx.recv();
+        }
+        self.dirty = false;
+    }
+
+    /// Asks the pool to close the current bin. The seal rides the same
+    /// queues as the segments, so it lands after everything already
+    /// dispatched; the finished report surfaces on the out queue and is
+    /// delivered by [`PipelinedRuntime::drain_into`]. A completed seal is a
+    /// quiescence point, so `dirty` resets.
+    pub(crate) fn dispatch_seal(&mut self, bin_index: u64, bin_start: Timestamp) {
+        for tx in &self.work_tx {
+            let _ = tx.send(ToWorker::Seal {
+                bin_index,
+                bin_start,
+            });
+        }
+        self.pending_seals += 1;
+        self.dirty = false;
+    }
+
+    /// Delivers any already-finished reports without blocking — called
+    /// opportunistically mid-batch so sinks see bins as they seal, while
+    /// ingest keeps overlapping with in-flight classification.
+    pub(crate) fn try_drain_into<K: ReportSink + ?Sized>(&mut self, sink: &mut K) {
+        while self.pending_seals > 0 {
+            match self.out_rx.try_recv() {
+                Ok(report) => self.deliver(report, sink),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Blocks until every dispatched seal's report has reached the sink —
+    /// the tail barrier that keeps `push_batch` synchronous: all bins a
+    /// call closed are delivered before it returns.
+    pub(crate) fn drain_into<K: ReportSink + ?Sized>(&mut self, sink: &mut K) {
+        while self.pending_seals > 0 {
+            let report = self
+                .out_rx
+                .recv()
+                .expect("pipelined runtime alive while seals pending");
+            self.deliver(report, sink);
+        }
+    }
+
+    fn deliver<K: ReportSink + ?Sized>(&mut self, report: BinReport, sink: &mut K) {
+        sink.accept(&report);
+        self.pending_seals -= 1;
+        // Hand the shell back to the sequencer for the next bin.
+        let _ = self.recycle_tx.send(report);
+    }
+
+    fn take_buf(&mut self) -> Arc<SegmentBuf> {
+        for i in 0..self.pool.len() {
+            if Arc::strong_count(&self.pool[i]) == 1 {
+                return self.pool.swap_remove(i);
+            }
+        }
+        Arc::new(SegmentBuf::default())
+    }
+
+    fn pool_return(&mut self, buf: Arc<SegmentBuf>) {
+        // In-flight segments are bounded by the queue depth, so the pool
+        // stays small; the cap only guards pathological sink behaviour.
+        if self.pool.len() < SEGMENT_QUEUE_DEPTH + self.threads + 2 {
+            self.pool.push(buf);
+        }
+    }
+}
+
+impl Drop for PipelinedRuntime {
+    fn drop(&mut self) {
+        // One Shutdown per queue, behind whatever is still in flight. Every
+        // queue has carried the identical message sequence, so no worker can
+        // be stuck mid-handshake waiting for a peer: seal handshakes always
+        // complete (the sequencer never blocks — its out queue is
+        // unbounded), flush acks are buffered, and then Shutdown is read.
+        for tx in &self.work_tx {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("flowrank worker thread panicked");
+            }
+        }
+        // With every worker gone the seal senders are closed; the sequencer
+        // sees the disconnect and exits.
+        if let Some(handle) = self.sequencer.take() {
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("flowrank sequencer thread panicked");
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelinedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedRuntime")
+            .field("threads", &self.threads)
+            .field("lane_count", &self.lane_count)
+            .field("pending_seals", &self.pending_seals)
+            .finish_non_exhaustive()
+    }
+}

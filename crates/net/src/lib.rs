@@ -47,4 +47,7 @@ pub use packet::{PacketRecord, Timestamp};
 
 // The compact-key substrate the flow tables are built on, re-exported so
 // downstream crates can name the traits without a direct dependency.
-pub use flowrank_flowtable::{CompactKey, FlowMap};
+// `shard_of` is the single routing rule every sharded consumer — the
+// in-crate [`ShardedFlowTable`] and the monitor's pipelined worker
+// runtime — must agree on, so it is re-exported from the same place.
+pub use flowrank_flowtable::{shard_of, CompactKey, FlowMap};

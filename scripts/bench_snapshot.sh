@@ -9,9 +9,19 @@
 # Runs the flowrank-bench `throughput`, `scenario_throughput` and
 # `controller_convergence` benches with BENCH_JSON set (the in-tree
 # criterion shim appends one JSON line per benchmark; new bench cases are
-# picked up automatically) and assembles the lines. Compare two snapshots
-# with e.g. `jq '.results[] | {name, mean_ns}' BENCH_throughput.json`, or
-# plot one bench across PRs with
+# picked up automatically) and assembles the lines, then adds the
+# multi-core leg: the `scaling` bench swept over `--threads {1 2 4}`
+# (override the sweep with BENCH_THREAD_SWEEP="1 2 4 8"). Every result
+# line carries a `threads` field — 1 for the single-threaded benches, the
+# swept worker-pool width for the scaling leg — so the scaling curve of
+# the pipelined worker runtime is machine-readable PR over PR in both
+# BENCH_throughput.json and BENCH_trajectory.ndjson. Extract it with e.g.
+# `jq '.results[] | select(.group == "scaling")
+#      | {name, threads, melem_per_s}' BENCH_throughput.json`.
+#
+# Compare two snapshots with e.g.
+# `jq '.results[] | {name, mean_ns}' BENCH_throughput.json`, or plot one
+# bench across PRs with
 # `jq -c '{sha: .git_sha, r: (.results[] | select(.name == "pcap_decode"))}'
 # BENCH_trajectory.ndjson`. The scenario group shows how throughput varies
 # with traffic shape (heavy-tail, flash-crowd, ddos-flood, port-scan,
@@ -21,7 +31,10 @@
 # Each record carries `test_threads` (set BENCH_THREADS to label runs that
 # pinned a different libtest/bench parallelism; defaults to 1, the bench
 # box's single-CPU configuration) alongside host_cpus, so snapshots from
-# differently-parallel runs are distinguishable in the trajectory.
+# differently-parallel runs are distinguishable in the trajectory. Note the
+# distinction: `test_threads` labels the harness parallelism of the whole
+# run; the per-result `threads` field is the monitor worker-pool width a
+# scaling result was measured at.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +45,14 @@ trap 'rm -f "$tmp"' EXIT
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench throughput
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scenario_throughput
 BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench controller_convergence
+
+# Multi-core leg: the same monitor grid at each worker-pool width. On a
+# single-CPU box the >1 legs still run (the runtime is always available);
+# their numbers record the no-parallelism floor, which is itself useful —
+# the threads field keeps every point attributable.
+for t in ${BENCH_THREAD_SWEEP:-1 2 4}; do
+    BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scaling -- --threads "$t"
+done
 
 if [ ! -s "$tmp" ]; then
     echo "error: bench run produced no BENCH_JSON lines" >&2

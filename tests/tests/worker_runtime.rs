@@ -1,0 +1,171 @@
+//! Behavioural pins for the pipelined worker runtime behind
+//! `MonitorBuilder::threads(n > 1)`: the fan-out threshold knob, the
+//! inline/dispatch split, shutdown hygiene, and bit-identity of every
+//! combination against the single-threaded engine.
+//!
+//! (The 216-cell golden matrix in `scenario_conformance.rs` pins the
+//! runtime's *reports*; this file pins its *mechanics* — which path a
+//! segment takes, and that the pool always joins cleanly.)
+
+use flowrank_monitor::{
+    BatchSource, Chunked, Collect, ControllerSpec, Monitor, MonitorBuilder, SamplerSpec, TopKSpec,
+    DEFAULT_PARALLEL_SEGMENT_MIN,
+};
+use flowrank_net::{PacketBatch, PacketRecord, Timestamp};
+use flowrank_trace::Workload;
+
+const SEED: u64 = 0x5EED_2026;
+
+fn trace() -> Vec<PacketRecord> {
+    Workload::flash_crowd().synthesize(SEED)
+}
+
+fn builder(threads: usize) -> MonitorBuilder {
+    Monitor::builder()
+        .sampler(SamplerSpec::Random { rate: 0.1 })
+        .rates(&[0.01, 0.1, 0.5])
+        .runs(4)
+        .topk(TopKSpec::SpaceSaving { capacity: 16 })
+        .bin_length(Timestamp::from_secs_f64(60.0))
+        .seed(SEED)
+        .threads(threads)
+}
+
+#[test]
+fn tiny_segments_on_a_threaded_monitor_take_the_inline_path() {
+    // A per-packet stream never reaches the default 1024-packet fan-out
+    // threshold, so a threads(4) monitor must process every segment on the
+    // calling thread — and still produce bit-identical reports.
+    let packets = trace();
+    let baseline = builder(1).build().run_trace(&packets);
+
+    let mut threaded = builder(4).build();
+    assert_eq!(
+        threaded.parallel_segment_min(),
+        DEFAULT_PARALLEL_SEGMENT_MIN
+    );
+    let mut reports = Vec::new();
+    for packet in &packets {
+        reports.extend(threaded.push(packet));
+    }
+    reports.extend(threaded.finish());
+    let (inline, dispatched) = threaded.segment_stats();
+    assert!(inline > 0, "per-packet pushes are inline segments");
+    assert_eq!(
+        dispatched, 0,
+        "no one-packet segment may pay a worker-queue round-trip"
+    );
+    assert_eq!(reports, baseline, "inline path must stay bit-identical");
+}
+
+#[test]
+fn threshold_knob_moves_segments_between_paths_bit_identically() {
+    let packets = trace();
+    let batch = PacketBatch::from_records(&packets);
+    let baseline = builder(1).build().run_batch(&batch);
+
+    // Threshold 1: every segment — even tiny bin tails — goes to the pool.
+    let mut forced = builder(4).parallel_segment_min(1).build();
+    let forced_reports = forced.run_batch(&batch);
+    let (inline, dispatched) = forced.segment_stats();
+    assert_eq!(inline, 0, "threshold 1 must dispatch every segment");
+    assert!(dispatched > 0);
+    assert_eq!(forced_reports, baseline);
+
+    // Threshold usize::MAX: all classification stays on the calling thread
+    // (bin seals still run on the pool).
+    let mut inline_only = builder(4).parallel_segment_min(usize::MAX).build();
+    let inline_reports = inline_only.run_batch(&batch);
+    let (inline, dispatched) = inline_only.segment_stats();
+    assert_eq!(dispatched, 0, "threshold MAX must never dispatch");
+    assert!(inline > 0);
+    assert_eq!(inline_reports, baseline);
+
+    // Default threshold on a buffered trace: whole-bin segments are large
+    // enough to fan out.
+    let mut mixed = builder(4).build();
+    let mixed_reports = mixed.run_batch(&batch);
+    let (_, dispatched) = mixed.segment_stats();
+    assert!(
+        dispatched > 0,
+        "whole-bin segments must cross the default threshold"
+    );
+    assert_eq!(mixed_reports, baseline);
+}
+
+#[test]
+fn threaded_drive_matches_serial_over_irregular_chunks() {
+    // `drive` over chunk sizes straddling the threshold, on 2 and 4
+    // threads, against the serial engine — the sink must see the same bins
+    // in the same order with the same bytes.
+    let packets = trace();
+    let batch = PacketBatch::from_records(&packets);
+    let mut baseline = Collect::new();
+    builder(1)
+        .build()
+        .drive(&mut BatchSource::new(&batch), &mut baseline);
+    for threads in [2, 4] {
+        for chunk in [463, 4096] {
+            let mut collected = Collect::new();
+            let summary = builder(threads).build().drive(
+                &mut Chunked::new(BatchSource::new(&batch), chunk),
+                &mut collected,
+            );
+            assert_eq!(summary.packets, batch.len() as u64);
+            assert_eq!(
+                collected.reports, baseline.reports,
+                "threads({threads}) drive with {chunk}-packet chunks"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropping_a_threaded_monitor_mid_bin_joins_cleanly() {
+    // Build a threads(4) pool, feed it a partial bin (both inline and
+    // dispatched segments, so the queues are warm), and drop it without
+    // finish(): the drop must join every worker and the sequencer — no
+    // detached threads, no deadlock on a full queue. The test passes by
+    // returning at all; a shutdown hang would trip the suite timeout.
+    let packets = trace();
+    let batch = PacketBatch::from_records(&packets);
+    {
+        let mut monitor = builder(4).parallel_segment_min(1).build();
+        let within_bin = 2000.min(batch.len());
+        let mut sink = Collect::new();
+        let partial = PacketBatch::from_records(&packets[..within_bin]);
+        monitor.push_batch_into(&partial, &mut sink);
+        drop(monitor);
+    }
+    // Same, mid-stream after several sealed bins.
+    {
+        let mut monitor = builder(4).build();
+        monitor.push_batch(&batch);
+        drop(monitor);
+    }
+    // And a pool that never saw a packet.
+    drop(builder(4).build());
+}
+
+#[test]
+fn controlled_threaded_monitor_drops_cleanly_and_stays_bit_identical() {
+    // The controller path adds the sequencer-side retune and the Proceed
+    // token to the seal handshake; both must survive shutdown mid-bin and
+    // keep reports identical to the serial engine.
+    let packets = trace();
+    let build = |threads: usize| {
+        builder(threads)
+            .controller(ControllerSpec::model_driven())
+            .build()
+    };
+    let baseline = build(1).run_trace(&packets);
+    assert!(baseline.iter().all(|report| report.controller.is_some()));
+    for threads in [2, 4] {
+        assert_eq!(build(threads).run_trace(&packets), baseline, "{threads}");
+    }
+    let mut dropped = build(4);
+    dropped.push_batch(&PacketBatch::from_records(
+        &packets[..500.min(packets.len())],
+    ));
+    drop(dropped);
+}
