@@ -8,13 +8,14 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-use flowrank_monitor::{Monitor, RateCurve, SamplerSpec};
+use flowrank_monitor::{DrivePolicy, Monitor, RateCurve, SamplerSpec};
 use flowrank_net::pcap::{
     pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, records_to_pcap_bytes_into,
 };
 use flowrank_net::{FiveTuple, FlowDefinition, FlowKey, FlowTable, PacketBatch};
 use flowrank_sampling::{PacketSampler, RandomSampler};
 use flowrank_sim::engine::run_bin_random_sampling;
+use flowrank_sim::{FaultPlan, FaultySource, SourceFault};
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_trace::{synthesize_packets, SprintModel, SynthesisConfig, SynthesisStream};
 
@@ -202,6 +203,43 @@ fn bench(c: &mut Criterion) {
             let mut curve = RateCurve::new();
             let summary = monitor.drive(&mut source, &mut curve);
             black_box((summary.packets, curve.points().len()))
+        })
+    });
+
+    // The same streamed grid through the fallible loop with a 1% injected
+    // fault rate (malformed records and single idle polls absorbed by the
+    // resilient policy): prices the recovery path's bookkeeping on the hot
+    // loop head to head with drive_end_to_end. Zero sink backoff so the
+    // bench measures the loop, not sleeps.
+    group.bench_function("drive_faulty_source", |b| {
+        b.iter(|| {
+            let mut monitor = Monitor::builder()
+                .flow_definition(FlowDefinition::FiveTuple)
+                .sampler(SamplerSpec::Random { rate: 0.01 })
+                .rates(&FAN_OUT_RATES)
+                .runs(FAN_OUT_RUNS)
+                .top_t(10)
+                .seed(FAN_OUT_SEED)
+                .bin_length(flowrank_net::Timestamp::ZERO)
+                .drive_policy(
+                    DrivePolicy::resilient()
+                        .sink_backoff(Duration::ZERO)
+                        .sink_backoff_cap(Duration::ZERO),
+                )
+                .build();
+            let plan = FaultPlan::seeded(
+                0xFA17,
+                4096,
+                0.01,
+                &[SourceFault::MalformedRecord, SourceFault::Stall],
+            );
+            let mut source = FaultySource::new(
+                SynthesisStream::new(&flows, &SynthesisConfig::default(), 21),
+                plan,
+            );
+            let mut curve = RateCurve::new();
+            let stats = monitor.try_drive(&mut source, &mut curve).unwrap();
+            black_box((stats.packets, stats.recoveries(), curve.points().len()))
         })
     });
 

@@ -10,6 +10,7 @@
 //! cargo run --release -p flowrank-bench --bin reproduce -- --fig 12 --threads 8
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scenario ddos-flood
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scenario flash-crowd --controller model-driven
+//! cargo run --release -p flowrank-bench --bin reproduce -- --input capture.pcap --runs 5
 //! cargo run --release -p flowrank-bench --bin reproduce -- --list
 //! ```
 //!
@@ -39,14 +40,21 @@
 //! grid, retuned at every bin close, and its per-bin decision trail is
 //! printed in `summary` mode and embedded in the `csv`/`ndjson` streams.
 //! `--list` (or `--scenario help`) prints every scenario, sampler, top-k
-//! backend and controller with a one-line description. EXPERIMENTS.md
-//! records the settings used for the committed results.
+//! backend and controller with a one-line description. `--input <path>`
+//! streams a pcap capture from disk through the same monitor pipeline
+//! (`--runs`, `--sampler`, `--threads` and `--output` apply); I/O and decode
+//! failures — a missing file, bad magic, a record truncated mid-capture —
+//! print a one-line diagnostic to stderr and exit with code 1 rather than
+//! panicking. EXPERIMENTS.md records the settings used for the committed
+//! results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
     gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
 };
-use flowrank_monitor::{BinReport, CsvSink, NdjsonSink, RateCurve, ReportSink, Tee};
+use flowrank_monitor::{
+    BinReport, CsvSink, NdjsonSink, PcapBytesSource, RateCurve, ReportSink, Tee,
+};
 use flowrank_net::{FlowDefinition, Timestamp};
 use flowrank_sim::report::result_to_csv;
 use flowrank_sim::{
@@ -81,6 +89,8 @@ impl Output {
 struct Options {
     figure: Option<u32>,
     scenario: Option<String>,
+    /// Path of a pcap capture to stream instead of a synthetic trace.
+    input: Option<String>,
     /// `None` until `--scale` is given: figures default to 0.02 (the quick
     /// setting), scenarios to 1.0 (catalog scale).
     scale: Option<f64>,
@@ -194,6 +204,7 @@ fn parse_args() -> Options {
     let mut options = Options {
         figure: None,
         scenario: None,
+        input: None,
         scale: None,
         runs: 10,
         sampler: SamplerSpec::Random { rate: 0.01 },
@@ -229,6 +240,16 @@ fn parse_args() -> Options {
                     None => {
                         eprintln!("--scenario requires a name; the catalog:");
                         print_catalog();
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--input" => {
+                match args.get(i + 1) {
+                    Some(path) => options.input = Some(path.clone()),
+                    None => {
+                        eprintln!("--input requires a pcap file path");
                         std::process::exit(2);
                     }
                 }
@@ -463,6 +484,90 @@ impl ReportSink for TrailPrinter {
     }
 }
 
+/// Prints a one-line diagnostic to stderr and exits with code 1 — the CLI
+/// contract for I/O and decode failures (no panic, no backtrace).
+fn fail(message: std::fmt::Arguments) -> ! {
+    eprintln!("reproduce: {message}");
+    std::process::exit(1);
+}
+
+/// Streams a pcap capture from disk through the monitor pipeline — the
+/// fallible `try_drive` path, so a missing file, bad magic, or a record
+/// truncated mid-capture surfaces through [`fail`] instead of a panic.
+fn run_input(path: &str, options: &Options) {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(error) => fail(format_args!("cannot read {path}: {error}")),
+    };
+    let chrome: fn(std::fmt::Arguments) = match options.output {
+        Output::Summary => |args| println!("{args}"),
+        Output::Csv | Output::Ndjson => |args| eprintln!("{args}"),
+    };
+    let definition = FlowDefinition::FiveTuple;
+    chrome(format_args!(
+        "# Input {path}: trace-driven ranking vs time, {definition}, top 10, 60-second bins, {} runs, {} sampling, {:?} output",
+        options.runs,
+        options.sampler.name(),
+        options.output,
+    ));
+    let mut monitor = workload_monitor(
+        definition,
+        60.0,
+        options.runs,
+        2026,
+        options.sampler,
+        options.threads,
+    );
+    let mut source = match PcapBytesSource::new(&bytes) {
+        Ok(source) => source,
+        Err(error) => fail(format_args!("{path}: {error}")),
+    };
+    let mut curve = RateCurve::new();
+    let stdout = std::io::stdout();
+    let driven = match options.output {
+        Output::Summary => monitor.try_drive(&mut source, &mut curve),
+        Output::Csv => {
+            let mut writer = CsvSink::new(stdout.lock());
+            let driven = monitor.try_drive(&mut source, &mut Tee(&mut writer, &mut curve));
+            if let Err(error) = writer.finish() {
+                fail(format_args!("writing CSV to stdout: {error}"));
+            }
+            driven
+        }
+        Output::Ndjson => {
+            let mut writer = NdjsonSink::new(stdout.lock());
+            let driven = monitor.try_drive(&mut source, &mut Tee(&mut writer, &mut curve));
+            if let Err(error) = writer.finish() {
+                fail(format_args!("writing ndjson to stdout: {error}"));
+            }
+            driven
+        }
+    };
+    let stats = match driven {
+        Ok(stats) => stats,
+        Err(error) => fail(format_args!("{path}: {error}")),
+    };
+    chrome(format_args!(
+        "# {} packets in {} chunks -> {} bins",
+        stats.packets, stats.chunks, stats.reports
+    ));
+    chrome(format_args!(
+        "rate,bins,lane_observations,ranking_mean,ranking_std,detection_mean,detection_std"
+    ));
+    for point in curve.points() {
+        chrome(format_args!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            point.rate,
+            point.bins,
+            point.observations,
+            point.ranking_mean,
+            point.ranking_std,
+            point.detection_mean,
+            point.detection_std
+        ));
+    }
+}
+
 /// Runs the streamed multi-run experiment over one catalog scenario, for
 /// both flow definitions: the workload synthesises window by window through
 /// a packet source, `Monitor::drive` pushes it through the full rate grid,
@@ -528,13 +633,17 @@ fn run_scenario(name: &str, options: &Options) {
             Output::Csv => {
                 let mut writer = CsvSink::new(stdout.lock());
                 let summary = monitor.drive(&mut source, &mut Tee(&mut writer, &mut curve));
-                drop(writer.finish().expect("writing CSV to stdout failed"));
+                if let Err(error) = writer.finish() {
+                    fail(format_args!("writing CSV to stdout: {error}"));
+                }
                 summary
             }
             Output::Ndjson => {
                 let mut writer = NdjsonSink::new(stdout.lock());
                 let summary = monitor.drive(&mut source, &mut Tee(&mut writer, &mut curve));
-                drop(writer.finish().expect("writing ndjson to stdout failed"));
+                if let Err(error) = writer.finish() {
+                    fail(format_args!("writing ndjson to stdout: {error}"));
+                }
                 summary
             }
         };
@@ -563,6 +672,10 @@ fn run_scenario(name: &str, options: &Options) {
 
 fn main() {
     let options = parse_args();
+    if let Some(path) = &options.input {
+        run_input(path, &options);
+        return;
+    }
     if let Some(name) = &options.scenario {
         run_scenario(name, &options);
         return;

@@ -1,0 +1,101 @@
+//! End-to-end CLI contract of the `reproduce` binary's `--input` path: a
+//! valid capture streams to exit code 0, while I/O and decode failures —
+//! a missing file, garbage where the global header should be, a record
+//! truncated mid-capture — exit with code 1 and a one-line diagnostic on
+//! stderr instead of a panic with a backtrace.
+
+use flowrank_net::pcap::records_to_pcap_bytes;
+use flowrank_net::{PacketRecord, Timestamp};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_reproduce");
+
+fn capture_bytes(n: usize) -> Vec<u8> {
+    let records: Vec<PacketRecord> = (0..n)
+        .map(|i| {
+            PacketRecord::tcp(
+                Timestamp::from_secs_f64(i as f64 * 0.05),
+                Ipv4Addr::new(10, 0, 0, (i % 200) as u8),
+                1024 + (i % 100) as u16,
+                Ipv4Addr::new(192, 168, 0, 1),
+                80,
+                500,
+                i as u32 * 500,
+            )
+        })
+        .collect();
+    records_to_pcap_bytes(&records).unwrap()
+}
+
+/// Writes `bytes` to a per-process temp file so parallel test runs never
+/// collide; callers remove it after the child exits.
+fn temp_file(name: &str, bytes: &[u8]) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("flowrank-reproduce-{}-{name}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn valid_capture_streams_to_exit_zero() {
+    let path = temp_file("ok.pcap", &capture_bytes(400));
+    let output = Command::new(BIN)
+        .args(["--input", path.to_str().unwrap(), "--runs", "1"])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("rate,bins,lane_observations"),
+        "rate curve missing from:\n{stdout}"
+    );
+}
+
+#[test]
+fn missing_input_path_exits_one_with_a_diagnostic() {
+    let output = Command::new(BIN)
+        .args(["--input", "/nonexistent/flowrank-no-such-file.pcap"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("reproduce: cannot read"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn garbage_global_header_exits_one_with_a_diagnostic() {
+    let path = temp_file("garbage.pcap", &[0u8; 64]);
+    let output = Command::new(BIN)
+        .args(["--input", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("reproduce:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn truncated_capture_exits_one_with_a_diagnostic() {
+    let bytes = capture_bytes(50);
+    // Cut mid-payload inside the final record.
+    let path = temp_file("cut.pcap", &bytes[..bytes.len() - 37]);
+    let output = Command::new(BIN)
+        .args(["--input", path.to_str().unwrap(), "--runs", "1"])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("drive aborted"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

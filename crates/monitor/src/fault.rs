@@ -1,0 +1,547 @@
+//! The fault model of the drive pipeline: what can go wrong at a source or
+//! sink, the recovery policy that decides what the monitor does about it,
+//! and the health accounting that makes every recovery action observable.
+//!
+//! The types here back [`Monitor::try_drive`](crate::Monitor::try_drive),
+//! the fault-aware form of [`Monitor::drive`](crate::Monitor::drive):
+//!
+//! * [`SourceError`] / [`SinkError`] — what a fallible source
+//!   ([`PacketSource::try_next_chunk`](crate::PacketSource::try_next_chunk))
+//!   or sink ([`ReportSink::emit`](crate::ReportSink::emit)) reports,
+//!   classified by whether the stream can continue past it.
+//! * [`DrivePolicy`] — the recovery contract: skip-and-count malformed
+//!   records, bounded retry with exponential backoff for transient sink
+//!   failures, an error budget, a stall detector, and the
+//!   [`TimestampPolicy`] for out-of-order packets.
+//! * [`DriveStats`] — the health report: every recovery action is tallied
+//!   and returned on completion *and* carried on every [`DriveError`], so a
+//!   drive is auditable whether it finished or aborted.
+//! * [`DriveError`] — the clean abort: exactly one variant per documented
+//!   failure class, each carrying the stats accumulated up to the abort.
+
+use std::io;
+use std::time::Duration;
+
+use flowrank_net::NetError;
+
+/// Why a fallible packet source could not produce its next chunk.
+///
+/// The two variants encode the one distinction the drive loop needs: whether
+/// the source has advanced past the failure and can be asked for the next
+/// chunk ([`SourceError::Malformed`]) or the stream cannot make further
+/// progress ([`SourceError::Fatal`]). The pcap sources report framing errors
+/// (truncated record header/payload, oversized record) as `Fatal` because a
+/// broken record boundary loses resynchronisation; `Malformed` is for
+/// formats — and injected faults — where the source can skip the bad record
+/// and carry on.
+#[derive(Debug)]
+pub enum SourceError {
+    /// One record was malformed, but the source has advanced past it:
+    /// calling
+    /// [`try_next_chunk`](crate::PacketSource::try_next_chunk) again
+    /// continues the stream. Under
+    /// [`DrivePolicy::skip_malformed`] the drive loop counts the skip in
+    /// [`DriveStats::malformed_skipped`] and keeps going.
+    Malformed(NetError),
+    /// The stream cannot make further progress (I/O failure, lost record
+    /// boundary). Always aborts the drive with [`DriveError::Source`].
+    Fatal(NetError),
+}
+
+impl SourceError {
+    /// Whether the source can continue past this error (i.e. it is
+    /// [`SourceError::Malformed`]).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, SourceError::Malformed(_))
+    }
+
+    /// The underlying decode/read error.
+    pub fn net_error(&self) -> &NetError {
+        match self {
+            SourceError::Malformed(error) | SourceError::Fatal(error) => error,
+        }
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Malformed(error) => write!(f, "malformed record: {error}"),
+            SourceError::Fatal(error) => write!(f, "source failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.net_error())
+    }
+}
+
+/// Why a fallible report sink could not take a report, classified by whether
+/// retrying the same report can succeed.
+///
+/// Constructed with [`SinkError::transient`] / [`SinkError::permanent`]; the
+/// `From<io::Error>` conversion classifies by [`io::ErrorKind`]
+/// (`Interrupted`, `WouldBlock` and `TimedOut` are transient, everything
+/// else permanent).
+#[derive(Debug)]
+pub struct SinkError {
+    transient: bool,
+    error: io::Error,
+}
+
+impl SinkError {
+    /// A failure that may clear on retry (the drive loop re-emits the same
+    /// report up to [`DrivePolicy::sink_retries`] times with exponential
+    /// backoff).
+    pub fn transient(error: io::Error) -> Self {
+        SinkError {
+            transient: true,
+            error,
+        }
+    }
+
+    /// A failure that will not clear on retry; aborts the drive with
+    /// [`DriveError::Sink`] immediately.
+    pub fn permanent(error: io::Error) -> Self {
+        SinkError {
+            transient: false,
+            error,
+        }
+    }
+
+    /// Whether retrying the same report can succeed.
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+
+    /// The underlying I/O error.
+    pub fn io_error(&self) -> &io::Error {
+        &self.error
+    }
+
+    /// Consumes the wrapper, returning the underlying I/O error.
+    pub fn into_io_error(self) -> io::Error {
+        self.error
+    }
+}
+
+impl From<io::Error> for SinkError {
+    fn from(error: io::Error) -> Self {
+        let transient = matches!(
+            error.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        );
+        SinkError { transient, error }
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let class = if self.transient {
+            "transient"
+        } else {
+            "permanent"
+        };
+        write!(f, "{class} sink failure: {}", self.error)
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// What the monitor does with packets whose timestamps regress — the
+/// explicit form of the push contract's tolerance knob
+/// ([`DrivePolicy::timestamps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimestampPolicy {
+    /// The historical default: debug builds fail fast on any regression
+    /// (the `debug_assert` in `push_batch`); release builds silently fold
+    /// the regressed packet into the current bin, uncounted. Costs nothing
+    /// on the release hot path.
+    #[default]
+    DebugAssert,
+    /// Fail fast in every build: `try_drive`/`try_push_batch_into` return
+    /// [`DriveError::TimestampRegression`]; the infallible entry points
+    /// panic. Costs one pass over each batch's timestamps.
+    Reject,
+    /// Fold the regressed packet into the current bin (the same tolerant
+    /// behaviour release builds always had) but count every regression
+    /// event into [`DriveStats::clamped_timestamps`] and the error budget.
+    /// Skips the debug assert. Costs one pass over each batch's timestamps.
+    ClampAndCount,
+}
+
+/// The recovery contract of [`Monitor::try_drive`](crate::Monitor::try_drive):
+/// which faults are absorbed, how hard to retry, and when to give up.
+///
+/// [`DrivePolicy::default`] is **strict**: nothing is skipped, nothing is
+/// retried, the first fault aborts. [`DrivePolicy::resilient`] is the
+/// keep-running preset for unattended operation. Every field also has a
+/// fluent setter.
+///
+/// ```
+/// use flowrank_monitor::{DrivePolicy, TimestampPolicy};
+/// use std::time::Duration;
+///
+/// let policy = DrivePolicy::resilient()
+///     .sink_retries(5)
+///     .sink_backoff(Duration::from_millis(2))
+///     .error_budget(100)
+///     .timestamps(TimestampPolicy::ClampAndCount);
+/// assert!(policy.skip_malformed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrivePolicy {
+    /// Skip recoverable ([`SourceError::Malformed`]) records, counting each
+    /// into [`DriveStats::malformed_skipped`], instead of aborting on the
+    /// first one. [`SourceError::Fatal`] always aborts.
+    pub skip_malformed: bool,
+    /// How many times a transient sink failure is retried (same report,
+    /// re-rendered whole) before it is treated as permanent. `0` disables
+    /// retry.
+    pub sink_retries: u32,
+    /// Delay before the first sink retry; doubles on every subsequent
+    /// attempt up to [`DrivePolicy::sink_backoff_cap`]. Zero sleeps never.
+    pub sink_backoff: Duration,
+    /// Upper bound of the exponential sink backoff.
+    pub sink_backoff_cap: Duration,
+    /// Total recovery actions (skipped records + sink retries + clamped
+    /// timestamps) the drive absorbs before aborting with
+    /// [`DriveError::ErrorBudgetExhausted`]. Checked after each chunk.
+    pub error_budget: u64,
+    /// How many *consecutive* idle polls (a fallible source returning an
+    /// empty chunk: "no data right now, not end of stream") the drive
+    /// tolerates before aborting with [`DriveError::SourceStalled`].
+    pub stall_polls: u64,
+    /// What happens to packets whose timestamps regress.
+    pub timestamps: TimestampPolicy,
+}
+
+impl Default for DrivePolicy {
+    fn default() -> Self {
+        DrivePolicy::strict()
+    }
+}
+
+impl DrivePolicy {
+    /// The strict policy (the default): no skipping, no retrying, the first
+    /// fault aborts; stalls abort after [`DrivePolicy::DEFAULT_STALL_POLLS`]
+    /// consecutive idle polls; timestamps keep the historical
+    /// [`TimestampPolicy::DebugAssert`] behaviour.
+    pub fn strict() -> Self {
+        DrivePolicy {
+            skip_malformed: false,
+            sink_retries: 0,
+            sink_backoff: Duration::from_millis(1),
+            sink_backoff_cap: Duration::from_millis(100),
+            error_budget: u64::MAX,
+            stall_polls: Self::DEFAULT_STALL_POLLS,
+            timestamps: TimestampPolicy::DebugAssert,
+        }
+    }
+
+    /// The keep-running preset for unattended operation: skip malformed
+    /// records, retry transient sink failures 3 times (1 ms backoff doubling
+    /// to 100 ms), clamp-and-count regressed timestamps, abort only after
+    /// 1024 absorbed recovery actions.
+    pub fn resilient() -> Self {
+        DrivePolicy {
+            skip_malformed: true,
+            sink_retries: 3,
+            error_budget: 1024,
+            timestamps: TimestampPolicy::ClampAndCount,
+            ..DrivePolicy::strict()
+        }
+    }
+
+    /// Default consecutive-idle-poll limit before a stall aborts.
+    pub const DEFAULT_STALL_POLLS: u64 = 65_536;
+
+    /// Sets [`DrivePolicy::skip_malformed`].
+    pub fn skip_malformed(mut self, skip: bool) -> Self {
+        self.skip_malformed = skip;
+        self
+    }
+
+    /// Sets [`DrivePolicy::sink_retries`].
+    pub fn sink_retries(mut self, retries: u32) -> Self {
+        self.sink_retries = retries;
+        self
+    }
+
+    /// Sets [`DrivePolicy::sink_backoff`] (the first retry's delay).
+    pub fn sink_backoff(mut self, backoff: Duration) -> Self {
+        self.sink_backoff = backoff;
+        self
+    }
+
+    /// Sets [`DrivePolicy::sink_backoff_cap`].
+    pub fn sink_backoff_cap(mut self, cap: Duration) -> Self {
+        self.sink_backoff_cap = cap;
+        self
+    }
+
+    /// Sets [`DrivePolicy::error_budget`].
+    pub fn error_budget(mut self, budget: u64) -> Self {
+        self.error_budget = budget;
+        self
+    }
+
+    /// Sets [`DrivePolicy::stall_polls`] (minimum 1).
+    pub fn stall_polls(mut self, polls: u64) -> Self {
+        self.stall_polls = polls.max(1);
+        self
+    }
+
+    /// Sets [`DrivePolicy::timestamps`].
+    pub fn timestamps(mut self, policy: TimestampPolicy) -> Self {
+        self.timestamps = policy;
+        self
+    }
+}
+
+/// The health report of one
+/// [`Monitor::try_drive`](crate::Monitor::try_drive): how much work was done
+/// and every recovery action the policy absorbed. Returned on completion and
+/// carried on every [`DriveError`], so aborted drives are auditable too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Non-empty chunks pulled from the source.
+    pub chunks: u64,
+    /// Packets pushed through the monitor.
+    pub packets: u64,
+    /// Bin reports successfully delivered to the sink.
+    pub reports: u64,
+    /// Recoverable malformed records skipped under
+    /// [`DrivePolicy::skip_malformed`].
+    pub malformed_skipped: u64,
+    /// Transient sink failures that were retried (each retry attempt counts
+    /// once, whether or not it eventually succeeded).
+    pub sink_retries: u64,
+    /// Timestamp regressions folded into the current bin under
+    /// [`TimestampPolicy::ClampAndCount`].
+    pub clamped_timestamps: u64,
+    /// Idle polls observed (a fallible source reporting "no data right
+    /// now"). Not a recovery action — stalls are bounded separately by
+    /// [`DrivePolicy::stall_polls`].
+    pub idle_polls: u64,
+}
+
+impl DriveStats {
+    /// Total recovery actions absorbed — the quantity the
+    /// [`DrivePolicy::error_budget`] bounds.
+    pub fn recoveries(&self) -> u64 {
+        self.malformed_skipped + self.sink_retries + self.clamped_timestamps
+    }
+}
+
+/// Why a [`Monitor::try_drive`](crate::Monitor::try_drive) aborted. Every
+/// variant carries the [`DriveStats`] accumulated up to the abort
+/// ([`DriveError::stats`]).
+#[derive(Debug)]
+pub enum DriveError {
+    /// The source failed: a fatal error, or a malformed record the policy
+    /// does not skip.
+    Source {
+        /// The source-side failure.
+        error: SourceError,
+        /// Work done and recoveries absorbed before the abort.
+        stats: DriveStats,
+    },
+    /// The sink failed permanently (or a transient failure exhausted its
+    /// retries).
+    Sink {
+        /// The sink-side failure.
+        error: SinkError,
+        /// Work done and recoveries absorbed before the abort.
+        stats: DriveStats,
+    },
+    /// Absorbed recovery actions exceeded [`DrivePolicy::error_budget`].
+    ErrorBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+        /// Work done and recoveries absorbed before the abort; its
+        /// [`DriveStats::recoveries`] exceeds `budget`.
+        stats: DriveStats,
+    },
+    /// The source reported "no data" for [`DrivePolicy::stall_polls`]
+    /// consecutive polls — source starvation surfaced instead of hanging.
+    SourceStalled {
+        /// Consecutive idle polls observed when the detector tripped.
+        idle_polls: u64,
+        /// Work done and recoveries absorbed before the abort.
+        stats: DriveStats,
+    },
+    /// A batch violated the non-decreasing timestamp contract under
+    /// [`TimestampPolicy::Reject`].
+    TimestampRegression {
+        /// The largest timestamp seen before the regression, in nanoseconds.
+        prev_nanos: u64,
+        /// The regressing timestamp, in nanoseconds.
+        ts_nanos: u64,
+        /// Work done and recoveries absorbed before the abort.
+        stats: DriveStats,
+    },
+    /// A worker (or sequencer) thread of the pipelined runtime panicked.
+    /// The pool has been drained and the monitor is poisoned: further
+    /// fallible calls return this error again, infallible calls panic, and
+    /// dropping the monitor is safe. The sequencer is reported as worker
+    /// index `threads`.
+    WorkerPanicked {
+        /// Index of the thread that panicked (`0..threads` for workers,
+        /// `threads` for the sequencer).
+        worker: usize,
+        /// The bin the monitor was filling when the failure surfaced.
+        bin: u64,
+        /// Work done and recoveries absorbed before the abort.
+        stats: DriveStats,
+    },
+}
+
+impl DriveError {
+    /// The health report accumulated up to the abort.
+    pub fn stats(&self) -> &DriveStats {
+        match self {
+            DriveError::Source { stats, .. }
+            | DriveError::Sink { stats, .. }
+            | DriveError::ErrorBudgetExhausted { stats, .. }
+            | DriveError::SourceStalled { stats, .. }
+            | DriveError::TimestampRegression { stats, .. }
+            | DriveError::WorkerPanicked { stats, .. } => stats,
+        }
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut DriveStats {
+        match self {
+            DriveError::Source { stats, .. }
+            | DriveError::Sink { stats, .. }
+            | DriveError::ErrorBudgetExhausted { stats, .. }
+            | DriveError::SourceStalled { stats, .. }
+            | DriveError::TimestampRegression { stats, .. }
+            | DriveError::WorkerPanicked { stats, .. } => stats,
+        }
+    }
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Source { error, .. } => write!(f, "drive aborted: {error}"),
+            DriveError::Sink { error, .. } => write!(f, "drive aborted: {error}"),
+            DriveError::ErrorBudgetExhausted { budget, stats } => write!(
+                f,
+                "drive aborted: error budget exhausted ({} recoveries > budget {budget})",
+                stats.recoveries()
+            ),
+            DriveError::SourceStalled { idle_polls, .. } => write!(
+                f,
+                "drive aborted: source stalled ({idle_polls} consecutive idle polls)"
+            ),
+            DriveError::TimestampRegression {
+                prev_nanos,
+                ts_nanos,
+                ..
+            } => write!(
+                f,
+                "drive aborted: timestamp regressed ({ts_nanos} ns after {prev_nanos} ns); \
+                 the push contract requires non-decreasing timestamps"
+            ),
+            DriveError::WorkerPanicked { worker, bin, .. } => write!(
+                f,
+                "drive aborted: worker {worker} panicked while filling bin {bin}; \
+                 the monitor is poisoned"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriveError::Source { error, .. } => Some(error),
+            DriveError::Sink { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_error_classifies_recoverability() {
+        let soft = SourceError::Malformed(NetError::MalformedPacket { reason: "injected" });
+        let hard = SourceError::Fatal(NetError::MalformedPacket {
+            reason: "truncated pcap record header",
+        });
+        assert!(soft.is_recoverable());
+        assert!(!hard.is_recoverable());
+        assert!(soft.to_string().starts_with("malformed record:"));
+        assert!(hard.to_string().starts_with("source failed:"));
+    }
+
+    #[test]
+    fn sink_error_classifies_io_kinds() {
+        let transient = SinkError::from(io::Error::new(io::ErrorKind::Interrupted, "try again"));
+        assert!(transient.is_transient());
+        let permanent = SinkError::from(io::Error::new(io::ErrorKind::BrokenPipe, "gone"));
+        assert!(!permanent.is_transient());
+        assert!(SinkError::transient(io::Error::other("x")).is_transient());
+        assert!(!SinkError::permanent(io::Error::other("x")).is_transient());
+    }
+
+    #[test]
+    fn default_policy_is_strict() {
+        let policy = DrivePolicy::default();
+        assert!(!policy.skip_malformed);
+        assert_eq!(policy.sink_retries, 0);
+        assert_eq!(policy.error_budget, u64::MAX);
+        assert_eq!(policy.timestamps, TimestampPolicy::DebugAssert);
+        assert_eq!(policy, DrivePolicy::strict());
+    }
+
+    #[test]
+    fn resilient_policy_absorbs_faults() {
+        let policy = DrivePolicy::resilient();
+        assert!(policy.skip_malformed);
+        assert_eq!(policy.sink_retries, 3);
+        assert_eq!(policy.error_budget, 1024);
+        assert_eq!(policy.timestamps, TimestampPolicy::ClampAndCount);
+    }
+
+    #[test]
+    fn stats_recoveries_sum_the_budgeted_counters() {
+        let stats = DriveStats {
+            malformed_skipped: 2,
+            sink_retries: 3,
+            clamped_timestamps: 4,
+            idle_polls: 100,
+            ..DriveStats::default()
+        };
+        assert_eq!(stats.recoveries(), 9, "idle polls are not recoveries");
+    }
+
+    #[test]
+    fn drive_error_carries_and_displays_its_stats() {
+        let stats = DriveStats {
+            malformed_skipped: 7,
+            ..DriveStats::default()
+        };
+        let error = DriveError::ErrorBudgetExhausted { budget: 5, stats };
+        assert_eq!(error.stats().malformed_skipped, 7);
+        assert!(error.to_string().contains("7 recoveries > budget 5"));
+        let panic = DriveError::WorkerPanicked {
+            worker: 2,
+            bin: 9,
+            stats: DriveStats::default(),
+        };
+        assert!(panic.to_string().contains("worker 2"));
+        assert!(panic.to_string().contains("bin 9"));
+    }
+}

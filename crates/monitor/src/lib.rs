@@ -101,6 +101,50 @@
 //! an aggregating sink, peak memory is independent of trace length — the
 //! configuration the `drive_end_to_end` bench records.
 //!
+//! # Fault tolerance
+//!
+//! [`Monitor::try_drive`] is the fault-aware form of [`Monitor::drive`],
+//! built on the fallible halves of the pipeline traits
+//! ([`PacketSource::try_next_chunk`], [`ReportSink::emit`]) and governed by
+//! a [`DrivePolicy`] set with [`MonitorBuilder::drive_policy`]. The
+//! error/recovery contract:
+//!
+//! * **Skipped** — recoverable malformed records
+//!   ([`SourceError::Malformed`]) when [`DrivePolicy::skip_malformed`] is
+//!   set; each skip is counted in [`DriveStats::malformed_skipped`]. Fatal
+//!   source errors ([`SourceError::Fatal`] — I/O failure, lost pcap record
+//!   boundary) always abort with [`DriveError::Source`].
+//! * **Retried** — transient sink failures
+//!   ([`SinkError::is_transient`]): the same report is re-emitted up to
+//!   [`DrivePolicy::sink_retries`] times with exponential backoff
+//!   (each attempt counted in [`DriveStats::sink_retries`]); a retried
+//!   report is re-rendered whole, so a sink that failed after a partial
+//!   write may carry a duplicated fragment. Permanent sink failures (and
+//!   exhausted retries) abort with [`DriveError::Sink`].
+//! * **Bounded** — total absorbed recoveries (skips + retries + clamped
+//!   timestamps) abort with [`DriveError::ErrorBudgetExhausted`] once they
+//!   exceed [`DrivePolicy::error_budget`]; a source reporting "no data"
+//!   for [`DrivePolicy::stall_polls`] consecutive polls aborts with
+//!   [`DriveError::SourceStalled`] instead of hanging. Out-of-order
+//!   timestamps follow [`TimestampPolicy`]: the historical
+//!   debug-assert/silent-fold default, fail-fast
+//!   [`TimestampPolicy::Reject`], or counted
+//!   [`TimestampPolicy::ClampAndCount`].
+//! * **Poisoned** — a panic on a worker or sequencer thread of the
+//!   pipelined runtime is caught, the pool drains itself, and the drive
+//!   aborts with [`DriveError::WorkerPanicked`]. The monitor is then
+//!   *poisoned but droppable*: further fallible calls return the same
+//!   error, infallible entry points panic (one clean panic — never the old
+//!   double-panic abort), and dropping the monitor joins every thread
+//!   safely.
+//! * **Accounted** — every recovery action lands in a [`DriveStats`]
+//!   returned on successful completion and carried by every [`DriveError`],
+//!   so aborted drives are auditable too.
+//!
+//! Fault-free `try_drive` runs are bit-identical to `drive` (pinned against
+//! all conformance goldens); the deterministic fault-injection harness
+//! lives in `flowrank_sim::faults`.
+//!
 //! # Closed-loop rate control
 //!
 //! [`MonitorBuilder::controller`] attaches a `flowrank-control`
@@ -146,12 +190,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
 mod runtime;
 pub mod spec;
 
+pub use fault::{DriveError, DrivePolicy, DriveStats, SinkError, SourceError, TimestampPolicy};
 pub use monitor::{Monitor, MonitorBuilder, DEFAULT_PARALLEL_SEGMENT_MIN};
 pub use pipeline::{
     BatchSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary, NdjsonSink, PacketSource,

@@ -18,9 +18,10 @@ use flowrank_sampling::SamplerStage;
 use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_topk::TopKTracker;
 
+use crate::fault::{DriveError, DrivePolicy, DriveStats, SinkError, TimestampPolicy};
 use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink};
 use crate::report::{BinReport, ControllerTrail, LaneReport, TopKReport};
-use crate::runtime::PipelinedRuntime;
+use crate::runtime::{PipelinedRuntime, RuntimeFailure};
 use crate::spec::{SamplerSpec, TopKSpec};
 
 /// Salt mixed into a lane's seed for its top-k backend RNG, so that backend
@@ -69,6 +70,8 @@ pub struct MonitorBuilder {
     threads: usize,
     parallel_segment_min: usize,
     controller: Option<ControllerSpec>,
+    drive_policy: DrivePolicy,
+    lane_panic_after: Option<u64>,
 }
 
 impl Default for MonitorBuilder {
@@ -85,6 +88,8 @@ impl Default for MonitorBuilder {
             threads: 1,
             parallel_segment_min: DEFAULT_PARALLEL_SEGMENT_MIN,
             controller: None,
+            drive_policy: DrivePolicy::strict(),
+            lane_panic_after: None,
         }
     }
 }
@@ -221,6 +226,31 @@ impl MonitorBuilder {
         self
     }
 
+    /// Recovery policy governing [`Monitor::try_drive`] and the fallible
+    /// entry points ([`Monitor::try_push_batch_into`]): which source faults
+    /// are skipped, how transient sink failures are retried, the error
+    /// budget, the stall threshold, and how out-of-order timestamps are
+    /// handled ([`TimestampPolicy`]). Defaults to [`DrivePolicy::strict`],
+    /// which reproduces the historical fail-fast behaviour exactly.
+    ///
+    /// The policy never changes *what* the monitor computes — a fault-free
+    /// run under any policy is bit-identical to the default.
+    pub fn drive_policy(mut self, policy: DrivePolicy) -> Self {
+        self.drive_policy = policy;
+        self
+    }
+
+    /// Chaos-testing hook: makes lane 0 panic once it has been offered more
+    /// than `packets` packets. With `threads(n > 1)` the panic lands on a
+    /// worker thread and exercises the containment path
+    /// ([`DriveError::WorkerPanicked`], poisoned-but-droppable monitor); the
+    /// chaos suite drives it through `flowrank_sim::faults`. Not for
+    /// production use.
+    pub fn inject_lane_panic_after(mut self, packets: u64) -> Self {
+        self.lane_panic_after = Some(packets);
+        self
+    }
+
     /// Builds the monitor.
     pub fn build(self) -> Monitor {
         let mut lanes = Vec::new();
@@ -291,6 +321,11 @@ impl MonitorBuilder {
                 observation: BinObservation::default(),
             }
         });
+        if let Some(limit) = self.lane_panic_after {
+            if let Some(lane) = lanes.first_mut() {
+                lane.panic_after = Some(limit);
+            }
+        }
         let threads = self.threads.max(1);
         let engine = if threads > 1 {
             Engine::Pipelined(PipelinedRuntime::spawn(
@@ -318,6 +353,9 @@ impl MonitorBuilder {
             scratch_keys: Vec::new(),
             scratch_report: BinReport::default(),
             last_ts_nanos: None,
+            drive_policy: self.drive_policy,
+            clamped_timestamps: 0,
+            poisoned: None,
         }
     }
 }
@@ -423,6 +461,11 @@ pub(crate) struct Lane {
     /// Per-lane scratch for the kept-packet indices of one batch segment;
     /// owned by the lane so lanes can run on worker threads without sharing.
     kept: Vec<u32>,
+    /// Chaos hook ([`MonitorBuilder::inject_lane_panic_after`]): panic once
+    /// more than this many packets have been offered to the lane.
+    pub(crate) panic_after: Option<u64>,
+    /// Packets offered so far, counted only when the chaos hook is armed.
+    observed: u64,
 }
 
 impl Lane {
@@ -445,6 +488,8 @@ impl Lane {
             tracker: topk.map(|t| t.build()),
             tracker_rng: Pcg64::seed_from_u64(seed ^ TRACKER_SEED_SALT),
             kept: Vec::new(),
+            panic_after: None,
+            observed: 0,
         }
     }
 
@@ -459,6 +504,12 @@ impl Lane {
         batch: &PacketBatch,
         range: Range<usize>,
     ) {
+        if let Some(limit) = self.panic_after {
+            self.observed += range.len() as u64;
+            if self.observed > limit {
+                panic!("injected lane panic after {limit} packets");
+            }
+        }
         self.kept.clear();
         self.stage.admit_batch(batch, range.clone(), &mut self.kept);
         for slot in 0..self.kept.len() {
@@ -570,6 +621,17 @@ pub struct Monitor {
     /// Largest timestamp pushed so far — backs the debug assertion that the
     /// documented non-decreasing push contract holds across calls.
     last_ts_nanos: Option<u64>,
+    /// Recovery policy for the fallible entry points
+    /// ([`MonitorBuilder::drive_policy`]).
+    drive_policy: DrivePolicy,
+    /// Lifetime count of timestamp regressions absorbed under
+    /// [`TimestampPolicy::ClampAndCount`].
+    clamped_timestamps: u64,
+    /// Set once a pool thread panicked: `(worker, bin)` of the first
+    /// detected failure. A poisoned monitor returns the same
+    /// [`DriveError::WorkerPanicked`] from every fallible call (infallible
+    /// entry points panic — once, cleanly) and drops safely.
+    poisoned: Option<(usize, u64)>,
 }
 
 /// How the monitor executes classification and bin seals: entirely on the
@@ -706,6 +768,24 @@ impl Monitor {
         (self.segments_inline, self.segments_dispatched)
     }
 
+    /// The configured recovery policy ([`MonitorBuilder::drive_policy`]).
+    pub fn drive_policy(&self) -> DrivePolicy {
+        self.drive_policy
+    }
+
+    /// Lifetime count of timestamp regressions absorbed under
+    /// [`TimestampPolicy::ClampAndCount`] (0 under any other policy).
+    pub fn clamped_timestamps(&self) -> u64 {
+        self.clamped_timestamps
+    }
+
+    /// Whether a worker-pool thread has panicked. A poisoned monitor keeps
+    /// returning [`DriveError::WorkerPanicked`] from fallible calls and can
+    /// be dropped safely, but can do no further work.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
     /// Name of the attached rate controller, when one is attached.
     pub fn controller_name(&self) -> Option<&'static str> {
         match &self.engine {
@@ -775,7 +855,34 @@ impl Monitor {
     /// receives is backed by a buffer the monitor recycles across bins, so
     /// steady-state bin closes are allocation-free on the monitor side.
     pub fn push_batch_into<K: ReportSink + ?Sized>(&mut self, batch: &PacketBatch, sink: &mut K) {
-        self.check_timestamp_contract(batch);
+        if let Err(error) = self.try_push_batch_into(batch, sink) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible form of [`Monitor::push_batch_into`]: instead of panicking,
+    /// surfaces a timestamp regression rejected by
+    /// [`TimestampPolicy::Reject`] as [`DriveError::TimestampRegression`]
+    /// and a worker-pool panic as [`DriveError::WorkerPanicked`] (after
+    /// which the monitor is poisoned — every further fallible call returns
+    /// the same error, and dropping it is safe). The `stats` carried on
+    /// these errors are empty; [`Monitor::try_drive`] fills them in for a
+    /// whole drive.
+    pub fn try_push_batch_into<K: ReportSink + ?Sized>(
+        &mut self,
+        batch: &PacketBatch,
+        sink: &mut K,
+    ) -> Result<(), DriveError> {
+        if let Some(error) = self.poisoned_error() {
+            return Err(error);
+        }
+        if let Err((prev_nanos, ts_nanos)) = self.check_timestamp_contract(batch) {
+            return Err(DriveError::TimestampRegression {
+                prev_nanos,
+                ts_nanos,
+                stats: DriveStats::default(),
+            });
+        }
         let mut start = 0;
         while start < batch.len() {
             // A packet older than the current bin is counted into the
@@ -793,48 +900,113 @@ impl Monitor {
             {
                 end += 1;
             }
-            self.process_segment(batch, start..end, sink);
+            self.process_segment(batch, start..end, sink)
+                .map_err(|failure| self.poison(failure))?;
             start = end;
         }
         // Tail barrier of the pipelined runtime: every bin this call sealed
         // reaches the sink before the call returns, keeping the synchronous
         // API contract. (Observation work may still be in flight — that is
-        // the pipelining — only *seals* are awaited.)
+        // the pipelining — only *seals* are awaited.) A panic on a pool
+        // thread surfaces here at the latest: either the drain observes the
+        // disconnect, or the failure cell is already set.
         if let Engine::Pipelined(runtime) = &mut self.engine {
-            runtime.drain_into(sink);
+            let failure = match runtime.drain_into(sink) {
+                Err(failure) => Some(failure),
+                Ok(()) => runtime.failure(),
+            };
+            if let Some(failure) = failure {
+                return Err(self.poison(failure));
+            }
+        }
+        Ok(())
+    }
+
+    /// Latches the poisoned state from a recorded pool failure and converts
+    /// it to the error every subsequent fallible call will keep returning.
+    fn poison(&mut self, failure: RuntimeFailure) -> DriveError {
+        let entry = self
+            .poisoned
+            .get_or_insert((failure.worker, self.current_bin));
+        DriveError::WorkerPanicked {
+            worker: entry.0,
+            bin: entry.1,
+            stats: DriveStats::default(),
         }
     }
 
-    /// Debug-only enforcement of the documented push contract: timestamps
-    /// are non-decreasing within a batch and across calls. Release builds
-    /// keep the tolerant behaviour (an out-of-order packet folds into the
-    /// current bin); debug builds fail fast instead of silently folding.
-    fn check_timestamp_contract(&mut self, batch: &PacketBatch) {
-        #[cfg(debug_assertions)]
-        {
-            let ts = batch.ts_nanos();
-            if let (Some(&first), Some(last)) = (ts.first(), self.last_ts_nanos) {
-                debug_assert!(
-                    first >= last,
-                    "Monitor: timestamp regressed across push calls \
-                     ({first} ns after {last} ns); the push contract requires \
-                     non-decreasing timestamps"
-                );
+    /// The latched poison error, when a pool thread has panicked.
+    fn poisoned_error(&self) -> Option<DriveError> {
+        self.poisoned
+            .map(|(worker, bin)| DriveError::WorkerPanicked {
+                worker,
+                bin,
+                stats: DriveStats::default(),
+            })
+    }
+
+    /// Enforces the documented push contract — timestamps non-decreasing
+    /// within a batch and across calls — according to
+    /// [`DrivePolicy::timestamps`]:
+    ///
+    /// * [`TimestampPolicy::DebugAssert`] (default): debug builds fail fast
+    ///   on a regression, release builds keep the historical tolerant fold
+    ///   (an out-of-order packet counts into the current bin).
+    /// * [`TimestampPolicy::Reject`]: returns the offending `(prev, ts)`
+    ///   pair in every build; the batch is not applied.
+    /// * [`TimestampPolicy::ClampAndCount`]: folds tolerantly in every
+    ///   build and counts each regression in
+    ///   [`Monitor::clamped_timestamps`].
+    fn check_timestamp_contract(&mut self, batch: &PacketBatch) -> Result<(), (u64, u64)> {
+        let ts = batch.ts_nanos();
+        match self.drive_policy.timestamps {
+            TimestampPolicy::DebugAssert => {
+                #[cfg(debug_assertions)]
+                {
+                    if let (Some(&first), Some(last)) = (ts.first(), self.last_ts_nanos) {
+                        debug_assert!(
+                            first >= last,
+                            "Monitor: timestamp regressed across push calls \
+                             ({first} ns after {last} ns); the push contract requires \
+                             non-decreasing timestamps"
+                        );
+                    }
+                    for pair in ts.windows(2) {
+                        debug_assert!(
+                            pair[0] <= pair[1],
+                            "Monitor: timestamps regress inside one batch \
+                             ({} ns after {} ns); the push contract requires \
+                             non-decreasing timestamps",
+                            pair[1],
+                            pair[0]
+                        );
+                    }
+                }
             }
-            for pair in ts.windows(2) {
-                debug_assert!(
-                    pair[0] <= pair[1],
-                    "Monitor: timestamps regress inside one batch \
-                     ({} ns after {} ns); the push contract requires \
-                     non-decreasing timestamps",
-                    pair[1],
-                    pair[0]
-                );
+            TimestampPolicy::Reject => {
+                if let (Some(&first), Some(last)) = (ts.first(), self.last_ts_nanos) {
+                    if first < last {
+                        return Err((last, first));
+                    }
+                }
+                if let Some(pair) = ts.windows(2).find(|pair| pair[0] > pair[1]) {
+                    return Err((pair[0], pair[1]));
+                }
+            }
+            TimestampPolicy::ClampAndCount => {
+                if let (Some(&first), Some(last)) = (ts.first(), self.last_ts_nanos) {
+                    if first < last {
+                        self.clamped_timestamps += 1;
+                    }
+                }
+                self.clamped_timestamps +=
+                    ts.windows(2).filter(|pair| pair[0] > pair[1]).count() as u64;
             }
         }
-        if let Some(&last) = batch.ts_nanos().last() {
+        if let Some(&last) = ts.last() {
             self.last_ts_nanos = Some(self.last_ts_nanos.map_or(last, |seen| seen.max(last)));
         }
+        Ok(())
     }
 
     /// Feeds one within-bin segment of a batch to the ground truth and the
@@ -851,7 +1023,7 @@ impl Monitor {
         batch: &PacketBatch,
         range: Range<usize>,
         sink: &mut K,
-    ) {
+    ) -> Result<(), RuntimeFailure> {
         self.saw_packet = true;
         let definition = self.flow_definition;
         match &mut self.engine {
@@ -873,7 +1045,7 @@ impl Monitor {
                     // Inline work touches the shared shards and lanes, so
                     // the pipe must be quiet: deliver pending seal reports,
                     // then barrier any in-flight segments.
-                    runtime.drain_into(sink);
+                    runtime.drain_into(sink)?;
                     runtime.flush();
                     let mut keys = std::mem::take(&mut self.scratch_keys);
                     keys.clear();
@@ -883,6 +1055,7 @@ impl Monitor {
                 }
             }
         }
+        Ok(())
     }
 
     /// Closes the bin currently being filled and returns its report, or
@@ -901,15 +1074,33 @@ impl Monitor {
     /// filled (when any packet started one) and delivers its report by
     /// reference. Returns whether a bin was closed.
     pub fn finish_into<K: ReportSink + ?Sized>(&mut self, sink: &mut K) -> bool {
+        match self.try_finish_into(sink) {
+            Ok(closed) => closed,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible form of [`Monitor::finish_into`]: a worker-pool panic
+    /// surfaces as [`DriveError::WorkerPanicked`] instead of panicking the
+    /// calling thread.
+    pub fn try_finish_into<K: ReportSink + ?Sized>(
+        &mut self,
+        sink: &mut K,
+    ) -> Result<bool, DriveError> {
+        if let Some(error) = self.poisoned_error() {
+            return Err(error);
+        }
         if !self.saw_packet {
-            return false;
+            return Ok(false);
         }
         self.emit_current_bin(sink);
         if let Engine::Pipelined(runtime) = &mut self.engine {
-            runtime.drain_into(sink);
+            runtime
+                .drain_into(sink)
+                .map_err(|failure| self.poison(failure))?;
         }
         self.saw_packet = false;
-        true
+        Ok(true)
     }
 
     /// Runs a whole in-memory trace through the monitor: converts it to one
@@ -983,6 +1174,124 @@ impl Monitor {
         }
     }
 
+    /// Fault-aware form of [`Monitor::drive`]: pulls chunks through
+    /// [`PacketSource::try_next_chunk`], delivers reports through
+    /// [`ReportSink::emit`], and recovers per the configured
+    /// [`DrivePolicy`] ([`MonitorBuilder::drive_policy`]):
+    ///
+    /// * recoverable malformed records are skipped and counted when
+    ///   [`DrivePolicy::skip_malformed`] is set, otherwise they abort —
+    ///   fatal source errors always abort ([`DriveError::Source`]);
+    /// * transient sink failures are retried up to
+    ///   [`DrivePolicy::sink_retries`] times with exponential backoff;
+    ///   permanent failures and exhausted retries abort
+    ///   ([`DriveError::Sink`]);
+    /// * total absorbed recoveries over [`DrivePolicy::error_budget`] abort
+    ///   ([`DriveError::ErrorBudgetExhausted`]); a source answering "no
+    ///   data" for [`DrivePolicy::stall_polls`] consecutive polls aborts
+    ///   ([`DriveError::SourceStalled`]);
+    /// * timestamp regressions follow [`DrivePolicy::timestamps`], and a
+    ///   worker-pool panic aborts with [`DriveError::WorkerPanicked`].
+    ///
+    /// On success returns the [`DriveStats`] health report; every abort
+    /// carries the stats accumulated up to that point ([`DriveError::stats`]).
+    /// A fault-free `try_drive` is bit-identical to [`Monitor::drive`] for
+    /// every source chunking and thread count (pinned by the conformance
+    /// goldens), and an aborted drive never closes the final bin — state
+    /// simply stops advancing at the failure point.
+    pub fn try_drive<S, K>(
+        &mut self,
+        source: &mut S,
+        sink: &mut K,
+    ) -> Result<DriveStats, DriveError>
+    where
+        S: PacketSource + ?Sized,
+        K: ReportSink + ?Sized,
+    {
+        enum Outcome {
+            Done,
+            Drive(DriveError),
+            Source(crate::fault::SourceError),
+            Sink(SinkError),
+            Stalled(u64),
+            Budget,
+        }
+        let policy = self.drive_policy;
+        let clamped_base = self.clamped_timestamps;
+        let mut stats = DriveStats::default();
+        let mut idle_streak = 0u64;
+        let mut policy_sink = PolicySink {
+            inner: sink,
+            policy,
+            retries: 0,
+            reports: 0,
+            failed: None,
+        };
+        let outcome = loop {
+            match source.try_next_chunk() {
+                Ok(Some(chunk)) if chunk.is_empty() => {
+                    // Idle poll: "no data right now, not end-of-stream".
+                    stats.idle_polls += 1;
+                    idle_streak += 1;
+                    if idle_streak >= policy.stall_polls {
+                        break Outcome::Stalled(idle_streak);
+                    }
+                    continue;
+                }
+                Ok(Some(chunk)) => {
+                    idle_streak = 0;
+                    stats.chunks += 1;
+                    stats.packets += chunk.len() as u64;
+                    if let Err(error) = self.try_push_batch_into(chunk, &mut policy_sink) {
+                        break Outcome::Drive(error);
+                    }
+                    if let Some(error) = policy_sink.failed.take() {
+                        break Outcome::Sink(error);
+                    }
+                }
+                Ok(None) => match self.try_finish_into(&mut policy_sink) {
+                    Ok(_) => {
+                        break match policy_sink.failed.take() {
+                            Some(error) => Outcome::Sink(error),
+                            None => Outcome::Done,
+                        }
+                    }
+                    Err(error) => break Outcome::Drive(error),
+                },
+                Err(error) if error.is_recoverable() && policy.skip_malformed => {
+                    stats.malformed_skipped += 1;
+                }
+                Err(error) => break Outcome::Source(error),
+            }
+            // One budget gate per loop turn: every recovery class the policy
+            // absorbed so far counts against the same budget.
+            if stats.malformed_skipped
+                + policy_sink.retries
+                + (self.clamped_timestamps - clamped_base)
+                > policy.error_budget
+            {
+                break Outcome::Budget;
+            }
+        };
+        stats.sink_retries = policy_sink.retries;
+        stats.reports = policy_sink.reports;
+        stats.clamped_timestamps = self.clamped_timestamps - clamped_base;
+        match outcome {
+            Outcome::Done => Ok(stats),
+            Outcome::Drive(mut error) => {
+                *error.stats_mut() = stats;
+                Err(error)
+            }
+            Outcome::Source(error) => Err(DriveError::Source { error, stats }),
+            Outcome::Sink(error) => Err(DriveError::Sink { error, stats }),
+            Outcome::Stalled(idle_polls) => Err(DriveError::SourceStalled { idle_polls, stats }),
+            Outcome::Budget => Err(DriveError::ErrorBudgetExhausted {
+                budget: policy.error_budget,
+                stats,
+            }),
+        }
+    }
+
     /// Closes the bin currently being filled and advances to the next one.
     /// The serial engine seals synchronously into the recycled scratch
     /// report; the pipelined engine broadcasts a seal down the worker
@@ -1003,6 +1312,9 @@ impl Monitor {
                 self.scratch_report = report;
             }
             Engine::Pipelined(runtime) => {
+                // When the pool has died the seal send fails silently; the
+                // enclosing call's tail `drain_into` observes the disconnect
+                // and surfaces the recorded failure.
                 runtime.dispatch_seal(bin_index, bin_start);
                 runtime.try_drain_into(sink);
             }
@@ -1021,6 +1333,59 @@ impl<K: ReportSink + ?Sized> ReportSink for CountingSink<'_, K> {
     fn accept(&mut self, report: &BinReport) {
         self.reports += 1;
         self.inner.accept(report);
+    }
+
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        self.inner.emit(report)?;
+        self.reports += 1;
+        Ok(())
+    }
+}
+
+/// The sink [`Monitor::try_drive`] wraps around the caller's: every accept
+/// becomes an [`ReportSink::emit`] with the policy's bounded
+/// retry-with-backoff for transient failures. The first unrecovered failure
+/// latches into `failed` and turns every later accept into a no-op, so the
+/// drive loop can surface the error at its next check without pushing more
+/// reports into a broken sink.
+struct PolicySink<'a, K: ?Sized> {
+    inner: &'a mut K,
+    policy: DrivePolicy,
+    /// Total retry attempts spent (across all reports).
+    retries: u64,
+    /// Reports successfully delivered.
+    reports: u64,
+    /// First unrecovered sink failure, awaiting pickup by the drive loop.
+    failed: Option<SinkError>,
+}
+
+impl<K: ReportSink + ?Sized> ReportSink for PolicySink<'_, K> {
+    fn accept(&mut self, report: &BinReport) {
+        if self.failed.is_some() {
+            return;
+        }
+        let mut backoff = self.policy.sink_backoff;
+        let mut attempts = 0u32;
+        loop {
+            match self.inner.emit(report) {
+                Ok(()) => {
+                    self.reports += 1;
+                    return;
+                }
+                Err(error) if error.is_transient() && attempts < self.policy.sink_retries => {
+                    attempts += 1;
+                    self.retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = (backoff * 2).min(self.policy.sink_backoff_cap);
+                }
+                Err(error) => {
+                    self.failed = Some(error);
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -1353,6 +1718,69 @@ mod tests {
             .build();
         let batch = PacketBatch::from_records(&[packet(1, 70.0), packet(1, 10.0)]);
         monitor.push_batch(&batch);
+    }
+
+    #[test]
+    fn reject_policy_surfaces_timestamp_regressions_as_errors() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .drive_policy(DrivePolicy::strict().timestamps(TimestampPolicy::Reject))
+            .build();
+        let mut sink = Collect::new();
+        let forward = PacketBatch::from_records(&[packet(1, 70.0)]);
+        monitor
+            .try_push_batch_into(&forward, &mut sink)
+            .expect("ordered batch is accepted");
+        // Across calls: older than everything already pushed.
+        let stale = PacketBatch::from_records(&[packet(1, 10.0)]);
+        match monitor.try_push_batch_into(&stale, &mut sink) {
+            Err(DriveError::TimestampRegression {
+                prev_nanos,
+                ts_nanos,
+                ..
+            }) => {
+                assert_eq!(prev_nanos, Timestamp::from_secs_f64(70.0).as_nanos());
+                assert_eq!(ts_nanos, Timestamp::from_secs_f64(10.0).as_nanos());
+            }
+            other => panic!("expected TimestampRegression, got {other:?}"),
+        }
+        // Within one batch: second packet regresses. The rejected batch was
+        // not applied, so 80 s is still a legal next timestamp.
+        let inner = PacketBatch::from_records(&[packet(1, 80.0), packet(1, 75.0)]);
+        assert!(matches!(
+            monitor.try_push_batch_into(&inner, &mut sink),
+            Err(DriveError::TimestampRegression { .. })
+        ));
+        assert_eq!(monitor.clamped_timestamps(), 0);
+    }
+
+    #[test]
+    fn clamp_policy_folds_and_counts_timestamp_regressions() {
+        let mut monitor = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 1.0 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .drive_policy(DrivePolicy::strict().timestamps(TimestampPolicy::ClampAndCount))
+            .build();
+        let mut sink = Collect::new();
+        let forward = PacketBatch::from_records(&[packet(1, 70.0)]);
+        monitor
+            .try_push_batch_into(&forward, &mut sink)
+            .expect("ordered batch is accepted");
+        // One regression across calls + one inside the batch: both fold
+        // into the current bin (the historical release behaviour) and both
+        // are counted.
+        let stale = PacketBatch::from_records(&[packet(2, 10.0), packet(3, 75.0), packet(3, 5.0)]);
+        monitor
+            .try_push_batch_into(&stale, &mut sink)
+            .expect("clamp policy absorbs the regressions");
+        assert_eq!(monitor.clamped_timestamps(), 2);
+        let report = monitor.finish().expect("bin 1 closes with its packets");
+        assert_eq!(report.bin_index, 1);
+        assert_eq!(
+            report.packets, 4,
+            "regressed packets fold into the open bin"
+        );
     }
 
     /// Four populated bins of the same skewed traffic.

@@ -48,7 +48,24 @@ use flowrank_net::pcap::{PcapBatchCursor, PcapReader};
 use flowrank_net::{CompactKey, NetError, PacketBatch, PacketRecord};
 use flowrank_stats::summary::RunningStats;
 
+use crate::fault::{SinkError, SourceError};
 use crate::report::BinReport;
+
+/// Copies a [`NetError`] so a latched terminating error can be surfaced
+/// repeatedly through [`PacketSource::try_next_chunk`] while `error()`
+/// keeps reporting it. `io::Error` is not `Clone`, so its copy preserves
+/// kind and message only.
+fn replicate_net_error(error: &NetError) -> NetError {
+    match error {
+        NetError::Io(e) => NetError::Io(io::Error::new(e.kind(), e.to_string())),
+        NetError::BadPcapMagic { found } => NetError::BadPcapMagic { found: *found },
+        NetError::UnsupportedLinkType { link_type } => NetError::UnsupportedLinkType {
+            link_type: *link_type,
+        },
+        NetError::MalformedPacket { reason } => NetError::MalformedPacket { reason },
+        NetError::InvalidField { field, reason } => NetError::InvalidField { field, reason },
+    }
+}
 
 /// Default packet count per chunk for sources that choose their own
 /// chunking. Large enough to amortise per-chunk overhead, small enough that
@@ -81,11 +98,33 @@ pub trait PacketSource {
     /// Returns the next chunk of packets, or `None` at end of stream.
     /// Implementations never return an empty batch.
     fn next_chunk(&mut self) -> Option<&PacketBatch>;
+
+    /// The fallible form of [`PacketSource::next_chunk`], used by
+    /// [`Monitor::try_drive`](crate::Monitor::try_drive).
+    ///
+    /// The default wraps `next_chunk` and never errors, so every existing
+    /// source is a fallible source for free. Sources with a real failure
+    /// mode (the pcap sources, `flowrank_sim::faults::FaultySource`)
+    /// override it to surface a [`SourceError`] instead of silently ending
+    /// the stream.
+    ///
+    /// Two relaxations over `next_chunk`, both for fault-aware callers:
+    /// `Ok(Some(batch))` **may be empty** — an *idle poll* meaning "no data
+    /// right now, not end of stream" (the drive loop's stall detector
+    /// counts these) — and an [`SourceError::Malformed`] error means the
+    /// source has advanced past a bad record and may be polled again.
+    fn try_next_chunk(&mut self) -> Result<Option<&PacketBatch>, SourceError> {
+        Ok(self.next_chunk())
+    }
 }
 
 impl<S: PacketSource + ?Sized> PacketSource for &mut S {
     fn next_chunk(&mut self) -> Option<&PacketBatch> {
         (**self).next_chunk()
+    }
+
+    fn try_next_chunk(&mut self) -> Result<Option<&PacketBatch>, SourceError> {
+        (**self).try_next_chunk()
     }
 }
 
@@ -265,6 +304,34 @@ impl PacketSource for PcapBytesSource<'_> {
             }
         }
     }
+
+    /// Like [`PcapBytesSource::next_chunk`], but a decode error is surfaced
+    /// as [`SourceError::Fatal`] (pcap framing errors lose the record
+    /// boundary, so the stream cannot resynchronise) — after the packets
+    /// decoded before the bad record have been delivered. The error also
+    /// stays latched for [`PcapBytesSource::error`], and repeated polls
+    /// keep returning it.
+    fn try_next_chunk(&mut self) -> Result<Option<&PacketBatch>, SourceError> {
+        if let Some(error) = &self.error {
+            return Err(SourceError::Fatal(replicate_net_error(error)));
+        }
+        self.batch.clear();
+        match self.cursor.decode_some(&mut self.batch, self.chunk_packets) {
+            Ok(0) => Ok(None),
+            Ok(_) => Ok(Some(&self.batch)),
+            Err(error) => {
+                self.error = Some(error);
+                if self.batch.is_empty() {
+                    Err(SourceError::Fatal(replicate_net_error(
+                        self.error.as_ref().expect("just latched"),
+                    )))
+                } else {
+                    // Deliver the partial chunk first; the next poll errors.
+                    Ok(Some(&self.batch))
+                }
+            }
+        }
+    }
 }
 
 /// Streams a pcap capture from any reader ([`PcapReader`] record loop),
@@ -324,6 +391,34 @@ impl<R: io::Read> PacketSource for PcapReaderSource<R> {
             Some(&self.batch)
         }
     }
+
+    /// Like [`PcapReaderSource::next_chunk`], but a read/decode error is
+    /// surfaced as [`SourceError::Fatal`] after the records read before it
+    /// have been delivered; the error also stays latched for
+    /// [`PcapReaderSource::error`], and repeated polls keep returning it.
+    fn try_next_chunk(&mut self) -> Result<Option<&PacketBatch>, SourceError> {
+        if let Some(error) = &self.error {
+            return Err(SourceError::Fatal(replicate_net_error(error)));
+        }
+        self.batch.clear();
+        while self.batch.len() < self.chunk_packets {
+            match self.reader.next_record() {
+                Ok(Some(record)) => self.batch.push_record(&record),
+                Ok(None) => break,
+                Err(error) => {
+                    self.error = Some(error);
+                    break;
+                }
+            }
+        }
+        match (&self.error, self.batch.is_empty()) {
+            (Some(error), true) => Err(SourceError::Fatal(replicate_net_error(error))),
+            (_, true) => Ok(None),
+            // A partial chunk (with or without a latched error behind it)
+            // is delivered first; the next poll surfaces the error.
+            (_, false) => Ok(Some(&self.batch)),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -337,11 +432,30 @@ impl<R: io::Read> PacketSource for PcapReaderSource<R> {
 pub trait ReportSink {
     /// Accepts one closed bin.
     fn accept(&mut self, report: &BinReport);
+
+    /// The fallible form of [`ReportSink::accept`], used by
+    /// [`Monitor::try_drive`](crate::Monitor::try_drive).
+    ///
+    /// The default wraps `accept` and never errors, so every existing sink
+    /// is a fallible sink for free. Writer sinks override it to return
+    /// their I/O errors, classified transient-vs-permanent through
+    /// [`SinkError`]: the drive loop retries transient failures by
+    /// re-emitting the *same report whole* (so a sink that failed after a
+    /// partial write may carry a duplicated fragment), and a permanent
+    /// failure latches — both `emit` and `accept` stop writing.
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        self.accept(report);
+        Ok(())
+    }
 }
 
 impl<K: ReportSink + ?Sized> ReportSink for &mut K {
     fn accept(&mut self, report: &BinReport) {
         (**self).accept(report)
+    }
+
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        (**self).emit(report)
     }
 }
 
@@ -375,6 +489,16 @@ impl<A: ReportSink, B: ReportSink> ReportSink for Tee<A, B> {
     fn accept(&mut self, report: &BinReport) {
         self.0.accept(report);
         self.1.accept(report);
+    }
+
+    /// Forwards to both sinks; the first error wins (the second sink is
+    /// still offered the report when the first fails, so a retried report
+    /// may reach a sink that already took it — sinks behind a retrying
+    /// drive should be idempotent or not share a `Tee`).
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        let first = self.0.emit(report);
+        let second = self.1.emit(report);
+        first.and(second)
     }
 }
 
@@ -555,6 +679,30 @@ impl<W: Write> ReportSink for NdjsonSink<W> {
             self.error = Some(error);
         }
     }
+
+    /// Renders the report, returning the I/O error instead of latching it
+    /// when it is transient (so the drive loop can retry); permanent errors
+    /// latch exactly like [`NdjsonSink::accept`]'s, stopping all further
+    /// output and surfacing through [`NdjsonSink::finish`] too.
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        if let Some(error) = &self.error {
+            return Err(SinkError::permanent(io::Error::new(
+                error.kind(),
+                error.to_string(),
+            )));
+        }
+        match Self::render(&mut self.out, report) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                let sink_error = SinkError::from(error);
+                if !sink_error.is_transient() {
+                    let e = sink_error.io_error();
+                    self.error = Some(io::Error::new(e.kind(), e.to_string()));
+                }
+                Err(sink_error)
+            }
+        }
+    }
 }
 
 /// Streams every report as flat per-lane CSV rows
@@ -626,6 +774,27 @@ impl<W: Write> ReportSink for CsvSink<W> {
         }
         if let Err(error) = Self::render(&mut self.out, &mut self.wrote_header, report) {
             self.error = Some(error);
+        }
+    }
+
+    /// Same transient-vs-permanent contract as [`NdjsonSink::emit`].
+    fn emit(&mut self, report: &BinReport) -> Result<(), SinkError> {
+        if let Some(error) = &self.error {
+            return Err(SinkError::permanent(io::Error::new(
+                error.kind(),
+                error.to_string(),
+            )));
+        }
+        match Self::render(&mut self.out, &mut self.wrote_header, report) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                let sink_error = SinkError::from(error);
+                if !sink_error.is_transient() {
+                    let e = sink_error.io_error();
+                    self.error = Some(io::Error::new(e.kind(), e.to_string()));
+                }
+                Err(sink_error)
+            }
         }
     }
 }
@@ -1039,6 +1208,112 @@ mod tests {
         assert_eq!(fields[3], "1", "one flow");
         assert_eq!(fields[6], "random");
         assert_eq!(fields[11], "false", "static lane is not controlled");
+    }
+
+    #[test]
+    fn try_next_chunk_defaults_to_the_infallible_path() {
+        let packets = trace();
+        let batch = PacketBatch::from_records(&packets);
+        let mut source = BatchSource::new(&batch);
+        let first = source.try_next_chunk().expect("no failure mode");
+        assert_eq!(first.map(|b| b.len()), Some(packets.len()));
+        assert!(source.try_next_chunk().unwrap().is_none(), "end of stream");
+    }
+
+    #[test]
+    fn pcap_try_sources_surface_fatal_errors_after_partial_delivery() {
+        let bytes = records_to_pcap_bytes(&trace()).unwrap();
+        let cut = &bytes[..bytes.len() - 100];
+
+        // Reference: the infallible path's packet count on the same capture.
+        let mut infallible = PcapBytesSource::new(cut).unwrap().with_chunk_packets(64);
+        let mut expected = 0usize;
+        while let Some(chunk) = infallible.next_chunk() {
+            expected += chunk.len();
+        }
+
+        let mut source = PcapBytesSource::new(cut).unwrap().with_chunk_packets(64);
+        let mut decoded = 0usize;
+        let error = loop {
+            match source.try_next_chunk() {
+                Ok(Some(chunk)) => decoded += chunk.len(),
+                Ok(None) => panic!("truncated capture must error, not end cleanly"),
+                Err(error) => break error,
+            }
+        };
+        assert!(!error.is_recoverable(), "framing errors are fatal");
+        assert_eq!(decoded, expected, "partial packets still flow first");
+        assert!(source.error().is_some(), "error() keeps reporting");
+        assert!(source.try_next_chunk().is_err(), "stays terminated");
+
+        let mut reader = PcapReaderSource::new(cut).unwrap().with_chunk_packets(64);
+        let mut from_reader = 0usize;
+        let reader_error = loop {
+            match reader.try_next_chunk() {
+                Ok(Some(chunk)) => from_reader += chunk.len(),
+                Ok(None) => panic!("truncated capture must error, not end cleanly"),
+                Err(error) => break error,
+            }
+        };
+        assert!(!reader_error.is_recoverable());
+        assert_eq!(from_reader, expected, "both sources agree");
+        assert!(reader.try_next_chunk().is_err());
+    }
+
+    /// Writer that fails with the given error kind for the first `failures`
+    /// writes, then forwards to a `Vec`.
+    struct FlakyWriter {
+        failures: usize,
+        kind: io::ErrorKind,
+        out: Vec<u8>,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(io::Error::new(self.kind, "injected write failure"));
+            }
+            self.out.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_sink_emit_classifies_transient_and_permanent_failures() {
+        let report = {
+            let mut m = monitor();
+            m.push_batch(&PacketBatch::from_records(&trace())).remove(0)
+        };
+
+        // Transient: emit errors but does NOT latch — the retry succeeds.
+        // (TimedOut, not Interrupted: `write_all` swallows Interrupted by
+        // retrying internally, so it never reaches the sink's classifier.)
+        let mut sink = NdjsonSink::new(FlakyWriter {
+            failures: 1,
+            kind: io::ErrorKind::TimedOut,
+            out: Vec::new(),
+        });
+        let error = sink.emit(&report).unwrap_err();
+        assert!(error.is_transient());
+        sink.emit(&report).expect("retry succeeds");
+        let out = sink.finish().expect("no latched error");
+        assert_eq!(String::from_utf8(out.out).unwrap().lines().count(), 1);
+
+        // Permanent: emit errors AND latches — accept stops, finish errors.
+        let mut sink = CsvSink::new(FlakyWriter {
+            failures: usize::MAX,
+            kind: io::ErrorKind::BrokenPipe,
+            out: Vec::new(),
+        });
+        let error = sink.emit(&report).unwrap_err();
+        assert!(!error.is_transient());
+        assert!(sink.emit(&report).is_err(), "latched");
+        sink.accept(&report); // must be a no-op, not a panic
+        assert!(sink.finish().is_err());
     }
 
     #[test]

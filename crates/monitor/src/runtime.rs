@@ -60,6 +60,21 @@
 //! enqueues one `Shutdown` behind whatever is in flight, joins every worker,
 //! and then joins the sequencer — no detached threads, even when the
 //! monitor is dropped mid-bin.
+//!
+//! # Failure containment
+//!
+//! Every worker and the sequencer run under `catch_unwind`: a panic on any
+//! pool thread is recorded in a shared failure cell **before** that
+//! thread's channels drop, so by the time the disconnect cascades (peer
+//! workers and the sequencer exit their loops, the caller's out-queue
+//! receive fails) the failure is already observable through
+//! [`PipelinedRuntime::failure`]. Blocking drains return the failure
+//! instead of panicking, the monitor converts it into
+//! [`DriveError::WorkerPanicked`](crate::DriveError::WorkerPanicked), and
+//! `Drop` joins the (already self-terminated) threads without the old
+//! double-panic abort. Shards and lanes may hold poisoned mutexes after a
+//! failure; the runtime's own locks are poison-tolerant, and the monitor
+//! never trusts state behind a recorded failure.
 
 use std::ops::Range;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -74,6 +89,39 @@ use flowrank_net::{
 use crate::monitor::{ControllerState, Lane};
 use crate::pipeline::ReportSink;
 use crate::report::{BinReport, LaneReport};
+
+/// What a pool thread's `catch_unwind` recorded: which thread panicked
+/// (`0..threads` for workers, `threads` for the sequencer) and the panic
+/// payload's message. First failure wins; secondary panics on peers (e.g.
+/// from poisoned shard mutexes) are caught and discarded.
+#[derive(Debug, Clone)]
+pub(crate) struct RuntimeFailure {
+    pub(crate) worker: usize,
+    /// Carried for `{:?}` diagnostics (test failures, logs); the typed
+    /// error surface exposes only the worker index and bin.
+    #[allow(dead_code)]
+    pub(crate) message: String,
+}
+
+/// Records a panic payload into the shared failure cell (first wins). Must
+/// run while the panicking thread's channel endpoints are still alive, so
+/// no other thread can observe the disconnect before the failure is
+/// readable.
+fn record_failure(
+    cell: &Mutex<Option<RuntimeFailure>>,
+    worker: usize,
+    payload: &(dyn std::any::Any + Send),
+) {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    let mut slot = cell.lock().unwrap_or_else(|poison| poison.into_inner());
+    if slot.is_none() {
+        *slot = Some(RuntimeFailure { worker, message });
+    }
+}
 
 /// Depth of each worker's bounded segment queue. This is the backpressure
 /// knob: the caller blocks once any worker falls this many segments behind,
@@ -154,7 +202,7 @@ struct Worker {
 }
 
 impl Worker {
-    fn run(mut self) {
+    fn run(&mut self) {
         while let Ok(msg) = self.work_rx.recv() {
             match msg {
                 ToWorker::Segment(seg) => self.observe(&seg),
@@ -268,7 +316,7 @@ struct Sequencer {
 }
 
 impl Sequencer {
-    fn run(mut self) {
+    fn run(&mut self) {
         // Scatter buffer: worker w's k-th report belongs to lane w + k·n.
         let mut slots: Vec<Option<LaneReport>> = Vec::with_capacity(self.lane_count);
         loop {
@@ -351,6 +399,10 @@ pub(crate) struct PipelinedRuntime {
     recycle_tx: Sender<BinReport>,
     workers: Vec<JoinHandle<()>>,
     sequencer: Option<JoinHandle<()>>,
+    /// First panic recorded by any pool thread's `catch_unwind`
+    /// (see [`record_failure`]); read through
+    /// [`PipelinedRuntime::failure`].
+    failure: Arc<Mutex<Option<RuntimeFailure>>>,
     /// Recycled segment buffers; an entry is free once every worker dropped
     /// its handle (`Arc::strong_count == 1`).
     pool: Vec<Arc<SegmentBuf>>,
@@ -382,6 +434,7 @@ impl PipelinedRuntime {
             .collect();
         let (out_tx, out_rx) = channel();
         let (recycle_tx, recycle_rx) = channel();
+        let failure: Arc<Mutex<Option<RuntimeFailure>>> = Arc::new(Mutex::new(None));
         let mut work_tx = Vec::with_capacity(threads);
         let mut flush_rx = Vec::with_capacity(threads);
         let mut seal_rx = Vec::with_capacity(threads);
@@ -394,7 +447,7 @@ impl PipelinedRuntime {
             let (stx, srx) = sync_channel(1);
             let (rtx, rrx) = sync_channel(1);
             let (ctx, crx) = sync_channel(2);
-            let worker = Worker {
+            let mut worker = Worker {
                 index: w,
                 top_t,
                 waits_for_proceed: controlled_lane.is_some_and(|lane| lane % threads == w),
@@ -406,10 +459,21 @@ impl PipelinedRuntime {
                 report_tx: rtx,
                 ctl_rx: crx,
             };
+            let failure = Arc::clone(&failure);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("flowrank-worker-{w}"))
-                    .spawn(move || worker.run())
+                    .spawn(move || {
+                        // `worker` lives outside the catch: a panic is
+                        // recorded while the worker's channels are still
+                        // open, so no peer can see the disconnect before
+                        // the failure is readable.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run()));
+                        if let Err(payload) = result {
+                            record_failure(&failure, w, payload.as_ref());
+                        }
+                    })
                     .expect("spawn flowrank worker"),
             );
             work_tx.push(wtx);
@@ -418,7 +482,7 @@ impl PipelinedRuntime {
             report_rx.push(rrx);
             ctl_tx.push(ctx);
         }
-        let sequencer = Sequencer {
+        let mut sequencer = Sequencer {
             threads,
             lane_count,
             top_t,
@@ -430,9 +494,17 @@ impl PipelinedRuntime {
             out_tx,
             recycle_rx,
         };
+        let sequencer_failure = Arc::clone(&failure);
         let sequencer = std::thread::Builder::new()
             .name("flowrank-sequencer".into())
-            .spawn(move || sequencer.run())
+            .spawn(move || {
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sequencer.run()));
+                if let Err(payload) = result {
+                    // The sequencer is reported as worker index `threads`.
+                    record_failure(&sequencer_failure, threads, payload.as_ref());
+                }
+            })
             .expect("spawn flowrank sequencer");
         PipelinedRuntime {
             threads,
@@ -447,6 +519,7 @@ impl PipelinedRuntime {
             recycle_tx,
             workers,
             sequencer: Some(sequencer),
+            failure,
             pool: Vec::new(),
             pending_seals: 0,
             dirty: false,
@@ -521,7 +594,7 @@ impl PipelinedRuntime {
             let mut shards: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| shard.lock().expect("shard mutex"))
+                .map(|shard| shard.lock().unwrap_or_else(|poison| poison.into_inner()))
                 .collect();
             for (slot, i) in range.clone().enumerate() {
                 let shard = shard_of(keys[slot].pack(), self.threads);
@@ -535,7 +608,7 @@ impl PipelinedRuntime {
         }
         for lane in &self.lanes {
             lane.lock()
-                .expect("lane mutex")
+                .unwrap_or_else(|poison| poison.into_inner())
                 .offer_batch(keys, batch, range.clone());
         }
     }
@@ -587,15 +660,37 @@ impl PipelinedRuntime {
 
     /// Blocks until every dispatched seal's report has reached the sink —
     /// the tail barrier that keeps `push_batch` synchronous: all bins a
-    /// call closed are delivered before it returns.
-    pub(crate) fn drain_into<K: ReportSink + ?Sized>(&mut self, sink: &mut K) {
+    /// call closed are delivered before it returns. When the pool died
+    /// underneath (a worker or sequencer panicked), returns the recorded
+    /// failure instead of panicking; outstanding seals are forfeited.
+    pub(crate) fn drain_into<K: ReportSink + ?Sized>(
+        &mut self,
+        sink: &mut K,
+    ) -> Result<(), RuntimeFailure> {
         while self.pending_seals > 0 {
-            let report = self
-                .out_rx
-                .recv()
-                .expect("pipelined runtime alive while seals pending");
-            self.deliver(report, sink);
+            match self.out_rx.recv() {
+                Ok(report) => self.deliver(report, sink),
+                Err(_) => {
+                    // The pool is gone; no report will ever arrive for the
+                    // outstanding seals. The disconnect can only cascade
+                    // after the panicking thread recorded its failure.
+                    self.pending_seals = 0;
+                    return Err(self.failure().unwrap_or(RuntimeFailure {
+                        worker: 0,
+                        message: "worker pool disconnected".to_string(),
+                    }));
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// The first panic recorded by any pool thread, if one has happened.
+    pub(crate) fn failure(&self) -> Option<RuntimeFailure> {
+        self.failure
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
     }
 
     fn deliver<K: ReportSink + ?Sized>(&mut self, report: BinReport, sink: &mut K) {
@@ -633,17 +728,16 @@ impl Drop for PipelinedRuntime {
         for tx in &self.work_tx {
             let _ = tx.send(ToWorker::Shutdown);
         }
+        // Every pool thread catches its own panic (recording it in the
+        // failure cell), so these joins cannot error; a poisoned monitor
+        // drops cleanly instead of escalating to a double-panic abort.
         for handle in self.workers.drain(..) {
-            if handle.join().is_err() && !std::thread::panicking() {
-                panic!("flowrank worker thread panicked");
-            }
+            let _ = handle.join();
         }
         // With every worker gone the seal senders are closed; the sequencer
         // sees the disconnect and exits.
         if let Some(handle) = self.sequencer.take() {
-            if handle.join().is_err() && !std::thread::panicking() {
-                panic!("flowrank sequencer thread panicked");
-            }
+            let _ = handle.join();
         }
     }
 }

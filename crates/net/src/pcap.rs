@@ -287,6 +287,37 @@ impl<'a> PcapBatchCursor<'a> {
         self.bytes.len() - self.offset < 4
     }
 
+    /// Byte offset of the first unconsumed record — the resume point.
+    ///
+    /// [`PcapBatchCursor::decode_some`] commits this on success and, on a
+    /// decode error, leaves it at the start of the record that failed
+    /// (packets decoded earlier in the same call stay committed), so a
+    /// caller holding a corrected copy of the capture can pick up exactly
+    /// where the bad record began via [`PcapBatchCursor::resume`] without
+    /// reprocessing any packet already delivered.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Re-opens a capture at a previously observed
+    /// [`PcapBatchCursor::offset`] — the resume-after-error constructor.
+    ///
+    /// The global header of `bytes` is validated as in
+    /// [`PcapBatchCursor::new`]; decoding then continues from `offset`,
+    /// which must be a record boundary of this capture (typically: the
+    /// offset saved from a cursor over an earlier, truncated copy of the
+    /// same capture).
+    pub fn resume(bytes: &'a [u8], offset: usize) -> NetResult<Self> {
+        let mut cursor = Self::new(bytes)?;
+        if offset < 24 || offset > bytes.len() {
+            return Err(NetError::MalformedPacket {
+                reason: "resume offset outside the capture",
+            });
+        }
+        cursor.offset = offset;
+        Ok(cursor)
+    }
+
     /// Decodes up to `max_packets` more packets, **appending** them to
     /// `batch` (clear it first to reuse one batch across steps). Returns the
     /// number of packets appended; `0` means the capture is exhausted.
@@ -324,6 +355,11 @@ fn decode_batch_loop<const SWAPPED: bool>(
     let mut offset = *resume_at;
     let mut appended = 0u64;
     while offset < bytes.len() && (appended as usize) < max_packets {
+        // On a malformed record the offset is committed at the *start* of
+        // that record before erroring: packets decoded earlier in this call
+        // stay delivered in `batch`, and a corrected copy of the capture can
+        // resume from `offset()` without reprocessing them.
+        let record_start = offset;
         // Parity with `PcapReader`: fewer trailing bytes than one timestamp
         // field read as clean EOF; a partially present record header is an
         // error.
@@ -331,6 +367,7 @@ fn decode_batch_loop<const SWAPPED: bool>(
             break;
         }
         if bytes.len() - offset < 16 {
+            *resume_at = record_start;
             return Err(NetError::MalformedPacket {
                 reason: "truncated pcap record header",
             });
@@ -341,11 +378,13 @@ fn decode_batch_loop<const SWAPPED: bool>(
         let incl_len = read_u32::<SWAPPED>(&header[8..12]) as usize;
         offset += 16;
         if incl_len > 10 * 1024 * 1024 {
+            *resume_at = record_start;
             return Err(NetError::MalformedPacket {
                 reason: "pcap record longer than 10 MiB",
             });
         }
         if bytes.len() - offset < incl_len {
+            *resume_at = record_start;
             return Err(NetError::MalformedPacket {
                 reason: "truncated pcap record payload",
             });
@@ -616,6 +655,64 @@ mod tests {
             assert_eq!(total, whole.len() as u64, "step {step}");
             assert_eq!(stepped, whole, "step {step}");
         }
+    }
+
+    #[test]
+    fn cursor_commits_progress_and_resumes_after_a_truncated_record() {
+        let records = sample_records(10);
+        let bytes = records_to_pcap_bytes(&records).unwrap();
+        let mut whole = PacketBatch::new();
+        pcap_bytes_to_batch(&bytes, &mut whole).unwrap();
+
+        // Cut mid-payload inside the 8th record (each record is a 16-byte
+        // header plus a 514-byte frame).
+        let bad_record_start = 24 + 7 * (16 + 514);
+        let cut = &bytes[..bad_record_start + 16 + 100];
+
+        let mut cursor = PcapBatchCursor::new(cut).unwrap();
+        let mut batch = PacketBatch::new();
+        let err = cursor.decode_some(&mut batch, usize::MAX).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::MalformedPacket {
+                reason: "truncated pcap record payload"
+            }
+        ));
+        // The seven good records before the cut stay committed, and the
+        // cursor points at the record that failed — not at the start of
+        // the call.
+        assert_eq!(batch.len(), 7);
+        assert_eq!(cursor.offset(), bad_record_start);
+
+        // A corrected copy of the capture resumes from the saved offset
+        // without reprocessing the packets already delivered.
+        let mut resumed = PcapBatchCursor::resume(&bytes, cursor.offset()).unwrap();
+        let appended = resumed.decode_some(&mut batch, usize::MAX).unwrap();
+        assert_eq!(appended, 3);
+        assert!(resumed.is_done());
+        assert_eq!(batch, whole);
+    }
+
+    #[test]
+    fn cursor_resume_validates_header_and_offset() {
+        let bytes = records_to_pcap_bytes(&sample_records(2)).unwrap();
+        assert!(matches!(
+            PcapBatchCursor::resume(&[0u8; 24], 24).unwrap_err(),
+            NetError::BadPcapMagic { .. }
+        ));
+        assert!(matches!(
+            PcapBatchCursor::resume(&bytes, 10).unwrap_err(),
+            NetError::MalformedPacket { .. }
+        ));
+        assert!(matches!(
+            PcapBatchCursor::resume(&bytes, bytes.len() + 1).unwrap_err(),
+            NetError::MalformedPacket { .. }
+        ));
+        // Resuming exactly at EOF is a clean empty decode.
+        let mut cursor = PcapBatchCursor::resume(&bytes, bytes.len()).unwrap();
+        assert!(cursor.is_done());
+        let mut batch = PacketBatch::new();
+        assert_eq!(cursor.decode_some(&mut batch, usize::MAX).unwrap(), 0);
     }
 
     #[test]

@@ -221,6 +221,45 @@ pub fn run_conformance(label: &str, packets: &[PacketRecord], config: &Conforman
         "{label}: threads(4) pipelined drive (inline path) diverged from the collect path"
     );
 
+    // Fault-aware legs: a fault-free `try_drive` (strict default policy)
+    // must be bit-identical to `drive` — and hence to every other path —
+    // with a clean DriveStats, serially and on the worker pool. This pins
+    // the recovery machinery's zero-fault transparency against every
+    // committed golden.
+    let mut fallible = DigestSink::new();
+    let stats = config
+        .monitor(1)
+        .try_drive(&mut BatchSource::new(&batch), &mut fallible)
+        .unwrap_or_else(|error| panic!("{label}: fault-free try_drive aborted: {error}"));
+    assert_eq!(
+        fallible.digest(),
+        reference_digest.digest(),
+        "{label}: fault-free try_drive diverged from the collect path"
+    );
+    assert_eq!(
+        stats.packets,
+        batch.len() as u64,
+        "{label}: try_drive packet accounting diverged from the trace"
+    );
+    assert_eq!(
+        stats.recoveries(),
+        0,
+        "{label}: a fault-free try_drive must record zero recoveries"
+    );
+    let mut fallible_pooled = DigestSink::new();
+    config
+        .monitor(config.threads.max(2))
+        .try_drive(
+            &mut Chunked::new(BatchSource::new(&batch), 463),
+            &mut fallible_pooled,
+        )
+        .unwrap_or_else(|error| panic!("{label}: pooled fault-free try_drive aborted: {error}"));
+    assert_eq!(
+        fallible_pooled.digest(),
+        reference_digest.digest(),
+        "{label}: pooled fault-free try_drive diverged from the collect path"
+    );
+
     // Legacy leg: every bin replayed through the batch-era engine with the
     // same sampler spec and seed (the monitor restarts each lane's sampler
     // and RNG from its seed at every bin boundary, which is exactly the

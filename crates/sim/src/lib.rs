@@ -34,6 +34,9 @@
 //!   the monitor's ranking primitives and produce bit-identical results.
 //! * [`experiment`] — multi-run, multi-bin experiments fanned out on the
 //!   monitor, parallelised across bins with std threads.
+//! * [`faults`] — deterministic fault injection ([`FaultySource`],
+//!   [`FaultySink`], seeded [`FaultPlan`] schedules) behind the chaos
+//!   conformance suite for `Monitor::try_drive`.
 //! * [`report`] — CSV-style rendering of experiment results.
 //! * [`scenarios`] — ready-made Sprint / Abilene experiment configurations
 //!   matching Figs. 12–16.
@@ -46,6 +49,7 @@ pub mod conformance;
 pub mod convergence;
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod report;
 pub mod scenarios;
 
@@ -56,6 +60,7 @@ pub use conformance::{
 pub use convergence::{run_convergence, ConvergenceConfig, ConvergencePoint, ConvergenceResult};
 pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
+pub use faults::{FaultPlan, FaultySink, FaultySource, InjectedFaults, SinkFault, SourceFault};
 pub use scenarios::{
     abilene_experiment, sprint_experiment, sprint_experiment_with_sampler,
     workload_controlled_monitor, workload_experiment, workload_monitor, workload_rate_curve,

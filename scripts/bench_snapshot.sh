@@ -27,6 +27,11 @@
 # with traffic shape (heavy-tail, flash-crowd, ddos-flood, port-scan,
 # rank-churn, mixed), not just with the one Sprint-like mix; the
 # controller group prices the closed-loop path per controller discipline.
+# The throughput group's `drive_faulty_source` leg drives the same grid
+# through the fallible `try_drive` loop under a 1% seeded fault rate
+# (malformed records + idle polls, resilient policy), so the recovery
+# path's overhead on the hot loop is tracked PR over PR next to its
+# fault-free twin `drive_end_to_end`.
 #
 # Each record carries `test_threads` (set BENCH_THREADS to label runs that
 # pinned a different libtest/bench parallelism; defaults to 1, the bench

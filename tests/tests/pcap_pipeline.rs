@@ -7,10 +7,11 @@
 
 use flowrank_monitor::{Monitor, SamplerSpec};
 use flowrank_net::pcap::{
-    pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, PcapReader, PcapWriter,
+    pcap_bytes_to_batch, pcap_bytes_to_records, records_to_pcap_bytes, PcapBatchCursor, PcapReader,
+    PcapWriter,
 };
 use flowrank_net::{
-    FiveTuple, FlowDefinition, FlowTable, PacketBatch, PacketRecord, Protocol, Timestamp,
+    FiveTuple, FlowDefinition, FlowTable, NetError, PacketBatch, PacketRecord, Protocol, Timestamp,
 };
 use flowrank_trace::export::export_flows_to_pcap;
 use flowrank_trace::{SprintModel, SynthesisConfig};
@@ -169,6 +170,46 @@ fn truncated_record_headers_error_in_both_decoders() {
         let cut_bytes = &bytes[..24 + record_len + cut];
         assert_eq!(decode_both_ways(cut_bytes).len(), 1, "{cut} bytes is EOF");
     }
+}
+
+#[test]
+fn cursor_resumes_a_corrected_capture_without_reprocessing_packets() {
+    // A capture truncated mid-record — the shape left behind by a crashed
+    // writer. Chunked decoding surfaces the `NetError` when it reaches the
+    // bad record, keeps every packet decoded before it, and a cursor over
+    // the corrected (full) capture resumes from the saved offset: the
+    // combined stream is byte-for-byte the clean one-shot decode, with no
+    // packet seen twice.
+    let records: Vec<_> = (0..40).map(tcp_record).collect();
+    let bytes = capture_of(&records);
+    let record_len = 16 + 14 + 500;
+    let bad_start = 24 + 25 * record_len;
+    let cut = &bytes[..bad_start + 16 + 37];
+
+    let mut whole = PacketBatch::new();
+    pcap_bytes_to_batch(&bytes, &mut whole).unwrap();
+
+    let mut cursor = PcapBatchCursor::new(cut).unwrap();
+    let mut batch = PacketBatch::new();
+    let err = loop {
+        match cursor.decode_some(&mut batch, 7) {
+            Ok(0) => panic!("the truncated record must surface an error"),
+            Ok(_) => {}
+            Err(err) => break err,
+        }
+    };
+    assert!(matches!(err, NetError::MalformedPacket { .. }));
+    assert_eq!(batch.len(), 25, "records before the cut stay committed");
+    assert_eq!(
+        cursor.offset(),
+        bad_start,
+        "cursor parked on the bad record"
+    );
+
+    let mut resumed = PcapBatchCursor::resume(&bytes, cursor.offset()).unwrap();
+    while resumed.decode_some(&mut batch, 7).unwrap() > 0 {}
+    assert!(resumed.is_done());
+    assert_eq!(batch, whole, "resumed stream equals the clean decode");
 }
 
 #[test]
