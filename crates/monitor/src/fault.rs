@@ -214,10 +214,26 @@ pub struct DrivePolicy {
     /// timestamps) the drive absorbs before aborting with
     /// [`DriveError::ErrorBudgetExhausted`]. Checked after each chunk.
     pub error_budget: u64,
-    /// How many *consecutive* idle polls (a fallible source returning an
-    /// empty chunk: "no data right now, not end of stream") the drive
-    /// tolerates before aborting with [`DriveError::SourceStalled`].
+    /// Minimum *consecutive* idle polls (a source answering
+    /// [`SourcePoll::Pending`](crate::SourcePoll::Pending): "no data right
+    /// now, not end of stream") before a stall can abort with
+    /// [`DriveError::SourceStalled`]. The detector trips only when **both**
+    /// this floor and [`DrivePolicy::stall_timeout`] are exceeded — the
+    /// poll floor keeps one long scheduler hiccup from counting as a stall,
+    /// the wall-clock threshold keeps a fast poll loop from burning through
+    /// the floor in microseconds (the PR 8 detector counted only polls, so
+    /// every live source tripped it almost instantly).
     pub stall_polls: u64,
+    /// How long an idle streak must last, in wall-clock time, before the
+    /// stall detector aborts (together with the [`DrivePolicy::stall_polls`]
+    /// floor). [`Duration::ZERO`] restores the PR 8 poll-count-only
+    /// behaviour — useful for deterministic tests.
+    pub stall_timeout: Duration,
+    /// How long the drive loop sleeps after each idle poll before asking
+    /// the source again. [`Duration::ZERO`] busy-spins (the PR 8
+    /// behaviour); the default paces idle polling at 1 ms so a quiet live
+    /// source costs no CPU.
+    pub idle_wait: Duration,
     /// What happens to packets whose timestamps regress.
     pub timestamps: TimestampPolicy,
 }
@@ -230,9 +246,10 @@ impl Default for DrivePolicy {
 
 impl DrivePolicy {
     /// The strict policy (the default): no skipping, no retrying, the first
-    /// fault aborts; stalls abort after [`DrivePolicy::DEFAULT_STALL_POLLS`]
-    /// consecutive idle polls; timestamps keep the historical
-    /// [`TimestampPolicy::DebugAssert`] behaviour.
+    /// fault aborts; stalls abort once an idle streak spans both
+    /// [`DrivePolicy::DEFAULT_STALL_POLLS`] consecutive polls and
+    /// [`DrivePolicy::DEFAULT_STALL_TIMEOUT`] of wall time; timestamps keep
+    /// the historical [`TimestampPolicy::DebugAssert`] behaviour.
     pub fn strict() -> Self {
         DrivePolicy {
             skip_malformed: false,
@@ -241,6 +258,8 @@ impl DrivePolicy {
             sink_backoff_cap: Duration::from_millis(100),
             error_budget: u64::MAX,
             stall_polls: Self::DEFAULT_STALL_POLLS,
+            stall_timeout: Self::DEFAULT_STALL_TIMEOUT,
+            idle_wait: Self::DEFAULT_IDLE_WAIT,
             timestamps: TimestampPolicy::DebugAssert,
         }
     }
@@ -259,8 +278,20 @@ impl DrivePolicy {
         }
     }
 
-    /// Default consecutive-idle-poll limit before a stall aborts.
-    pub const DEFAULT_STALL_POLLS: u64 = 65_536;
+    /// Default minimum consecutive idle polls before a stall can abort.
+    /// Small by design: since the detector gained its wall-clock threshold
+    /// ([`DrivePolicy::DEFAULT_STALL_TIMEOUT`]) the poll floor only has to
+    /// prove the loop really is polling, not bound the stall duration — PR
+    /// 8's poll-count-only detector needed 65 536 here and still tripped in
+    /// microseconds on a busy-spinning live source.
+    pub const DEFAULT_STALL_POLLS: u64 = 8;
+
+    /// Default wall-clock length an idle streak must last before a stall
+    /// aborts.
+    pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Default sleep between idle polls.
+    pub const DEFAULT_IDLE_WAIT: Duration = Duration::from_millis(1);
 
     /// Sets [`DrivePolicy::skip_malformed`].
     pub fn skip_malformed(mut self, skip: bool) -> Self {
@@ -295,6 +326,19 @@ impl DrivePolicy {
     /// Sets [`DrivePolicy::stall_polls`] (minimum 1).
     pub fn stall_polls(mut self, polls: u64) -> Self {
         self.stall_polls = polls.max(1);
+        self
+    }
+
+    /// Sets [`DrivePolicy::stall_timeout`]. [`Duration::ZERO`] makes the
+    /// stall detector purely poll-counted (the PR 8 semantics).
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets [`DrivePolicy::idle_wait`]. [`Duration::ZERO`] busy-spins.
+    pub fn idle_wait(mut self, wait: Duration) -> Self {
+        self.idle_wait = wait;
         self
     }
 
@@ -369,11 +413,15 @@ pub enum DriveError {
         /// [`DriveStats::recoveries`] exceeds `budget`.
         stats: DriveStats,
     },
-    /// The source reported "no data" for [`DrivePolicy::stall_polls`]
-    /// consecutive polls — source starvation surfaced instead of hanging.
+    /// The source reported "no data" for at least
+    /// [`DrivePolicy::stall_polls`] consecutive polls spanning at least
+    /// [`DrivePolicy::stall_timeout`] of wall time — source starvation
+    /// surfaced instead of hanging.
     SourceStalled {
         /// Consecutive idle polls observed when the detector tripped.
         idle_polls: u64,
+        /// Wall-clock length of the idle streak when the detector tripped.
+        stalled_for: Duration,
         /// Work done and recoveries absorbed before the abort.
         stats: DriveStats,
     },
@@ -438,9 +486,14 @@ impl std::fmt::Display for DriveError {
                 "drive aborted: error budget exhausted ({} recoveries > budget {budget})",
                 stats.recoveries()
             ),
-            DriveError::SourceStalled { idle_polls, .. } => write!(
+            DriveError::SourceStalled {
+                idle_polls,
+                stalled_for,
+                ..
+            } => write!(
                 f,
-                "drive aborted: source stalled ({idle_polls} consecutive idle polls)"
+                "drive aborted: source stalled ({idle_polls} consecutive idle polls over {:.3}s)",
+                stalled_for.as_secs_f64()
             ),
             DriveError::TimestampRegression {
                 prev_nanos,

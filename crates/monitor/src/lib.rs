@@ -123,9 +123,20 @@
 //!   exhausted retries) abort with [`DriveError::Sink`].
 //! * **Bounded** — total absorbed recoveries (skips + retries + clamped
 //!   timestamps) abort with [`DriveError::ErrorBudgetExhausted`] once they
-//!   exceed [`DrivePolicy::error_budget`]; a source reporting "no data"
-//!   for [`DrivePolicy::stall_polls`] consecutive polls aborts with
-//!   [`DriveError::SourceStalled`] instead of hanging. Out-of-order
+//!   exceed [`DrivePolicy::error_budget`]; a genuinely silent source
+//!   aborts with [`DriveError::SourceStalled`] instead of hanging. The
+//!   stall detector is **wall-clock based**: it trips only once the
+//!   source has been idle for [`DrivePolicy::stall_polls`] consecutive
+//!   polls *and* [`DrivePolicy::stall_timeout`] of real time, sleeping
+//!   [`DrivePolicy::idle_wait`] between idle polls so paced and tailing
+//!   sources idle politely instead of busy-spinning. (Behaviour change
+//!   from the original detector, which tripped on poll count alone and
+//!   misfired on live sources; `stall_timeout(Duration::ZERO)` restores
+//!   the poll-count-only semantics.) A skipped malformed record resets
+//!   the idle streak — skipping is progress past real input, so a source
+//!   alternating garbage with silence is degraded, not stalled. The
+//!   error carries how long the source was silent (its `stalled_for`
+//!   field). Out-of-order
 //!   timestamps follow [`TimestampPolicy`]: the historical
 //!   debug-assert/silent-fold default, fail-fast
 //!   [`TimestampPolicy::Reject`], or counted
@@ -144,6 +155,12 @@
 //! Fault-free `try_drive` runs are bit-identical to `drive` (pinned against
 //! all conformance goldens); the deterministic fault-injection harness
 //! lives in `flowrank_sim::faults`.
+//!
+//! For long-lived serving drives, sources can distinguish "no data right
+//! now" from end-of-stream via [`PacketSource::poll_chunk`] /
+//! [`SourcePoll::Pending`]; the live source adapters (pcap tailing, ndjson
+//! feeds, channels, paced replay, stop gates) live in [`pipeline`], and the
+//! bounded [`rolling`] window summarises reports for snapshot serving.
 //!
 //! # Closed-loop rate control
 //!
@@ -194,16 +211,19 @@ pub mod fault;
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
+pub mod rolling;
 mod runtime;
 pub mod spec;
 
 pub use fault::{DriveError, DrivePolicy, DriveStats, SinkError, SourceError, TimestampPolicy};
 pub use monitor::{Monitor, MonitorBuilder, DEFAULT_PARALLEL_SEGMENT_MIN};
 pub use pipeline::{
-    BatchSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary, NdjsonSink, PacketSource,
-    PcapBytesSource, PcapReaderSource, RateCurve, RatePoint, RecordSource, ReportSink, Tee,
+    BatchSource, ChannelSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary,
+    NdjsonRecordSource, NdjsonSink, PacketSource, PcapBytesSource, PcapReaderSource,
+    PcapTailSource, RateCurve, RatePoint, RecordSource, ReportSink, SourcePoll, StopGate, Tee,
 };
 pub use report::{BinReport, ControllerTrail, LaneReport, TopKReport};
+pub use rolling::{BinSummary, RateSummary, RollingWindow};
 pub use spec::{SamplerSpec, TopKSpec};
 
 // Re-exported so monitor users can name the metric types without a direct

@@ -10,6 +10,7 @@
 //! `runs × rates` redundant reclassifications the batch API used to pay.
 
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 use flowrank_control::{BinObservation, ControllerSpec, RateController};
 use flowrank_core::metrics::{GroundTruthRanking, SizedFlow};
@@ -19,7 +20,7 @@ use flowrank_stats::rng::{derive_seeds, Pcg64, SeedableRng};
 use flowrank_topk::TopKTracker;
 
 use crate::fault::{DriveError, DrivePolicy, DriveStats, SinkError, TimestampPolicy};
-use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink};
+use crate::pipeline::{Collect, DriveSummary, PacketSource, ReportSink, SourcePoll};
 use crate::report::{BinReport, ControllerTrail, LaneReport, TopKReport};
 use crate::runtime::{PipelinedRuntime, RuntimeFailure};
 use crate::spec::{SamplerSpec, TopKSpec};
@@ -1181,14 +1182,18 @@ impl Monitor {
     ///
     /// * recoverable malformed records are skipped and counted when
     ///   [`DrivePolicy::skip_malformed`] is set, otherwise they abort —
-    ///   fatal source errors always abort ([`DriveError::Source`]);
+    ///   fatal source errors always abort ([`DriveError::Source`]); a skip
+    ///   is *progress*, so it also resets the stall detector's idle streak;
     /// * transient sink failures are retried up to
     ///   [`DrivePolicy::sink_retries`] times with exponential backoff;
     ///   permanent failures and exhausted retries abort
     ///   ([`DriveError::Sink`]);
     /// * total absorbed recoveries over [`DrivePolicy::error_budget`] abort
-    ///   ([`DriveError::ErrorBudgetExhausted`]); a source answering "no
-    ///   data" for [`DrivePolicy::stall_polls`] consecutive polls aborts
+    ///   ([`DriveError::ErrorBudgetExhausted`]);
+    /// * a source answering [`SourcePoll::Pending`] makes the loop sleep
+    ///   [`DrivePolicy::idle_wait`] and poll again; an uninterrupted idle
+    ///   streak of at least [`DrivePolicy::stall_polls`] polls spanning at
+    ///   least [`DrivePolicy::stall_timeout`] of wall time aborts
     ///   ([`DriveError::SourceStalled`]);
     /// * timestamp regressions follow [`DrivePolicy::timestamps`], and a
     ///   worker-pool panic aborts with [`DriveError::WorkerPanicked`].
@@ -1213,13 +1218,18 @@ impl Monitor {
             Drive(DriveError),
             Source(crate::fault::SourceError),
             Sink(SinkError),
-            Stalled(u64),
+            Stalled(u64, Duration),
             Budget,
         }
         let policy = self.drive_policy;
         let clamped_base = self.clamped_timestamps;
         let mut stats = DriveStats::default();
         let mut idle_streak = 0u64;
+        // Wall-clock start of the current idle streak; `None` while the
+        // source is making progress. The stall detector measures real time
+        // from here, not loop iterations — a fast poll loop must not turn
+        // `stall_polls` polls of a merely quiet source into an abort.
+        let mut idle_since: Option<Instant> = None;
         let mut policy_sink = PolicySink {
             inner: sink,
             policy,
@@ -1228,18 +1238,26 @@ impl Monitor {
             failed: None,
         };
         let outcome = loop {
-            match source.try_next_chunk() {
-                Ok(Some(chunk)) if chunk.is_empty() => {
+            match source.poll_chunk() {
+                Ok(SourcePoll::Pending) => {
                     // Idle poll: "no data right now, not end-of-stream".
                     stats.idle_polls += 1;
                     idle_streak += 1;
+                    let since = *idle_since.get_or_insert_with(Instant::now);
                     if idle_streak >= policy.stall_polls {
-                        break Outcome::Stalled(idle_streak);
+                        let stalled_for = since.elapsed();
+                        if stalled_for >= policy.stall_timeout {
+                            break Outcome::Stalled(idle_streak, stalled_for);
+                        }
+                    }
+                    if !policy.idle_wait.is_zero() {
+                        std::thread::sleep(policy.idle_wait);
                     }
                     continue;
                 }
-                Ok(Some(chunk)) => {
+                Ok(SourcePoll::Chunk(chunk)) => {
                     idle_streak = 0;
+                    idle_since = None;
                     stats.chunks += 1;
                     stats.packets += chunk.len() as u64;
                     if let Err(error) = self.try_push_batch_into(chunk, &mut policy_sink) {
@@ -1249,7 +1267,7 @@ impl Monitor {
                         break Outcome::Sink(error);
                     }
                 }
-                Ok(None) => match self.try_finish_into(&mut policy_sink) {
+                Ok(SourcePoll::End) => match self.try_finish_into(&mut policy_sink) {
                     Ok(_) => {
                         break match policy_sink.failed.take() {
                             Some(error) => Outcome::Sink(error),
@@ -1260,6 +1278,11 @@ impl Monitor {
                 },
                 Err(error) if error.is_recoverable() && policy.skip_malformed => {
                     stats.malformed_skipped += 1;
+                    // A skipped record is progress past real input — a
+                    // source alternating idle polls with skippable records
+                    // is degraded, not stalled.
+                    idle_streak = 0;
+                    idle_since = None;
                 }
                 Err(error) => break Outcome::Source(error),
             }
@@ -1284,7 +1307,11 @@ impl Monitor {
             }
             Outcome::Source(error) => Err(DriveError::Source { error, stats }),
             Outcome::Sink(error) => Err(DriveError::Sink { error, stats }),
-            Outcome::Stalled(idle_polls) => Err(DriveError::SourceStalled { idle_polls, stats }),
+            Outcome::Stalled(idle_polls, stalled_for) => Err(DriveError::SourceStalled {
+                idle_polls,
+                stalled_for,
+                stats,
+            }),
             Outcome::Budget => Err(DriveError::ErrorBudgetExhausted {
                 budget: policy.error_budget,
                 stats,
@@ -1378,7 +1405,7 @@ impl<K: ReportSink + ?Sized> ReportSink for PolicySink<'_, K> {
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
-                    backoff = (backoff * 2).min(self.policy.sink_backoff_cap);
+                    backoff = escalate_backoff(backoff, self.policy.sink_backoff_cap);
                 }
                 Err(error) => {
                     self.failed = Some(error);
@@ -1387,6 +1414,14 @@ impl<K: ReportSink + ?Sized> ReportSink for PolicySink<'_, K> {
             }
         }
     }
+}
+
+/// One step of [`PolicySink`]'s exponential backoff: double, saturating at
+/// [`Duration::MAX`] instead of panicking (a caller-sized `sink_backoff`
+/// near the top of the `Duration` range used to overflow `backoff * 2`),
+/// then clamp to the policy's cap.
+fn escalate_backoff(backoff: Duration, cap: Duration) -> Duration {
+    backoff.saturating_mul(2).min(cap)
 }
 
 #[cfg(test)]
@@ -1416,6 +1451,25 @@ mod tests {
         }
         packets.sort_by_key(|p| p.timestamp);
         packets
+    }
+
+    #[test]
+    fn backoff_escalation_saturates_instead_of_overflowing() {
+        // Regression: `backoff * 2` panicked (`overflow when multiplying
+        // duration by scalar`) once the backoff crossed half of
+        // `Duration::MAX`, so a retry sequence under a huge configured
+        // backoff aborted the process instead of retrying.
+        let huge = Duration::MAX - Duration::from_nanos(1);
+        assert_eq!(escalate_backoff(huge, Duration::MAX), Duration::MAX);
+        // Ordinary escalation still doubles, and the cap clamps.
+        assert_eq!(
+            escalate_backoff(Duration::from_millis(10), Duration::from_secs(1)),
+            Duration::from_millis(20)
+        );
+        assert_eq!(
+            escalate_backoff(Duration::from_millis(800), Duration::from_secs(1)),
+            Duration::from_secs(1)
+        );
     }
 
     #[test]

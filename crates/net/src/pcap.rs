@@ -306,12 +306,74 @@ impl<'a> PcapBatchCursor<'a> {
     /// [`PcapBatchCursor::new`]; decoding then continues from `offset`,
     /// which must be a record boundary of this capture (typically: the
     /// offset saved from a cursor over an earlier, truncated copy of the
-    /// same capture).
+    /// same capture). The boundary is **verified** by walking the record
+    /// headers from the start of the capture: an offset outside the buffer
+    /// or inside a record errors with a clear [`NetError::InvalidField`]
+    /// instead of silently decoding garbage from mid-record bytes. The walk
+    /// reads only the 16-byte record headers (no frame decoding), so it is
+    /// cheap relative to the decode it precedes; callers resuming on a hot
+    /// path with offsets they already trust (their own cursor's committed
+    /// [`PcapBatchCursor::offset`] over a prefix of the same capture) can
+    /// use [`PcapBatchCursor::resume_trusted`] to skip it.
     pub fn resume(bytes: &'a [u8], offset: usize) -> NetResult<Self> {
+        let cursor = Self::resume_trusted(bytes, offset)?;
+        // Walk record boundaries from the first record to prove `offset`
+        // lands on one. `incl_len` is read with the capture's byte order but
+        // otherwise unvalidated here — a record claiming to run past the
+        // buffer simply makes the walk overshoot `offset`, which is the same
+        // "not a boundary" answer.
+        let mut pos = 24usize;
+        while pos < offset {
+            if offset - pos < 16 || bytes.len() - pos < 16 {
+                return Err(NetError::InvalidField {
+                    field: "resume offset",
+                    reason: "offset inside a pcap record header",
+                });
+            }
+            let raw = [
+                bytes[pos + 8],
+                bytes[pos + 9],
+                bytes[pos + 10],
+                bytes[pos + 11],
+            ];
+            let incl_len = if cursor.swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            } as usize;
+            let next = match pos.checked_add(16 + incl_len) {
+                Some(next) => next,
+                None => {
+                    return Err(NetError::InvalidField {
+                        field: "resume offset",
+                        reason: "offset inside a pcap record payload",
+                    })
+                }
+            };
+            if next > offset {
+                return Err(NetError::InvalidField {
+                    field: "resume offset",
+                    reason: "offset inside a pcap record payload",
+                });
+            }
+            pos = next;
+        }
+        Ok(cursor)
+    }
+
+    /// [`PcapBatchCursor::resume`] without the record-boundary walk: the
+    /// global header and the offset's bounds are still validated, but the
+    /// caller asserts that `offset` is a record boundary (an offset
+    /// previously returned by [`PcapBatchCursor::offset`] over a prefix of
+    /// this same capture). The file-tailing source resumes once per poll, so
+    /// it uses this O(1) form; resuming at a non-boundary offset decodes
+    /// garbage exactly like the pre-validation `resume` did.
+    pub fn resume_trusted(bytes: &'a [u8], offset: usize) -> NetResult<Self> {
         let mut cursor = Self::new(bytes)?;
         if offset < 24 || offset > bytes.len() {
-            return Err(NetError::MalformedPacket {
-                reason: "resume offset outside the capture",
+            return Err(NetError::InvalidField {
+                field: "resume offset",
+                reason: "offset outside the capture",
             });
         }
         cursor.offset = offset;
@@ -702,12 +764,37 @@ mod tests {
         ));
         assert!(matches!(
             PcapBatchCursor::resume(&bytes, 10).unwrap_err(),
-            NetError::MalformedPacket { .. }
+            NetError::InvalidField {
+                reason: "offset outside the capture",
+                ..
+            }
         ));
         assert!(matches!(
             PcapBatchCursor::resume(&bytes, bytes.len() + 1).unwrap_err(),
-            NetError::MalformedPacket { .. }
+            NetError::InvalidField {
+                reason: "offset outside the capture",
+                ..
+            }
         ));
+        // Mid-record offsets are rejected by the boundary walk: inside the
+        // first record's header, and inside its payload.
+        assert!(matches!(
+            PcapBatchCursor::resume(&bytes, 24 + 7).unwrap_err(),
+            NetError::InvalidField {
+                reason: "offset inside a pcap record header",
+                ..
+            }
+        ));
+        assert!(matches!(
+            PcapBatchCursor::resume(&bytes, 24 + 16 + 3).unwrap_err(),
+            NetError::InvalidField {
+                reason: "offset inside a pcap record payload",
+                ..
+            }
+        ));
+        // The trusted fast path keeps the bounds checks but skips the walk.
+        assert!(PcapBatchCursor::resume_trusted(&bytes, 24 + 7).is_ok());
+        assert!(PcapBatchCursor::resume_trusted(&bytes, bytes.len() + 1).is_err());
         // Resuming exactly at EOF is a clean empty decode.
         let mut cursor = PcapBatchCursor::resume(&bytes, bytes.len()).unwrap();
         assert!(cursor.is_done());

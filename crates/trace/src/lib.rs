@@ -45,6 +45,7 @@ pub mod arrivals;
 pub mod export;
 pub mod flow_record;
 pub mod generator;
+pub mod replay;
 pub mod sprint;
 pub mod stream;
 pub mod summary;
@@ -54,6 +55,7 @@ pub mod workloads;
 pub use abilene::AbileneModel;
 pub use flow_record::FlowRecord;
 pub use generator::{FlowPopulationConfig, SizeModel};
+pub use replay::{PacedReplay, ReplayTick};
 pub use sprint::SprintModel;
 pub use stream::SynthesisStream;
 pub use synthesis::{synthesize_packet_batch, synthesize_packets, SynthesisConfig};

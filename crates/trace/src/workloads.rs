@@ -427,11 +427,23 @@ impl Workload {
     /// produced window by window with peak memory independent of trace
     /// length. See [`crate::SynthesisStream`] for the ordering contract.
     pub fn stream(&self, seed: u64) -> crate::SynthesisStream {
+        self.stream_with_window(seed, crate::stream::DEFAULT_WINDOW)
+    }
+
+    /// [`Workload::stream`] with an explicit window length (the same flows
+    /// and placement draws — window length only sets chunk granularity).
+    /// Sub-second windows make a paced replay ([`crate::PacedReplay`])
+    /// smooth instead of bursty.
+    pub fn stream_with_window(
+        &self,
+        seed: u64,
+        window: flowrank_net::Timestamp,
+    ) -> crate::SynthesisStream {
         crate::SynthesisStream::from_flows(
             self.generate_flows(seed),
             &SynthesisConfig::default(),
             seed ^ SYNTHESIS_SALT,
-            crate::stream::DEFAULT_WINDOW,
+            window,
         )
     }
 }

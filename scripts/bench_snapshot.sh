@@ -31,7 +31,9 @@
 # through the fallible `try_drive` loop under a 1% seeded fault rate
 # (malformed records + idle polls, resilient policy), so the recovery
 # path's overhead on the hot loop is tracked PR over PR next to its
-# fault-free twin `drive_end_to_end`.
+# fault-free twin `drive_end_to_end`. The serve group's `serve_replay_mixed`
+# leg runs the release `flowrank-serve` daemon end to end (unpaced replay →
+# monitor → rolling snapshot) and records its whole-daemon throughput.
 #
 # Each record carries `test_threads` (set BENCH_THREADS to label runs that
 # pinned a different libtest/bench parallelism; defaults to 1, the bench
@@ -58,6 +60,38 @@ BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench controller_convergence
 for t in ${BENCH_THREAD_SWEEP:-1 2 4}; do
     BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scaling -- --threads "$t"
 done
+
+# Serving leg: the flowrank-serve daemon end to end — unpaced scenario
+# replay through the monitor into the rolling-snapshot sink, the whole
+# daemon path minus wall-clock pacing. The binary's final line is
+# machine-readable; reshape it into a bench result so serving throughput
+# rides the same trajectory (group "serve", melem_per_s = Mpkt/s).
+cargo build --release -p flowrank-serve
+serve_conf=$(mktemp)
+cat > "$serve_conf" <<'EOF'
+source = replay
+scenario = mixed
+seed = 2026
+speed = 0
+window_ms = 500
+rates = 0.1
+runs = 2
+bin_secs = 60
+top_t = 10
+topk = space-saving:64
+retain_bins = 8
+EOF
+serve_final=$(./target/release/flowrank-serve --config "$serve_conf" 2>/dev/null | tail -n 1)
+rm -f "$serve_conf"
+serve_elapsed=$(printf '%s' "$serve_final" | sed -n 's/.*"elapsed_s":\([0-9.]*\).*/\1/p')
+serve_pps=$(printf '%s' "$serve_final" | sed -n 's/.*"throughput_pps":\([0-9.]*\).*/\1/p')
+if [ -z "$serve_elapsed" ] || [ -z "$serve_pps" ]; then
+    echo "error: flowrank-serve produced no parseable final line: $serve_final" >&2
+    exit 1
+fi
+awk -v e="$serve_elapsed" -v p="$serve_pps" 'BEGIN {
+    printf "{\"group\":\"serve\",\"name\":\"serve_replay_mixed\",\"mean_ns\":%.1f,\"std_ns\":0.0,\"samples\":1,\"melem_per_s\":%.4f}\n", e * 1e9, p / 1e6
+}' >> "$tmp"
 
 if [ ! -s "$tmp" ]; then
     echo "error: bench run produced no BENCH_JSON lines" >&2

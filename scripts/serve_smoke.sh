@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Smoke-tests the flowrank-serve daemon end to end, the three things unit
+# tests cannot pin from inside the process:
+#
+#   1. a finite serving run (unpaced replay, bin-limited) exits 0 and
+#      prints the machine-readable final line;
+#   2. the snapshot endpoint answers HTTP polls while the daemon runs, and
+#      SIGINT produces a clean exit with the final line still printed
+#      (graceful shutdown through the StopGate path);
+#   3. the ndjson stdin source ingests records and skips malformed lines.
+#
+# Usage: scripts/serve_smoke.sh   (CI runs it after the test suite)
+#
+# Needs only bash (/dev/tcp for the poll) and the repo toolchain.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The snapshot endpoint answers one request per connection and closes; a
+# close racing our request write must surface as a retryable write error,
+# not kill the whole script via bash's fatal default SIGPIPE.
+trap '' PIPE
+
+cargo build --release -p flowrank-serve
+serve=./target/release/flowrank-serve
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; kill %% 2>/dev/null || true' EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# --- Leg 1: finite unpaced replay ------------------------------------------
+cat > "$workdir/finite.conf" <<'EOF'
+source = replay
+scenario = mixed
+seed = 2026
+speed = 0
+window_ms = 500
+rates = 0.1
+runs = 2
+bin_secs = 60
+top_t = 10
+topk = space-saving:64
+retain_bins = 4
+max_bins = 3
+EOF
+final=$("$serve" --config "$workdir/finite.conf" 2>"$workdir/finite.err")
+case "$final" in
+    '{"serve":"final"'*'"packets":'*) ;;
+    *) fail "finite run: unexpected final line: $final" ;;
+esac
+packets=$(printf '%s' "$final" | sed -n 's/.*"packets":\([0-9]*\).*/\1/p')
+[ "${packets:-0}" -gt 0 ] || fail "finite run processed no packets: $final"
+echo "serve_smoke: finite replay ok ($packets packets)"
+
+# --- Leg 2: snapshot polls + SIGINT ----------------------------------------
+# speed 10 stretches the ~180 trace-second replay to ~18 s of wall time, so
+# the poll and the SIGINT both land while the drive is still running; 5 s
+# bins close every 0.5 s of wall time, so the snapshot has state by poll
+# time.
+cat > "$workdir/daemon.conf" <<'EOF'
+source = replay
+scenario = mixed
+seed = 2026
+speed = 10
+window_ms = 500
+rates = 0.1
+runs = 1
+bin_secs = 5
+top_t = 10
+retain_bins = 4
+snapshot_listen = 127.0.0.1:0
+EOF
+"$serve" --config "$workdir/daemon.conf" > "$workdir/daemon.out" 2> "$workdir/daemon.err" &
+daemon=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's#.*snapshot endpoint on http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' "$workdir/daemon.err")
+    [ -n "$port" ] && break
+    kill -0 "$daemon" 2>/dev/null || fail "daemon died early: $(cat "$workdir/daemon.err")"
+    sleep 0.1
+done
+[ -n "$port" ] || fail "daemon never announced the snapshot endpoint"
+
+# Let a few bins close, then poll (with retries: a one-shot connection can
+# race the server-side close).
+sleep 2
+poll=""
+for _ in 1 2 3 4 5; do
+    # The subshell contains a failed connect (a redirection error on exec
+    # is fatal to the shell it happens in) and any write/read race.
+    poll=$( { exec 3<>"/dev/tcp/127.0.0.1/$port" \
+        && printf 'GET / HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3 \
+        && timeout 5 cat <&3; } 2>/dev/null ) || true
+    [ -n "$poll" ] && break
+    kill -0 "$daemon" 2>/dev/null || fail "daemon died before the poll: $(cat "$workdir/daemon.out")"
+    sleep 0.3
+done
+case "$poll" in
+    *'"age_s":'*'"bins_seen"'*) ;;
+    *) fail "snapshot poll missing age_s watchdog / published state: $poll" ;;
+esac
+kill -0 "$daemon" 2>/dev/null || fail "daemon ended before SIGINT could be exercised"
+echo "serve_smoke: snapshot poll ok (port $port)"
+
+kill -INT "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+[ "$rc" -eq 0 ] || fail "SIGINT exit code $rc (want 0): $(cat "$workdir/daemon.err")"
+grep -q '"serve":"final"' "$workdir/daemon.out" \
+    || fail "no final line after SIGINT: $(cat "$workdir/daemon.out")"
+echo "serve_smoke: SIGINT shutdown ok"
+
+# --- Leg 3: ndjson stdin source --------------------------------------------
+cat > "$workdir/ndjson.conf" <<'EOF'
+source = ndjson
+rates = 0.5
+runs = 1
+bin_secs = 10
+top_t = 5
+topk = exact
+retain_bins = 4
+EOF
+{
+    for i in $(seq 0 99); do
+        printf '{"ts": %s.%02d, "src": "10.0.0.%d", "sport": 1234, "dst": "100.64.0.9", "dport": 443, "proto": "udp", "len": 900}\n' \
+            $((i / 10)) $((i % 10 * 10)) $((i % 8 + 1))
+    done
+    echo 'not json'
+} > "$workdir/feed.ndjson"
+final=$("$serve" --config "$workdir/ndjson.conf" < "$workdir/feed.ndjson" 2>/dev/null)
+case "$final" in
+    *'"packets":100'*'"malformed_skipped":1'*) ;;
+    *) fail "ndjson run: unexpected final line: $final" ;;
+esac
+echo "serve_smoke: ndjson ingest ok"
+
+echo "serve_smoke: all legs passed"

@@ -28,11 +28,17 @@ fn trace() -> PacketBatch {
     PacketBatch::from_records(&Workload::rank_churn().synthesize(0x000C_7A05))
 }
 
-/// Zero-backoff resilient policy, so retry tests spend no wall clock.
+/// Zero-backoff, zero-wait resilient policy, so retry tests spend no wall
+/// clock. `stall_timeout(ZERO)` keeps the stall detector in its poll-count
+/// form: these schedules inject exact idle-poll counts, and the wall-time
+/// gate (on by default since the detector started measuring real time)
+/// would otherwise never trip inside a fast test.
 fn resilient() -> DrivePolicy {
     DrivePolicy::resilient()
         .sink_backoff(Duration::ZERO)
         .sink_backoff_cap(Duration::ZERO)
+        .stall_timeout(Duration::ZERO)
+        .idle_wait(Duration::ZERO)
 }
 
 fn monitor(threads: usize, policy: DrivePolicy) -> Monitor {
@@ -215,9 +221,100 @@ fn stall_detector_trips_on_consecutive_idle_polls() {
         .try_drive(&mut source, &mut Collect::new())
         .expect_err("5 consecutive idle polls trip a 5-poll threshold");
     match &error {
-        DriveError::SourceStalled { idle_polls, stats } => {
+        DriveError::SourceStalled {
+            idle_polls,
+            stalled_for,
+            stats,
+        } => {
             assert_eq!(*idle_polls, 5);
             assert_eq!(stats.idle_polls, 5);
+            assert_eq!(stats.chunks, 2);
+            assert!(*stalled_for >= Duration::ZERO);
+        }
+        other => panic!("expected DriveError::SourceStalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn skipped_malformed_records_reset_the_idle_streak() {
+    // Regression pin: a source alternating "no data yet" with malformed
+    // records is *making progress* — each skip must reset the idle streak.
+    // Before the fix, only delivered chunks reset it, so this schedule
+    // (never more than 2 consecutive idle polls) aborted with
+    // SourceStalled under stall_polls(3).
+    let batch = trace();
+    let mut plan = FaultPlan::none();
+    for call in 1..20 {
+        plan = plan.at(
+            call,
+            if call % 3 == 0 {
+                SourceFault::MalformedRecord
+            } else {
+                SourceFault::Stall
+            },
+        );
+    }
+    let mut source = FaultySource::new(Chunked::new(BatchSource::new(&batch), CHUNK), plan);
+    let mut sink = DigestSink::new();
+    let stats = monitor(1, resilient().stall_polls(3).error_budget(100))
+        .try_drive(&mut source, &mut sink)
+        .expect("interleaved skips keep the source counted as live");
+    assert!(stats.malformed_skipped > 0);
+    assert!(stats.idle_polls > 0);
+    assert_eq!(sink.digest(), reference_digest(1));
+}
+
+#[test]
+fn poll_count_alone_does_not_trip_the_wall_clock_stall_detector() {
+    // The PR 8 detector counted loop iterations, so a fast poll loop over a
+    // merely quiet source aborted in microseconds. With a wall-clock
+    // threshold the same burst of idle polls is absorbed: 8 consecutive
+    // idle polls blow far past stall_polls(1), but nowhere near 30 s.
+    let batch = trace();
+    let mut plan = FaultPlan::none();
+    for call in 2..10 {
+        plan = plan.at(call, SourceFault::Stall);
+    }
+    let mut source = FaultySource::new(Chunked::new(BatchSource::new(&batch), CHUNK), plan);
+    let mut sink = DigestSink::new();
+    let stats = monitor(
+        1,
+        resilient()
+            .stall_polls(1)
+            .stall_timeout(Duration::from_secs(30)),
+    )
+    .try_drive(&mut source, &mut sink)
+    .expect("a quiet source is not a stalled source until wall time passes");
+    assert_eq!(stats.idle_polls, 8);
+    assert_eq!(sink.digest(), reference_digest(1));
+}
+
+#[test]
+fn wall_clock_stalls_carry_how_long_the_source_was_silent() {
+    let batch = trace();
+    let mut plan = FaultPlan::none();
+    for call in 2..200 {
+        plan = plan.at(call, SourceFault::Stall);
+    }
+    let mut source = FaultySource::new(Chunked::new(BatchSource::new(&batch), CHUNK), plan);
+    let timeout = Duration::from_millis(20);
+    let error = monitor(
+        1,
+        resilient()
+            .stall_polls(3)
+            .stall_timeout(timeout)
+            .idle_wait(Duration::from_millis(1)),
+    )
+    .try_drive(&mut source, &mut Collect::new())
+    .expect_err("200 idle polls at 1 ms each outlast a 20 ms stall timeout");
+    match &error {
+        DriveError::SourceStalled {
+            idle_polls,
+            stalled_for,
+            stats,
+        } => {
+            assert!(*stalled_for >= timeout, "stalled_for = {stalled_for:?}");
+            assert!(*idle_polls >= 3);
             assert_eq!(stats.chunks, 2);
         }
         other => panic!("expected DriveError::SourceStalled, got {other:?}"),

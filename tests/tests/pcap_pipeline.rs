@@ -213,6 +213,69 @@ fn cursor_resumes_a_corrected_capture_without_reprocessing_packets() {
 }
 
 #[test]
+fn cursor_resume_rejects_offsets_outside_the_capture() {
+    // Regression pin: `resume` used to accept any offset and fault later
+    // (or silently decode garbage). An offset past the end of the capture
+    // — e.g. a checkpoint saved against a longer file — must fail up front
+    // with a clear `NetError`, not on some later decode call.
+    let records: Vec<_> = (0..4).map(tcp_record).collect();
+    let bytes = capture_of(&records);
+    for offset in [0, 10, 23, bytes.len() + 1, usize::MAX] {
+        let err = PcapBatchCursor::resume(&bytes, offset)
+            .err()
+            .unwrap_or_else(|| panic!("offset {offset} must be rejected"));
+        match err {
+            NetError::InvalidField { field, reason } => {
+                assert_eq!(field, "resume offset");
+                assert!(reason.contains("outside the capture"), "{offset}: {reason}");
+            }
+            other => panic!("offset {offset}: expected InvalidField, got {other:?}"),
+        }
+    }
+    // The capture boundaries themselves stay valid: the header end (an
+    // empty resume) and the exact end of the capture (a finished resume).
+    assert!(PcapBatchCursor::resume(&bytes, 24).is_ok());
+    assert!(PcapBatchCursor::resume(&bytes, bytes.len()).is_ok());
+}
+
+#[test]
+fn cursor_resume_rejects_offsets_inside_a_record() {
+    // Regression pin: an offset that is in bounds but not on a record
+    // boundary desynchronises the decoder — the bytes at the offset are
+    // payload, reinterpreted as a record header. `resume` walks the record
+    // chain and rejects both mid-header and mid-payload offsets.
+    let records: Vec<_> = (0..4).map(tcp_record).collect();
+    let bytes = capture_of(&records);
+    let record_len = 16 + 14 + 500;
+    for (offset, expected) in [
+        (24 + 7, "header"),                      // inside the first record header
+        (24 + record_len + 3, "header"),         // inside the second record header
+        (24 + 16 + 3, "payload"),                // inside the first record payload
+        (24 + record_len + 16 + 499, "payload"), // last payload byte
+    ] {
+        let err = PcapBatchCursor::resume(&bytes, offset)
+            .err()
+            .unwrap_or_else(|| panic!("offset {offset} must be rejected"));
+        match err {
+            NetError::InvalidField { field, reason } => {
+                assert_eq!(field, "resume offset");
+                assert!(reason.contains(expected), "{offset}: {reason}");
+            }
+            other => panic!("offset {offset}: expected InvalidField, got {other:?}"),
+        }
+    }
+    // Every true record boundary resumes, and the resumed decode finishes.
+    for skip in 0..=records.len() {
+        let offset = 24 + skip * record_len;
+        let mut cursor = PcapBatchCursor::resume(&bytes, offset)
+            .unwrap_or_else(|e| panic!("boundary {offset}: {e}"));
+        let mut batch = PacketBatch::new();
+        while cursor.decode_some(&mut batch, 2).unwrap() > 0 {}
+        assert_eq!(batch.len(), records.len() - skip, "resumed at {offset}");
+    }
+}
+
+#[test]
 fn incl_len_past_end_of_buffer_is_rejected_by_both_decoders() {
     // A record header whose incl_len promises more payload than the buffer
     // holds — the remote-input shape a length-trusting decoder would
