@@ -1,0 +1,145 @@
+//! Multi-tenant fleet scaling leg: the whole fleet scenario driven through
+//! one `flowrank-fleet` slab at a tenant count chosen on the command line,
+//! e.g.
+//!
+//! ```text
+//! cargo bench -p flowrank-bench --bench fleet_scaling -- --tenants 1000
+//! ```
+//!
+//! `scripts/bench_snapshot.sh` sweeps `--tenants {1, 100, 1000}`. The fleet
+//! scenario holds the *aggregate* load at catalog scale however many
+//! tenants share it, so the sweep prices the per-tenant overhead of the
+//! slab itself — demux, tenant-affine routing, ordered delivery — rather
+//! than multiplying traffic: the headline claim (hosting a monitor in a
+//! fleet costs a fraction of running it standalone) falls straight out of
+//! the `melem_per_s` column staying flat as `tenants` grows. Each bench
+//! name carries its tenant count (`fleet_drive_100_tenants`); after the
+//! timed legs the bench appends one extra `BENCH_JSON` line with the
+//! process's peak RSS (`VmHWM`, Linux), so the memory side of the
+//! per-tenant budget contract rides the same trajectory file. The
+//! `fleet_drive_budget_*` twin runs every tenant under a 1024-flow budget —
+//! its RSS is the bounded configuration the serving story relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flowrank_fleet::{FleetBuilder, FleetSink};
+use flowrank_monitor::{BinReport, MonitorBuilder, SamplerSpec};
+use flowrank_net::{FlowDefinition, TenantId, Timestamp};
+use flowrank_trace::FleetScenario;
+
+const SEED: u64 = 2026;
+/// Per-tenant flow-table budget of the bounded leg.
+const BUDGET_FLOWS: usize = 1024;
+
+/// Reports are not the product here; the fleet's own counters are.
+struct Discard;
+
+impl FleetSink for Discard {
+    fn accept(&mut self, _tenant: TenantId, _report: &BinReport) {}
+}
+
+/// Parses `--tenants N` / `--tenants=N` from the bench binary's argv
+/// (default 100). Mirrors the shim's own `--threads` parsing: a label flag
+/// must never fail the run.
+fn parse_tenants() -> u32 {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--tenants" {
+            args.next()
+        } else {
+            arg.strip_prefix("--tenants=").map(str::to_string)
+        };
+        if let Some(n) = value.and_then(|v| v.parse::<u32>().ok()) {
+            return n.max(1);
+        }
+    }
+    100
+}
+
+/// The per-tenant monitor template: a light grid (two rates × two runs) so
+/// the sweep prices the slab, not the lane fan-out.
+fn template() -> MonitorBuilder {
+    MonitorBuilder::new()
+        .flow_definition(FlowDefinition::FiveTuple)
+        .sampler(SamplerSpec::Random { rate: 0.01 })
+        .rates(&[0.01, 0.1])
+        .runs(2)
+        .top_t(10)
+        .bin_length(Timestamp::from_secs_f64(60.0))
+}
+
+fn fleet(scenario: &FleetScenario, budget: Option<usize>) -> flowrank_fleet::Fleet {
+    let mut builder = FleetBuilder::new(scenario.tenants)
+        .monitor(template())
+        .seed(SEED)
+        .threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    if let Some(flows) = budget {
+        builder = builder.flow_budget(flows);
+    }
+    builder.build()
+}
+
+fn drive_once(scenario: &FleetScenario, budget: Option<usize>) -> u64 {
+    let mut slab = fleet(scenario, budget);
+    let mut stream = scenario.stream(SEED);
+    let summary = slab.drive(&mut stream, &mut Discard);
+    summary.packets
+}
+
+fn bench(c: &mut Criterion) {
+    let tenants = parse_tenants();
+    let scenario = FleetScenario::new(tenants);
+    // One untimed drive pins the per-iteration element count (the merged
+    // stream's packet total is a pure function of scenario + seed).
+    let packets = drive_once(&scenario, None);
+
+    let mut group = c.benchmark_group("fleet_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .throughput(Throughput::Elements(packets));
+
+    group.bench_function(&format!("fleet_drive_{tenants}_tenants"), |b| {
+        b.iter(|| black_box(drive_once(&scenario, None)))
+    });
+    group.bench_function(&format!("fleet_drive_budget_{tenants}_tenants"), |b| {
+        b.iter(|| black_box(drive_once(&scenario, Some(BUDGET_FLOWS))))
+    });
+
+    group.finish();
+    record_peak_rss(tenants);
+}
+
+/// Appends the process's peak resident set (`VmHWM`) as one extra
+/// `BENCH_JSON` line, schema-compatible with the shim's output plus a
+/// `peak_rss_kib` field — the memory axis of the tenant sweep.
+fn record_peak_rss(tenants: u32) {
+    use std::io::Write;
+    let (Ok(path), Some(kib)) = (std::env::var("BENCH_JSON"), peak_rss_kib()) else {
+        return;
+    };
+    let line = format!(
+        "{{\"group\":\"fleet_scaling\",\"name\":\"fleet_peak_rss_{tenants}_tenants\",\"threads\":1,\"mean_ns\":0.0,\"std_ns\":0.0,\"samples\":1,\"melem_per_s\":null,\"peak_rss_kib\":{kib}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("BENCH_JSON append to {path} failed: {error}");
+    }
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (Linux); `None`
+/// where procfs is absent, which simply skips the RSS line.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scenario ddos-flood
 //! cargo run --release -p flowrank-bench --bin reproduce -- --scenario flash-crowd --controller model-driven
 //! cargo run --release -p flowrank-bench --bin reproduce -- --input capture.pcap --runs 5
+//! cargo run --release -p flowrank-bench --bin reproduce -- --fleet --tenants 100
 //! cargo run --release -p flowrank-bench --bin reproduce -- --list
 //! ```
 //!
@@ -45,23 +46,30 @@
 //! (`--runs`, `--sampler`, `--threads` and `--output` apply); I/O and decode
 //! failures — a missing file, bad magic, a record truncated mid-capture —
 //! print a one-line diagnostic to stderr and exit with code 1 rather than
-//! panicking. EXPERIMENTS.md records the settings used for the committed
-//! results.
+//! panicking. `--fleet --tenants <n>` runs the multi-tenant fleet scenario
+//! instead: one `flowrank-fleet` slab hosts `n` monitors (catalog mixes,
+//! diurnal envelopes, aggregate load held at catalog scale), the merged
+//! tagged stream is demultiplexed in one pass, and the summary prints one
+//! CSV row per tenant (packets, bins, evictions) plus fleet totals;
+//! `--threads` sets the fleet's tenant-affine workers, `--budget <flows>`
+//! caps every tenant's flow table. EXPERIMENTS.md records the settings used
+//! for the committed results.
 
 use flowrank_bench::{rate_grid, size_grid_log, BETA_VALUES, N_FACTORS, TOP_T_VALUES};
 use flowrank_core::{
     gaussian::gaussian_absolute_error, optimal_sampling_rate, PairwiseModel, Scenario,
 };
+use flowrank_fleet::{FleetBuilder, FleetSink};
 use flowrank_monitor::{
     BinReport, CsvSink, NdjsonSink, PcapBytesSource, RateCurve, ReportSink, Tee,
 };
-use flowrank_net::{FlowDefinition, Timestamp};
+use flowrank_net::{FlowDefinition, TenantId, Timestamp};
 use flowrank_sim::report::result_to_csv;
 use flowrank_sim::{
-    abilene_experiment, sprint_experiment_with_sampler, workload_controlled_monitor,
-    workload_monitor, ControllerSpec, SamplerSpec,
+    abilene_experiment, sprint_experiment_with_sampler, workload_builder,
+    workload_controlled_monitor, workload_monitor, ControllerSpec, SamplerSpec,
 };
-use flowrank_trace::Workload;
+use flowrank_trace::{FleetScenario, Workload};
 
 /// Report sink selected with `--output` for the streamed scenario path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +107,14 @@ struct Options {
     threads: usize,
     output: Output,
     controller: Option<ControllerSpec>,
+    /// `--fleet`: run the multi-tenant fleet scenario through one
+    /// `flowrank-fleet` slab instead of the figures.
+    fleet: bool,
+    /// Tenants hosted by `--fleet` (the fleet aggregate stays at catalog
+    /// scale however many there are).
+    tenants: u32,
+    /// Per-tenant flow-table budget in fleet mode (0 = unbounded).
+    budget: usize,
 }
 
 impl Options {
@@ -198,6 +214,10 @@ fn print_catalog() {
     for spec in ControllerSpec::catalog() {
         println!("  {:<16} {}", spec.name(), spec.description());
     }
+    println!("fleet (--fleet --tenants <n>):");
+    println!(
+        "  fleet            every tenant gets a catalog scenario (round-robin) under a diurnal envelope; one slab, one decode pass"
+    );
 }
 
 fn parse_args() -> Options {
@@ -211,6 +231,9 @@ fn parse_args() -> Options {
         threads: 0,
         output: Output::Summary,
         controller: None,
+        fleet: false,
+        tenants: 8,
+        budget: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -306,6 +329,30 @@ fn parse_args() -> Options {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(options.threads);
+                i += 2;
+            }
+            "--fleet" => {
+                options.fleet = true;
+                i += 1;
+            }
+            "--tenants" => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(tenants) if tenants > 0 => options.tenants = tenants,
+                    _ => {
+                        eprintln!("--tenants requires a positive tenant count");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--budget" => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(budget) => options.budget = budget,
+                    None => {
+                        eprintln!("--budget requires a per-tenant flow count");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             "--output" => {
@@ -568,6 +615,82 @@ fn run_input(path: &str, options: &Options) {
     }
 }
 
+/// Fleet mode discards per-bin reports: the per-tenant summary comes from
+/// the fleet's own statistics, not from retained bins.
+struct DiscardReports;
+
+impl FleetSink for DiscardReports {
+    fn accept(&mut self, _tenant: TenantId, _report: &BinReport) {}
+}
+
+/// Runs the multi-tenant fleet scenario through one `flowrank-fleet` slab:
+/// `--tenants` monitors (each the single-scenario template with its own
+/// derived seed), the merged tagged stream demultiplexed in one pass, and a
+/// per-tenant summary row as each tenant's totals — the CLI face of the
+/// fleet subsystem.
+fn run_fleet(options: &Options) {
+    let seed = 2026;
+    let mut scenario = FleetScenario::new(options.tenants);
+    scenario.aggregate_scale = options.scenario_scale();
+    let workers = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.threads
+    };
+    // The template's own seed and threads are irrelevant: the fleet derives
+    // a per-tenant seed and forces every tenant monitor serial.
+    let template = workload_builder(
+        FlowDefinition::FiveTuple,
+        60.0,
+        options.runs,
+        seed,
+        options.sampler,
+        1,
+    );
+    let mut builder = FleetBuilder::new(options.tenants)
+        .monitor(template)
+        .seed(seed)
+        .threads(workers);
+    if options.budget > 0 {
+        builder = builder.flow_budget(options.budget);
+    }
+    let mut fleet = builder.build();
+    let mut stream = scenario.stream(seed);
+    let summary = fleet.drive(&mut stream, &mut DiscardReports);
+    println!(
+        "# Scenario {}: {} tenants, aggregate scale {}, diurnal depth {} over {} phase groups, {} runs, {} sampling, {} workers, budget {}",
+        scenario.name(),
+        scenario.tenants,
+        scenario.aggregate_scale,
+        scenario.diurnal_depth,
+        scenario.phase_groups,
+        options.runs,
+        options.sampler.name(),
+        workers,
+        if options.budget > 0 {
+            format!("{} flows/tenant", options.budget)
+        } else {
+            "unbounded".to_string()
+        },
+    );
+    println!("tenant,scenario,envelope,packets,bins,evictions");
+    for stats in fleet.tenant_stats() {
+        println!(
+            "{},{},{:.4},{},{},{}",
+            stats.tenant.0,
+            scenario.tenant_workload(stats.tenant).name(),
+            scenario.tenant_envelope(stats.tenant),
+            stats.packets,
+            stats.reports,
+            stats.evictions,
+        );
+    }
+    println!(
+        "# fleet total: {} packets in {} windows -> {} bins, {} evictions",
+        summary.packets, summary.windows, summary.reports, summary.evictions
+    );
+}
+
 /// Runs the streamed multi-run experiment over one catalog scenario, for
 /// both flow definitions: the workload synthesises window by window through
 /// a packet source, `Monitor::drive` pushes it through the full rate grid,
@@ -672,6 +795,16 @@ fn run_scenario(name: &str, options: &Options) {
 
 fn main() {
     let options = parse_args();
+    if options.fleet {
+        if options.scenario.is_some() || options.input.is_some() || options.controller.is_some() {
+            eprintln!(
+                "--fleet runs the fleet scenario; it does not combine with --scenario, --input or --controller"
+            );
+            std::process::exit(2);
+        }
+        run_fleet(&options);
+        return;
+    }
     if let Some(path) = &options.input {
         run_input(path, &options);
         return;

@@ -1,0 +1,592 @@
+//! The tenant slab and its drive loop.
+//!
+//! A [`Fleet`] owns one serial [`Monitor`] per tenant in a slab indexed by
+//! [`TenantId`]. Every [`Fleet::push_tagged`] call runs three phases:
+//!
+//! 1. **Demux** — one pass over the tagged window's maximal tenant runs,
+//!    copying each run into its tenant's scratch batch as ranged column
+//!    copies. The packets were decoded and key-derived exactly once
+//!    upstream; demux never touches packet contents.
+//! 2. **Tenant-affine processing** — the slab is split into contiguous
+//!    chunks, one per worker; each worker drives its tenants' monitors
+//!    sequentially. A tenant belongs to the same worker for the fleet's
+//!    lifetime, and its monitor is serial, so the per-tenant computation
+//!    is identical at any fleet thread count.
+//! 3. **Ordered delivery** — bins closed during the parallel phase are
+//!    buffered per tenant and handed to the [`FleetSink`] in (tenant,
+//!    bin index) order on the calling thread.
+//!
+//! The combination makes the whole fleet a pure function of its
+//! configuration and the tagged stream: reports are bit-identical to N
+//! standalone monitors driven from the per-tenant streams, at threads 1,
+//! 2, 4 or anything else — the `fleet_conformance` suite pins exactly
+//! that.
+
+use flowrank_monitor::{BinReport, Monitor, MonitorBuilder, ReportSink};
+use flowrank_net::{PacketBatch, TaggedBatch, TenantId};
+
+use crate::source::FleetSource;
+
+/// Salt separating per-tenant monitor-seed derivation from every other
+/// consumer of the fleet seed (the trace-side tenant salt included).
+const FLEET_MONITOR_SALT: u64 = 0xF1EE_5EED_0000_0009;
+
+/// splitmix64 finaliser: full-avalanche mixing for tenant seed derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Receives each tenant's closed bins, in (tenant, bin index) order.
+///
+/// The fleet-level analogue of [`ReportSink`]: the borrow is only valid
+/// inside the call, and within one [`Fleet::push_tagged`] the sink sees
+/// tenants in ascending id order, each tenant's bins in closing order.
+pub trait FleetSink {
+    /// Accepts one closed bin of one tenant.
+    fn accept(&mut self, tenant: TenantId, report: &BinReport);
+}
+
+impl<S: FleetSink + ?Sized> FleetSink for &mut S {
+    fn accept(&mut self, tenant: TenantId, report: &BinReport) {
+        (**self).accept(tenant, report)
+    }
+}
+
+/// A [`FleetSink`] that owns every report it is offered — the fleet-level
+/// `Collect`, used by tests and small drives.
+#[derive(Debug, Default)]
+pub struct FleetCollect {
+    /// Collected `(tenant, report)` pairs in delivery order.
+    pub reports: Vec<(TenantId, BinReport)>,
+}
+
+impl FleetCollect {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected reports of one tenant, in bin order.
+    pub fn tenant_reports(&self, tenant: TenantId) -> Vec<&BinReport> {
+        self.reports
+            .iter()
+            .filter(|(t, _)| *t == tenant)
+            .map(|(_, r)| r)
+            .collect()
+    }
+}
+
+impl FleetSink for FleetCollect {
+    fn accept(&mut self, tenant: TenantId, report: &BinReport) {
+        self.reports.push((tenant, report.clone()));
+    }
+}
+
+/// What went wrong with a tagged push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tagged batch referenced a tenant id outside the slab.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: u32,
+        /// Number of tenants the fleet hosts (valid ids are `0..tenants`).
+        tenants: usize,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownTenant { tenant, tenants } => write!(
+                f,
+                "unknown tenant{tenant}: fleet hosts tenants 0..{tenants}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Lifetime statistics of one tenant slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Packets demultiplexed to the tenant.
+    pub packets: u64,
+    /// Bins the tenant's monitor closed.
+    pub reports: u64,
+    /// Flow-table entries the tenant's budget evicted, summed over bins.
+    pub evictions: u64,
+}
+
+/// Aggregate outcome of one [`Fleet::drive`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Tenants hosted.
+    pub tenants: usize,
+    /// Tagged windows consumed from the source.
+    pub windows: u64,
+    /// Packets demultiplexed across all tenants.
+    pub packets: u64,
+    /// Bins delivered across all tenants.
+    pub reports: u64,
+    /// Budget evictions across all tenants.
+    pub evictions: u64,
+}
+
+/// One tenant's slot in the slab: its monitor, its demux scratch batch and
+/// its report buffer for the parallel phase.
+#[derive(Debug)]
+struct TenantSlot {
+    tenant: TenantId,
+    monitor: Monitor,
+    /// This tenant's slice of the current window (demux target).
+    batch: PacketBatch,
+    /// Bins closed during the parallel phase, awaiting ordered delivery.
+    pending: Vec<BinReport>,
+    stats: TenantStats,
+}
+
+/// Buffers closed bins during the parallel phase (reports must not cross
+/// worker threads unordered — they are delivered later in tenant order).
+struct BufSink<'a>(&'a mut Vec<BinReport>);
+
+impl ReportSink for BufSink<'_> {
+    fn accept(&mut self, report: &BinReport) {
+        self.0.push(report.clone());
+    }
+}
+
+impl TenantSlot {
+    /// Drives the slot's monitor over its demuxed slice of the current
+    /// window. Runs on exactly one worker per fleet lifetime.
+    fn process(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.stats.packets += self.batch.len() as u64;
+        let mut sink = BufSink(&mut self.pending);
+        self.monitor.push_batch_into(&self.batch, &mut sink);
+    }
+
+    /// Delivers the slot's buffered bins to `sink` and folds their
+    /// statistics. Runs on the calling thread, in tenant order.
+    fn deliver<S: FleetSink + ?Sized>(&mut self, sink: &mut S) {
+        for report in self.pending.drain(..) {
+            self.stats.reports += 1;
+            self.stats.evictions += report.evictions;
+            sink.accept(self.tenant, &report);
+        }
+    }
+}
+
+/// Fluent builder for [`Fleet`].
+///
+/// ```
+/// use flowrank_fleet::FleetBuilder;
+/// use flowrank_monitor::{MonitorBuilder, SamplerSpec};
+///
+/// let fleet = FleetBuilder::new(100)
+///     .monitor(MonitorBuilder::new().sampler(SamplerSpec::Random { rate: 0.1 }))
+///     .threads(4)
+///     .flow_budget(256)
+///     .build();
+/// assert_eq!(fleet.tenant_count(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    tenants: u32,
+    template: MonitorBuilder,
+    seed: u64,
+    threads: usize,
+    flow_budget: Option<usize>,
+}
+
+impl FleetBuilder {
+    /// A fleet of `tenants` monitors (at least 1) built from the default
+    /// monitor template.
+    pub fn new(tenants: u32) -> Self {
+        FleetBuilder {
+            tenants: tenants.max(1),
+            template: MonitorBuilder::new(),
+            seed: 0xF1EE_2026,
+            threads: 1,
+            flow_budget: None,
+        }
+    }
+
+    /// The monitor template every tenant is built from. Tenant monitors
+    /// are always serial — the fleet provides the parallelism — so any
+    /// `threads` setting on the template is overridden to 1.
+    pub fn monitor(mut self, template: MonitorBuilder) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Fleet master seed: each tenant's monitor seed is derived from it
+    /// (splitmix64 over the fleet salt and the tenant id), so tenants
+    /// sample independently while the whole fleet stays a pure function
+    /// of one seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fleet-level worker threads. Tenants are partitioned into contiguous
+    /// slab chunks, one per worker; reports are bit-identical at any
+    /// setting (tenant-affine routing keeps each tenant's computation
+    /// sequential on one worker).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Per-tenant flow-table budget: each tenant's monitor sheds its
+    /// coldest flow-table entries back to this cap (space-saving-style,
+    /// recorded on [`BinReport::evictions`]), bounding fleet memory by
+    /// `tenants × budget` instead of by traffic.
+    pub fn flow_budget(mut self, budget: usize) -> Self {
+        self.flow_budget = Some(budget.max(1));
+        self
+    }
+
+    /// The exact builder a standalone monitor for `tenant` would use —
+    /// template plus derived seed, serial, budget applied. The
+    /// fleet-vs-standalone conformance suite drives monitors built from
+    /// this against the fleet and requires bit-identical reports.
+    pub fn tenant_builder(&self, tenant: TenantId) -> MonitorBuilder {
+        let seed = splitmix64(self.seed ^ FLEET_MONITOR_SALT ^ u64::from(tenant.0));
+        let mut builder = self.template.clone().seed(seed).threads(1);
+        if let Some(budget) = self.flow_budget {
+            builder = builder.flow_budget(budget);
+        }
+        builder
+    }
+
+    /// Builds the slab.
+    pub fn build(self) -> Fleet {
+        let slots = (0..self.tenants)
+            .map(|t| {
+                let tenant = TenantId(t);
+                TenantSlot {
+                    tenant,
+                    monitor: self.tenant_builder(tenant).build(),
+                    batch: PacketBatch::new(),
+                    pending: Vec::new(),
+                    stats: TenantStats {
+                        tenant,
+                        ..TenantStats::default()
+                    },
+                }
+            })
+            .collect();
+        Fleet {
+            slots,
+            threads: self.threads,
+            windows: 0,
+        }
+    }
+}
+
+/// N tenant monitors behind one slab: one decode pass, tenant-affine
+/// workers, deterministic delivery. Built by [`FleetBuilder`].
+#[derive(Debug)]
+pub struct Fleet {
+    slots: Vec<TenantSlot>,
+    threads: usize,
+    windows: u64,
+}
+
+impl Fleet {
+    /// Starts a builder for a fleet of `tenants` monitors.
+    pub fn builder(tenants: u32) -> FleetBuilder {
+        FleetBuilder::new(tenants)
+    }
+
+    /// Number of tenants hosted.
+    pub fn tenant_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fleet-level worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tagged windows pushed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// One tenant's monitor (read-only; the fleet owns all mutation).
+    pub fn monitor(&self, tenant: TenantId) -> Option<&Monitor> {
+        self.slots.get(tenant.index()).map(|slot| &slot.monitor)
+    }
+
+    /// Lifetime statistics per tenant, in tenant order.
+    pub fn tenant_stats(&self) -> impl Iterator<Item = TenantStats> + '_ {
+        self.slots.iter().map(|slot| slot.stats)
+    }
+
+    /// Observes one tenant-tagged window: demux by tenant runs, process
+    /// tenant-affine (in parallel with [`FleetBuilder::threads`] workers),
+    /// deliver closed bins in (tenant, bin) order. Panics on a tenant id
+    /// outside the slab — [`Fleet::try_push_tagged`] surfaces it instead.
+    pub fn push_tagged<S: FleetSink + ?Sized>(&mut self, tagged: &TaggedBatch, sink: &mut S) {
+        if let Err(error) = self.try_push_tagged(tagged, sink) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible form of [`Fleet::push_tagged`] for live feeds, where the
+    /// tenant tag comes from untrusted records: an unknown tenant id
+    /// rejects the whole window before any tenant observes a packet, so
+    /// the fleet state stays consistent.
+    pub fn try_push_tagged<S: FleetSink + ?Sized>(
+        &mut self,
+        tagged: &TaggedBatch,
+        sink: &mut S,
+    ) -> Result<(), FleetError> {
+        let tenants = self.slots.len();
+        if let Some(bad) = tagged
+            .tenants()
+            .iter()
+            .find(|tenant| tenant.index() >= tenants)
+        {
+            return Err(FleetError::UnknownTenant {
+                tenant: bad.0,
+                tenants,
+            });
+        }
+        self.windows += 1;
+        // Phase 1: demux — ranged column copies per maximal tenant run.
+        for slot in &mut self.slots {
+            slot.batch.clear();
+        }
+        for (tenant, range) in tagged.runs() {
+            self.slots[tenant.index()]
+                .batch
+                .extend_from_batch(tagged.batch(), range);
+        }
+        // Phase 2: tenant-affine processing across the worker chunks.
+        self.process_slots();
+        // Phase 3: ordered delivery on the calling thread.
+        for slot in &mut self.slots {
+            slot.deliver(sink);
+        }
+        Ok(())
+    }
+
+    /// Runs every slot's pending slice, splitting the slab into contiguous
+    /// per-worker chunks when the fleet is multi-threaded. The partition
+    /// only moves work between threads: each tenant is processed serially
+    /// by exactly one worker either way.
+    fn process_slots(&mut self) {
+        let workers = self.threads.min(self.slots.len()).max(1);
+        if workers == 1 {
+            for slot in &mut self.slots {
+                slot.process();
+            }
+            return;
+        }
+        let chunk = self.slots.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for worker_slots in self.slots.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for slot in worker_slots {
+                        slot.process();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Closes every tenant's final bin, delivering the last reports in
+    /// tenant order. Idempotent like [`Monitor::finish`].
+    pub fn finish<S: FleetSink + ?Sized>(&mut self, sink: &mut S) {
+        for slot in &mut self.slots {
+            let mut buffer = BufSink(&mut slot.pending);
+            slot.monitor.finish_into(&mut buffer);
+            slot.deliver(sink);
+        }
+    }
+
+    /// Pulls `source` to exhaustion through [`Fleet::push_tagged`], then
+    /// [`Fleet::finish`]es, returning the aggregate summary.
+    pub fn drive<S, K>(&mut self, source: &mut S, sink: &mut K) -> FleetSummary
+    where
+        S: FleetSource + ?Sized,
+        K: FleetSink + ?Sized,
+    {
+        let windows_before = self.windows;
+        while let Some(batch) = source.next_tagged() {
+            self.push_tagged(batch, sink);
+        }
+        self.finish(sink);
+        let mut summary = FleetSummary {
+            tenants: self.slots.len(),
+            windows: self.windows - windows_before,
+            ..FleetSummary::default()
+        };
+        for stats in self.tenant_stats() {
+            summary.packets += stats.packets;
+            summary.reports += stats.reports;
+            summary.evictions += stats.evictions;
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrank_monitor::SamplerSpec;
+    use flowrank_trace::FleetScenario;
+
+    fn template() -> MonitorBuilder {
+        MonitorBuilder::new()
+            .sampler(SamplerSpec::Random { rate: 0.2 })
+            .runs(2)
+    }
+
+    fn fleet_reports(scenario: &FleetScenario, seed: u64, threads: usize) -> FleetCollect {
+        let mut fleet = FleetBuilder::new(scenario.tenants)
+            .monitor(template())
+            .seed(seed)
+            .threads(threads)
+            .build();
+        let mut sink = FleetCollect::new();
+        let summary = fleet.drive(&mut scenario.stream(seed), &mut sink);
+        assert_eq!(summary.tenants, scenario.tenants as usize);
+        assert!(summary.packets > 0);
+        sink
+    }
+
+    #[test]
+    fn fleet_matches_standalone_monitors_bit_for_bit() {
+        let scenario = FleetScenario::new(4);
+        let seed = 0xF1EE;
+        let fleet = fleet_reports(&scenario, seed, 1);
+        let builder = FleetBuilder::new(scenario.tenants)
+            .monitor(template())
+            .seed(seed);
+        for t in 0..scenario.tenants {
+            let tenant = TenantId(t);
+            let mut standalone = builder.tenant_builder(tenant).build();
+            let mut stream = scenario.tenant_stream(seed, tenant);
+            let mut reports = Vec::new();
+            while let Some(batch) = stream.next_window() {
+                reports.extend(standalone.push_batch(batch));
+            }
+            reports.extend(standalone.finish());
+            let fleet_side = fleet.tenant_reports(tenant);
+            assert_eq!(fleet_side.len(), reports.len(), "tenant {t} bin count");
+            for (ours, theirs) in fleet_side.iter().zip(&reports) {
+                assert_eq!(*ours, theirs, "tenant {t} report");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_reports_are_thread_count_invariant_and_ordered() {
+        let scenario = FleetScenario::new(5);
+        let seed = 99;
+        let one = fleet_reports(&scenario, seed, 1);
+        let two = fleet_reports(&scenario, seed, 2);
+        let four = fleet_reports(&scenario, seed, 4);
+        assert_eq!(one.reports, two.reports);
+        assert_eq!(one.reports, four.reports);
+        // Delivery order is (tenant, bin) within each push; bins per
+        // tenant must be strictly increasing overall.
+        for t in 0..scenario.tenants {
+            let bins: Vec<u64> = one
+                .tenant_reports(TenantId(t))
+                .iter()
+                .map(|r| r.bin_index)
+                .collect();
+            assert!(bins.windows(2).all(|w| w[0] < w[1]), "tenant {t}: {bins:?}");
+        }
+    }
+
+    #[test]
+    fn budget_bounds_flow_tables_and_reports_evictions() {
+        let scenario = FleetScenario {
+            tenants: 2,
+            aggregate_scale: 1.0,
+            diurnal_depth: 0.0,
+            phase_groups: 1,
+        };
+        let budget = 8;
+        let mut fleet = FleetBuilder::new(scenario.tenants)
+            .monitor(template())
+            .seed(3)
+            .flow_budget(budget)
+            .build();
+        let mut sink = FleetCollect::new();
+        let summary = fleet.drive(&mut scenario.stream(3), &mut sink);
+        assert!(summary.evictions > 0, "budget must engage: {summary:?}");
+        for (tenant, _) in &sink.reports {
+            let monitor = fleet.monitor(*tenant).expect("hosted tenant");
+            assert_eq!(monitor.flow_budget(), Some(budget));
+        }
+        // Eviction trail is deterministic.
+        let mut fleet2 = FleetBuilder::new(scenario.tenants)
+            .monitor(template())
+            .seed(3)
+            .flow_budget(budget)
+            .build();
+        let mut sink2 = FleetCollect::new();
+        let summary2 = fleet2.drive(&mut scenario.stream(3), &mut sink2);
+        assert_eq!(summary, summary2);
+        assert_eq!(sink.reports, sink2.reports);
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected_before_any_observation() {
+        let mut fleet = FleetBuilder::new(2).monitor(template()).build();
+        let mut tagged = TaggedBatch::new();
+        tagged.push_columns(TenantId(0), 10, 1, 64, None);
+        tagged.push_columns(TenantId(7), 20, 2, 64, None);
+        let mut sink = FleetCollect::new();
+        let error = fleet
+            .try_push_tagged(&tagged, &mut sink)
+            .expect_err("tenant 7 is not hosted");
+        assert_eq!(
+            error,
+            FleetError::UnknownTenant {
+                tenant: 7,
+                tenants: 2
+            }
+        );
+        assert!(error.to_string().contains("tenant7"));
+        // Tenant 0 must not have observed its packet.
+        assert_eq!(fleet.tenant_stats().map(|s| s.packets).sum::<u64>(), 0);
+        assert_eq!(fleet.windows(), 0);
+    }
+
+    #[test]
+    fn queue_source_and_scenario_stream_agree() {
+        // Feeding the same windows through a TaggedQueue must reproduce
+        // the scenario-stream drive exactly (the serve record path).
+        let scenario = FleetScenario::new(3);
+        let seed = 11;
+        let direct = fleet_reports(&scenario, seed, 2);
+        let mut queue = crate::TaggedQueue::new();
+        let mut stream = scenario.stream(seed);
+        while let Some(batch) = stream.next_window() {
+            queue.push(batch.clone());
+        }
+        let mut fleet = FleetBuilder::new(scenario.tenants)
+            .monitor(template())
+            .seed(seed)
+            .threads(2)
+            .build();
+        let mut sink = FleetCollect::new();
+        fleet.drive(&mut queue, &mut sink);
+        assert_eq!(sink.reports, direct.reports);
+    }
+}

@@ -13,7 +13,7 @@ use crate::hash::{fx_fold, fx_mix64};
 /// itself into a 64-bit hash. (`Send + Sync` is part of the contract —
 /// packed keys are plain data, and the sharded tables move them across
 /// worker threads.)
-pub trait PackedKey: Copy + Eq + std::fmt::Debug + Send + Sync {
+pub trait PackedKey: Copy + Eq + Ord + std::fmt::Debug + Send + Sync {
     /// Mixes the packed value into a full-avalanche 64-bit hash.
     fn mix(self) -> u64;
 }

@@ -218,9 +218,10 @@ pub mod spec;
 pub use fault::{DriveError, DrivePolicy, DriveStats, SinkError, SourceError, TimestampPolicy};
 pub use monitor::{Monitor, MonitorBuilder, DEFAULT_PARALLEL_SEGMENT_MIN};
 pub use pipeline::{
-    BatchSource, ChannelSource, Chunked, Collect, CsvSink, DigestSink, DriveSummary,
-    NdjsonRecordSource, NdjsonSink, PacketSource, PcapBytesSource, PcapReaderSource,
-    PcapTailSource, RateCurve, RatePoint, RecordSource, ReportSink, SourcePoll, StopGate, Tee,
+    ndjson_tenant, parse_ndjson_record, BatchSource, ChannelSource, Chunked, Collect, CsvSink,
+    DigestSink, DriveSummary, NdjsonRecordSource, NdjsonSink, PacketSource, PcapBytesSource,
+    PcapReaderSource, PcapTailSource, RateCurve, RatePoint, RecordSource, ReportSink, SourcePoll,
+    StopGate, Tee,
 };
 pub use report::{BinReport, ControllerTrail, LaneReport, TopKReport};
 pub use rolling::{BinSummary, RateSummary, RollingWindow};

@@ -73,6 +73,7 @@ pub struct MonitorBuilder {
     controller: Option<ControllerSpec>,
     drive_policy: DrivePolicy,
     lane_panic_after: Option<u64>,
+    flow_budget: Option<usize>,
 }
 
 impl Default for MonitorBuilder {
@@ -91,6 +92,7 @@ impl Default for MonitorBuilder {
             controller: None,
             drive_policy: DrivePolicy::strict(),
             lane_panic_after: None,
+            flow_budget: None,
         }
     }
 }
@@ -241,6 +243,34 @@ impl MonitorBuilder {
         self
     }
 
+    /// Caps every flow table in the monitor (ground truth and all lanes) at
+    /// `budget` entries, evicting the coldest flows
+    /// ([`flowrank_net::FlowTable::evict_to_budget`]) whenever a processed
+    /// segment pushes a table over the cap. This is the per-tenant memory
+    /// budget behind the fleet layer: peak flow-state memory becomes
+    /// `O(budget × lanes)` regardless of how many distinct flows a bin
+    /// carries.
+    ///
+    /// Eviction is space-saving-style *state* shedding: bin totals
+    /// (`packets`, bytes) keep counting everything observed, only per-flow
+    /// entries are dropped, and an evicted flow that returns restarts from
+    /// zero. Victim order is deterministic (coldest first, packed-key
+    /// tie-break), so budgeted reports are a pure function of the packet
+    /// sequence and the budget — and the per-bin eviction count is carried
+    /// on [`BinReport::evictions`] as an auditable, golden-pinnable trail.
+    /// A budget changes *what* the monitor reports (flows below the cap's
+    /// waterline disappear from rankings); it is a memory/fidelity
+    /// trade-off, not a pure performance knob.
+    ///
+    /// Only the serial engine enforces budgets; combining `flow_budget`
+    /// with [`MonitorBuilder::threads`]` > 1` panics at `build()`. (Fleet
+    /// tenants are always serial — the fleet's own worker pool provides the
+    /// parallelism.)
+    pub fn flow_budget(mut self, budget: usize) -> Self {
+        self.flow_budget = Some(budget.max(1));
+        self
+    }
+
     /// Chaos-testing hook: makes lane 0 panic once it has been offered more
     /// than `packets` packets. With `threads(n > 1)` the panic lands on a
     /// worker thread and exercises the containment path
@@ -255,6 +285,7 @@ impl MonitorBuilder {
     /// Builds the monitor.
     pub fn build(self) -> Monitor {
         let mut lanes = Vec::new();
+        let budget = self.flow_budget.map(FlowBudget::new);
         match &self.rates {
             None => {
                 // Single group at the template's own rate; the lane seed is
@@ -270,6 +301,7 @@ impl MonitorBuilder {
                         self.topk.as_ref(),
                         run,
                         seed,
+                        budget,
                     ));
                 }
             }
@@ -291,6 +323,7 @@ impl MonitorBuilder {
                             self.topk.as_ref(),
                             run,
                             seed,
+                            budget,
                         ));
                     }
                 }
@@ -312,6 +345,7 @@ impl MonitorBuilder {
                 self.topk.as_ref(),
                 0,
                 self.seed ^ CONTROLLER_SEED_SALT,
+                budget,
             ));
             ControllerState {
                 controller: spec.build(),
@@ -329,6 +363,11 @@ impl MonitorBuilder {
         }
         let threads = self.threads.max(1);
         let engine = if threads > 1 {
+            assert!(
+                budget.is_none(),
+                "flow_budget requires threads(1): budgets are enforced by the \
+                 serial engine (fleet tenants parallelise at the fleet level)"
+            );
             Engine::Pipelined(PipelinedRuntime::spawn(
                 lanes, controller, threads, self.top_t,
             ))
@@ -337,6 +376,8 @@ impl MonitorBuilder {
                 ground_truth: FlowTable::new(),
                 lanes,
                 controller,
+                flow_budget: budget,
+                evictions: 0,
             })
         };
         Monitor {
@@ -447,6 +488,47 @@ impl ControllerState {
     }
 }
 
+/// A resolved flow-table cap ([`MonitorBuilder::flow_budget`]): evict down
+/// to `cap` whenever a table reaches `high_water`.
+///
+/// The check runs after every observed packet, so the eviction schedule is
+/// a pure function of the packet sequence — independent of how callers
+/// chunked the stream — while the 50% hysteresis band keeps the amortized
+/// cost at one sort per `cap / 2` new flows rather than one per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FlowBudget {
+    cap: usize,
+    high_water: usize,
+}
+
+impl FlowBudget {
+    pub(crate) fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlowBudget {
+            cap,
+            // At least one entry of slack so a freshly evicted table can
+            // always admit the next new flow without immediately re-sorting.
+            high_water: cap + (cap / 2).max(1),
+        }
+    }
+
+    /// The configured cap (eviction low-water mark).
+    pub(crate) fn cap(self) -> usize {
+        self.cap
+    }
+
+    /// Evicts `table` down to the cap when it has reached the high-water
+    /// mark, returning how many entries were removed.
+    #[inline]
+    fn enforce<K: flowrank_net::FlowKey>(self, table: &mut FlowTable<K>) -> u64 {
+        if table.flow_count() >= self.high_water {
+            table.evict_to_budget(self.cap)
+        } else {
+            0
+        }
+    }
+}
+
 /// One independent sampling pipeline inside the monitor: a sampler + RNG
 /// stage, the sampled flow table it fills, and an optional top-k backend.
 pub(crate) struct Lane {
@@ -467,6 +549,12 @@ pub(crate) struct Lane {
     pub(crate) panic_after: Option<u64>,
     /// Packets offered so far, counted only when the chaos hook is armed.
     observed: u64,
+    /// Flow-table cap, enforced after every kept packet
+    /// ([`MonitorBuilder::flow_budget`]).
+    flow_budget: Option<FlowBudget>,
+    /// Entries evicted from this lane's table in the current bin, drained
+    /// by the engine at each seal.
+    evictions: u64,
 }
 
 impl Lane {
@@ -477,6 +565,7 @@ impl Lane {
         topk: Option<&TopKSpec>,
         run: usize,
         seed: u64,
+        flow_budget: Option<FlowBudget>,
     ) -> Self {
         Lane {
             spec: *spec,
@@ -491,7 +580,14 @@ impl Lane {
             kept: Vec::new(),
             panic_after: None,
             observed: 0,
+            flow_budget,
+            evictions: 0,
         }
+    }
+
+    /// Drains the lane's eviction count for the closing bin.
+    pub(crate) fn take_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.evictions)
     }
 
     /// Offers the packets `batch[range]` (with their precomputed flow keys,
@@ -521,6 +617,9 @@ impl Lane {
                 batch.length(i),
                 batch.tcp_seq(i),
             );
+            if let Some(budget) = self.flow_budget {
+                self.evictions += budget.enforce(&mut self.table);
+            }
             if let Some(tracker) = &mut self.tracker {
                 tracker.observe(&batch.five_tuple(i), &mut self.tracker_rng);
             }
@@ -654,6 +753,13 @@ struct SerialEngine {
     ground_truth: FlowTable<AnyFlowKey>,
     lanes: Vec<Lane>,
     controller: Option<ControllerState>,
+    /// Per-table flow cap ([`MonitorBuilder::flow_budget`]), enforced
+    /// packet-by-packet so eviction points are independent of how the
+    /// stream was chunked.
+    flow_budget: Option<FlowBudget>,
+    /// Ground-truth entries evicted so far in the current bin; joined with
+    /// the per-lane counts into [`BinReport::evictions`] at each seal.
+    evictions: u64,
 }
 
 impl SerialEngine {
@@ -667,6 +773,9 @@ impl SerialEngine {
                 batch.length(i),
                 batch.tcp_seq(i),
             );
+            if let Some(budget) = self.flow_budget {
+                self.evictions += budget.enforce(&mut self.ground_truth);
+            }
         }
         for lane in &mut self.lanes {
             lane.offer_batch(keys, batch, range.clone());
@@ -703,6 +812,8 @@ impl SerialEngine {
         report.bin_start = bin_start;
         report.packets = self.ground_truth.total_packets();
         report.flows = self.ground_truth.flow_count();
+        report.evictions = std::mem::take(&mut self.evictions)
+            + self.lanes.iter_mut().map(Lane::take_evictions).sum::<u64>();
         // The control step runs after lane scoring while the bin's ground
         // truth is still live — so controller decisions are a pure function
         // of the report stream, independent of thread count and ingestion
@@ -772,6 +883,15 @@ impl Monitor {
     /// The configured recovery policy ([`MonitorBuilder::drive_policy`]).
     pub fn drive_policy(&self) -> DrivePolicy {
         self.drive_policy
+    }
+
+    /// The configured per-table flow cap ([`MonitorBuilder::flow_budget`]),
+    /// `None` when the monitor runs unbudgeted.
+    pub fn flow_budget(&self) -> Option<usize> {
+        match &self.engine {
+            Engine::Serial(engine) => engine.flow_budget.map(FlowBudget::cap),
+            Engine::Pipelined(_) => None,
+        }
     }
 
     /// Lifetime count of timestamp regressions absorbed under
@@ -1526,6 +1646,53 @@ mod tests {
         assert_eq!(closed[1].flows, 0);
         assert_eq!(closed[2].packets, 0);
         assert_eq!(monitor.current_bin(), 3);
+    }
+
+    #[test]
+    fn flow_budget_evicts_chunk_invariantly() {
+        let build = || {
+            Monitor::builder()
+                .sampler(SamplerSpec::Random { rate: 0.5 })
+                .bin_length(Timestamp::from_secs_f64(60.0))
+                .seed(7)
+                .flow_budget(8)
+                .build()
+        };
+        assert_eq!(build().flow_budget(), Some(8));
+        // 40 distinct flows against a cap of 8 (high water 12): the budget
+        // binds repeatedly within the bin.
+        let packets = skewed_bin(40, 0.0);
+        let whole = build().run_trace(&packets);
+        assert_eq!(whole.len(), 1);
+        assert!(whole[0].evictions > 0, "budget must have bound");
+        assert!(
+            whole[0].flows < 40,
+            "sealed ground truth holds only survivors"
+        );
+        // Per-packet push — the opposite chunking extreme — must evict at
+        // exactly the same points and report bit-identically.
+        let mut monitor = build();
+        let mut pushed = Vec::new();
+        for p in &packets {
+            pushed.extend(monitor.push(p));
+        }
+        pushed.extend(monitor.finish());
+        assert_eq!(pushed, whole);
+        // An unbudgeted monitor reports no evictions.
+        let free = Monitor::builder()
+            .sampler(SamplerSpec::Random { rate: 0.5 })
+            .bin_length(Timestamp::from_secs_f64(60.0))
+            .seed(7)
+            .build()
+            .run_trace(&packets);
+        assert_eq!(free[0].evictions, 0);
+        assert_eq!(free[0].flows, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow_budget requires threads(1)")]
+    fn flow_budget_rejects_multithreaded_monitors() {
+        let _ = Monitor::builder().flow_budget(64).threads(2).build();
     }
 
     #[test]

@@ -808,7 +808,17 @@ fn json_raw_value<'l>(line: &'l str, key: &str) -> Option<&'l str> {
     }
 }
 
-fn parse_ndjson_record(line: &str) -> Result<PacketRecord, &'static str> {
+/// Parses one ndjson packet-record line (`{"ts":…,"src":…,"dst":…,"sport":…,
+/// "dport":…,"len":…,"proto":"tcp"|"udp"[,"seq":…]}`) into a
+/// [`PacketRecord`].
+///
+/// This is the exact parser [`NdjsonRecordSource`] runs on every line,
+/// exposed so alternative listeners — the serve daemon's TCP socket source,
+/// tenant-tagged fleet feeds — reuse one grammar instead of approximating
+/// it. Unknown fields are ignored and field order is free, so a tagged
+/// record (an extra `"tenant"` field, read by [`ndjson_tenant`]) parses
+/// identically to an untagged one.
+pub fn parse_ndjson_record(line: &str) -> Result<PacketRecord, &'static str> {
     let ts: f64 = json_raw_value(line, "ts")
         .and_then(|v| v.parse().ok())
         .ok_or("missing or invalid \"ts\"")?;
@@ -844,6 +854,16 @@ fn parse_ndjson_record(line: &str) -> Result<PacketRecord, &'static str> {
         Some("udp") => Ok(PacketRecord::udp(timestamp, src, sport, dst, dport, len)),
         Some(_) => Err("\"proto\" must be \"tcp\" or \"udp\""),
         None => Err("missing \"proto\""),
+    }
+}
+
+/// Reads the optional `"tenant"` field of an ndjson record line: `Ok(None)`
+/// when the line carries no tenant tag, `Err` when it carries one that is
+/// not a `u32`. Pairs with [`parse_ndjson_record`] on tenant-tagged feeds.
+pub fn ndjson_tenant(line: &str) -> Result<Option<u32>, &'static str> {
+    match json_raw_value(line, "tenant") {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| "invalid \"tenant\""),
     }
 }
 
@@ -1242,12 +1262,18 @@ impl<W: Write> NdjsonSink<W> {
     fn render(out: &mut W, report: &BinReport) -> io::Result<()> {
         write!(
             out,
-            "{{\"bin\":{},\"bin_start_s\":{},\"packets\":{},\"flows\":{},\"lanes\":[",
+            "{{\"bin\":{},\"bin_start_s\":{},\"packets\":{},\"flows\":{},",
             report.bin_index,
             report.bin_start.as_secs_f64(),
             report.packets,
             report.flows
         )?;
+        // Emitted only when a memory budget actually evicted, so
+        // pre-budget consumers see byte-identical lines.
+        if report.evictions != 0 {
+            write!(out, "\"evictions\":{},", report.evictions)?;
+        }
+        out.write_all(b"\"lanes\":[")?;
         for (i, lane) in report.lanes.iter().enumerate() {
             if i > 0 {
                 out.write_all(b",")?;
@@ -1515,6 +1541,13 @@ impl DigestSink {
         self.u64(report.bin_start.as_micros());
         self.u64(report.packets);
         self.u64(report.flows as u64);
+        // Budget evictions fold in only when they happened: unbudgeted
+        // streams (and budgeted ones whose budget never bound) digest
+        // exactly as they always did, so the pre-budget golden corpus stays
+        // valid while eviction schedules are still pinnable.
+        if report.evictions != 0 {
+            self.u64(report.evictions);
+        }
         self.u64(report.lanes.len() as u64);
         for lane in &report.lanes {
             self.u64(lane.rate.to_bits());

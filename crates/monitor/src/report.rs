@@ -102,6 +102,12 @@ pub struct BinReport {
     pub lanes: Vec<LaneReport>,
     /// The controller's decision for this bin, when one is attached.
     pub controller: Option<ControllerTrail>,
+    /// Flow-table entries evicted during this bin by the monitor's memory
+    /// budget (ground truth + all lanes), 0 when no budget is configured
+    /// or the budget never bound. Part of the budget decision trail: under
+    /// a fixed budget the eviction count per bin is deterministic and
+    /// golden-pinnable.
+    pub evictions: u64,
 }
 
 impl BinReport {
@@ -112,6 +118,7 @@ impl BinReport {
     pub fn reset(&mut self) {
         self.lanes.clear();
         self.controller = None;
+        self.evictions = 0;
     }
 
     /// Resolves a requested sampling rate to the [`LaneReport::rate_id`] of

@@ -259,6 +259,7 @@ mod tests {
             flows: 7,
             lanes: vec![lane(0.1, 0, 0, 2), lane(0.1, 0, 1, 4), lane(0.5, 1, 0, 1)],
             controller: None,
+            evictions: 0,
         }
     }
 

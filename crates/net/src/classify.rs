@@ -272,6 +272,36 @@ impl<K: FlowKey> FlowTable<K> {
         self.total_packets = 0;
         self.total_bytes = 0;
     }
+
+    /// Evicts the coldest flows until at most `budget` entries remain,
+    /// returning how many were removed.
+    ///
+    /// This is the space-saving-style memory cap behind per-tenant budgets:
+    /// the table sheds *state*, not *history* — `total_packets` /
+    /// `total_bytes` keep counting everything ever observed, only the
+    /// per-flow entries go away (an evicted flow that returns starts a new
+    /// entry, exactly like space-saving restarting a counter). Victim order
+    /// is a pure function of table contents: ascending packet count, then
+    /// ascending byte count, then ascending packed key — so every replay of
+    /// the same packet sequence evicts the same flows and the resulting
+    /// rankings are golden-pinnable.
+    pub fn evict_to_budget(&mut self, budget: usize) -> u64 {
+        if self.flows.len() <= budget {
+            return 0;
+        }
+        let excess = self.flows.len() - budget;
+        let mut victims: Vec<(u64, u64, <K as flowrank_flowtable::CompactKey>::Packed, K)> = self
+            .flows
+            .iter()
+            .map(|(k, s)| (s.packets, s.bytes, k.pack(), k))
+            .collect();
+        victims.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        victims.truncate(excess);
+        for (_, _, _, key) in &victims {
+            self.flows.remove(key);
+        }
+        excess as u64
+    }
 }
 
 /// A flow table partitioned by key hash into N disjoint shards.
@@ -669,6 +699,36 @@ mod tests {
                 assert_eq!(sharded.get(&key), Some(stats), "{shards} shards");
             }
         }
+    }
+
+    #[test]
+    fn eviction_removes_coldest_flows_and_keeps_totals() {
+        let mut table: FlowTable<FiveTuple> = FlowTable::new();
+        for (host, count) in [(1u8, 10usize), (2, 3), (3, 7), (4, 3), (5, 1)] {
+            for i in 0..count {
+                table.observe(&packet(host, host, 80, 500, i as f64));
+            }
+        }
+        let total = table.total_packets();
+        // Nothing to do when under budget.
+        assert_eq!(table.evict_to_budget(5), 0);
+        assert_eq!(table.evict_to_budget(2), 3);
+        assert_eq!(table.flow_count(), 2);
+        // History is kept: totals still count the evicted flows' packets.
+        assert_eq!(table.total_packets(), total);
+        let sizes: Vec<u64> = table
+            .ranked_by_packets()
+            .iter()
+            .map(|f| f.packets)
+            .collect();
+        assert_eq!(sizes, vec![10, 7], "hottest flows survive");
+        // The 3-vs-3 tie between hosts 2 and 4 broke on packed key, and both
+        // were below the survivors anyway; re-running is idempotent.
+        assert_eq!(table.evict_to_budget(2), 0);
+        // An evicted flow that returns restarts from zero.
+        table.observe(&packet(5, 5, 80, 500, 99.0));
+        let key = FiveTuple::from_packet(&packet(5, 5, 80, 500, 0.0));
+        assert_eq!(table.get(&key).unwrap().packets, 1);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   checksums, used to materialise synthetic packets as real frames.
 //! * [`pcap`] — classic libpcap capture-file reader and writer so synthetic
 //!   traces can be exported to, and ingested from, standard tooling.
+//! * [`tenant`] — compact [`TenantId`]s and the tenant-tagged
+//!   [`TaggedBatch`], the unit of work flowing between fleet sources and
+//!   the multi-tenant fleet layer.
 //!
 //! The crate is sans-IO in the smoltcp spirit: every component is driven
 //! packet-by-packet by its caller and owns no sockets, timers or files
@@ -38,12 +41,14 @@ pub mod flowkey;
 pub mod headers;
 pub mod packet;
 pub mod pcap;
+pub mod tenant;
 
 pub use batch::PacketBatch;
 pub use classify::{FlowStats, FlowTable, RankedFlow, ShardedFlowTable};
 pub use error::{NetError, NetResult};
 pub use flowkey::{AnyFlowKey, DstPrefix, FiveTuple, FlowDefinition, FlowKey, Protocol};
 pub use packet::{PacketRecord, Timestamp};
+pub use tenant::{TaggedBatch, TenantId};
 
 // The compact-key substrate the flow tables are built on, re-exported so
 // downstream crates can name the traits without a direct dependency.

@@ -25,6 +25,9 @@ pub enum SourceKind {
     /// Newline-delimited JSON records on stdin
     /// ([`flowrank_monitor::NdjsonRecordSource`]).
     Ndjson,
+    /// Newline-delimited JSON records on a live TCP socket
+    /// ([`crate::socket::listen`]); requires `listen = addr:port`.
+    Socket,
 }
 
 /// Where per-bin reports are streamed, besides the rolling snapshot.
@@ -88,6 +91,19 @@ pub struct ServeConfig {
     pub pcap: Option<PathBuf>,
     /// Whether the tail source waits for the capture to grow.
     pub follow: bool,
+    /// `addr:port` the record listener binds for `source = socket`; port
+    /// `0` picks a free port (printed on startup).
+    pub listen: String,
+    /// Fleet mode: host this many tenant monitors behind one slab
+    /// (`flowrank-fleet`). `0` (the default) runs the single-monitor
+    /// daemon; with `tenants > 0`, `source` must be `replay` (the fleet
+    /// scenario) or `ndjson` (tenant-tagged records) and `threads` become
+    /// fleet-level workers.
+    pub tenants: u32,
+    /// Per-tenant flow-table budget in fleet mode (`0` = unbounded): each
+    /// tenant sheds its coldest flows back to this cap, recorded on the
+    /// report's eviction trail.
+    pub flow_budget: usize,
     /// Sampler template; the monitor retargets it across `rates`.
     pub sampler: SamplerSpec,
     /// Sampling-rate grid.
@@ -135,6 +151,9 @@ impl Default for ServeConfig {
             window_ms: 500,
             pcap: None,
             follow: true,
+            listen: "127.0.0.1:0".to_string(),
+            tenants: 0,
+            flow_budget: 0,
             sampler: SamplerSpec::Random { rate: 0.1 },
             rates: vec![0.1],
             runs: 1,
@@ -194,6 +213,7 @@ impl ServeConfig {
                     "replay" => SourceKind::Replay,
                     "tail" => SourceKind::Tail,
                     "ndjson" => SourceKind::Ndjson,
+                    "socket" => SourceKind::Socket,
                     other => return Err(format!("unknown source `{other}`")),
                 }
             }
@@ -203,6 +223,9 @@ impl ServeConfig {
             "window_ms" => self.window_ms = parse(value)?,
             "pcap" => self.pcap = Some(PathBuf::from(value)),
             "follow" => self.follow = parse_bool(value)?,
+            "listen" => self.listen = value.to_string(),
+            "tenants" => self.tenants = parse(value)?,
+            "flow_budget" => self.flow_budget = parse(value)?,
             "sampler" => self.sampler = parse_sampler(value)?,
             "rate" => self.rates = vec![parse(value)?],
             "rates" => {
@@ -251,7 +274,13 @@ impl ServeConfig {
         if self.source == SourceKind::Tail && self.pcap.is_none() {
             return fail("source = tail requires `pcap = <path>`");
         }
-        if self.source == SourceKind::Replay
+        if self.tenants > 0 && matches!(self.source, SourceKind::Tail | SourceKind::Socket) {
+            return fail("fleet mode (`tenants > 0`) supports source = replay or ndjson");
+        }
+        // Fleet replay runs the fleet scenario; the catalog `scenario` key
+        // only applies to the single-monitor daemon.
+        if self.tenants == 0
+            && self.source == SourceKind::Replay
             && flowrank_trace::Workload::by_name(&self.scenario).is_none()
         {
             return Err(ConfigError::Parse {
@@ -286,8 +315,10 @@ impl ServeConfig {
             .idle_wait(Duration::from_millis(self.idle_wait_ms))
     }
 
-    /// Builds the monitor the config describes.
-    pub fn monitor(&self) -> Monitor {
+    /// The monitor template the config describes — also the per-tenant
+    /// template in fleet mode (where the fleet overrides `threads` to 1
+    /// per tenant and parallelises across tenants instead).
+    pub fn monitor_builder(&self) -> flowrank_monitor::MonitorBuilder {
         let mut builder = Monitor::builder()
             .sampler(self.sampler)
             .rates(&self.rates)
@@ -300,7 +331,12 @@ impl ServeConfig {
         if let Some(topk) = &self.topk {
             builder = builder.topk(*topk);
         }
-        builder.build()
+        builder
+    }
+
+    /// Builds the monitor the config describes.
+    pub fn monitor(&self) -> Monitor {
+        self.monitor_builder().build()
     }
 
     /// A fully commented example config (printed by
@@ -309,7 +345,8 @@ impl ServeConfig {
         "\
 # flowrank-serve configuration. One `key = value` per line, `#` comments.
 
-# Source: replay (paced scenario), tail (growing pcap), ndjson (stdin).
+# Source: replay (paced scenario), tail (growing pcap), ndjson (stdin),
+# socket (live TCP ndjson listener).
 source = replay
 scenario = mixed        # heavy-tail | flash-crowd | ddos-flood | port-scan | rank-churn | mixed
 seed = 2026
@@ -319,6 +356,15 @@ window_ms = 500         # replay chunk granularity
 # source = tail
 # pcap = capture.pcap
 # follow = true
+
+# source = socket
+# listen = 127.0.0.1:0  # port 0 picks a free port (printed on startup)
+
+# Fleet mode: host N tenant monitors behind one slab (flowrank-fleet).
+# Source must be replay (fleet scenario) or ndjson (tenant-tagged records:
+# each line may carry an extra `tenant` field).
+# tenants = 1000
+# flow_budget = 4096    # per-tenant flow-table cap; 0 = unbounded
 
 # Monitor shape.
 sampler = random        # random | periodic | stratified | flow | smart:<threshold>

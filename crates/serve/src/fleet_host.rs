@@ -1,0 +1,331 @@
+//! Fleet hosting: one config file, thousands of monitors.
+//!
+//! With `tenants = N` in the config, the daemon hosts a
+//! [`Fleet`] instead of a single monitor. Two
+//! sources work fleet-wide:
+//!
+//! * `source = replay` — the synthetic fleet scenario
+//!   ([`flowrank_trace::FleetScenario`]): N tenants with heterogeneous
+//!   catalog mixes and diurnal envelopes, driven window by window.
+//! * `source = ndjson` — tenant-tagged records on stdin: each line is the
+//!   usual ndjson record with an extra `"tenant": <id>` field (records
+//!   without one belong to tenant 0). Lines are parsed **once**, tagged,
+//!   and demultiplexed by the fleet — the one-decode-pass path end to end.
+//!
+//! Every pushed window refreshes the snapshot endpoint with a fleet-wide
+//! JSON state: totals plus the busiest tenants, so a poller watching a
+//! thousand-tenant daemon sees where the traffic and the budget evictions
+//! are concentrating.
+
+use std::fmt::Write as _;
+use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use flowrank_fleet::{Fleet, FleetBuilder, FleetSink, TenantStats};
+use flowrank_monitor::{ndjson_tenant, parse_ndjson_record, BinReport};
+use flowrank_net::{TaggedBatch, TenantId, Timestamp};
+use flowrank_trace::FleetScenario;
+
+use crate::config::{ServeConfig, SourceKind};
+use crate::snapshot::SnapshotPublisher;
+
+/// Records accumulated per tagged push on the stdin record path.
+const RECORDS_PER_PUSH: usize = 512;
+
+/// The machine-readable outcome of a fleet run (rendered into the daemon's
+/// final line).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetFinal {
+    /// Tenants hosted.
+    pub tenants: usize,
+    /// Tagged windows pushed.
+    pub windows: u64,
+    /// Packets demultiplexed.
+    pub packets: u64,
+    /// Bins closed across all tenants.
+    pub reports: u64,
+    /// Budget evictions across all tenants.
+    pub evictions: u64,
+    /// Malformed stdin lines skipped (record path only).
+    pub malformed_skipped: u64,
+    /// Records whose tenant id was outside the slab (record path only).
+    pub unknown_tenant_skipped: u64,
+}
+
+/// Counts delivered bins; the fleet itself keeps per-tenant statistics.
+#[derive(Debug, Default)]
+struct Totals {
+    reports: u64,
+    evictions: u64,
+}
+
+impl FleetSink for Totals {
+    fn accept(&mut self, _tenant: TenantId, report: &BinReport) {
+        self.reports += 1;
+        self.evictions += report.evictions;
+    }
+}
+
+/// Builds the fleet the config describes: the single-monitor template with
+/// the daemon's drive policy, tenants × that, fleet-level threads, and the
+/// per-tenant flow budget when configured.
+pub fn build_fleet(config: &ServeConfig) -> Fleet {
+    let mut builder = FleetBuilder::new(config.tenants)
+        .monitor(config.monitor_builder())
+        .seed(config.seed)
+        .threads(config.threads.max(1));
+    if config.flow_budget > 0 {
+        builder = builder.flow_budget(config.flow_budget);
+    }
+    builder.build()
+}
+
+/// Runs the daemon in fleet mode until the source ends, the stop flag
+/// rises, or `max_bins` bins have closed fleet-wide.
+pub fn run_fleet(
+    config: &ServeConfig,
+    stop: Arc<AtomicBool>,
+    publisher: &SnapshotPublisher,
+) -> Result<FleetFinal, String> {
+    let mut fleet = build_fleet(config);
+    let mut totals = Totals::default();
+    let mut scratch = String::new();
+    match config.source {
+        SourceKind::Replay => {
+            let scenario = FleetScenario::new(config.tenants);
+            let mut stream = if config.window_ms > 0 {
+                scenario.stream_with_window(
+                    config.seed,
+                    Timestamp::from_secs_f64(config.window_ms as f64 / 1000.0),
+                )
+            } else {
+                scenario.stream(config.seed)
+            };
+            while let Some(batch) = stream.next_window() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                fleet.push_tagged(batch, &mut totals);
+                publish(&fleet, &totals, 0, publisher, &mut scratch);
+                if config.max_bins > 0 && totals.reports >= config.max_bins {
+                    break;
+                }
+            }
+            fleet.finish(&mut totals);
+            publish(&fleet, &totals, 0, publisher, &mut scratch);
+            Ok(finalize(&fleet, &totals, 0, 0))
+        }
+        SourceKind::Ndjson => {
+            let stdin = std::io::stdin();
+            let (malformed, unknown) = drive_records(
+                &mut fleet,
+                stdin.lock(),
+                &mut totals,
+                config,
+                &stop,
+                publisher,
+                &mut scratch,
+            )?;
+            Ok(finalize(&fleet, &totals, malformed, unknown))
+        }
+        SourceKind::Tail | SourceKind::Socket => {
+            Err("fleet mode supports source = replay or ndjson".to_string())
+        }
+    }
+}
+
+/// The tenant-tagged record path: parse each stdin line once
+/// ([`parse_ndjson_record`] + [`ndjson_tenant`]), accumulate a
+/// [`TaggedBatch`], and push it through the fleet's one demux pass.
+fn drive_records<R: BufRead>(
+    fleet: &mut Fleet,
+    mut reader: R,
+    totals: &mut Totals,
+    config: &ServeConfig,
+    stop: &AtomicBool,
+    publisher: &SnapshotPublisher,
+    scratch: &mut String,
+) -> Result<(u64, u64), String> {
+    let tenants = fleet.tenant_count() as u32;
+    let mut malformed = 0u64;
+    let mut unknown = 0u64;
+    let mut line = String::new();
+    let mut tagged = TaggedBatch::new();
+    loop {
+        line.clear();
+        let eof = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("stdin: {e}"))?
+            == 0;
+        if !eof && !line.trim().is_empty() {
+            // One decode pass: tenant tag and record come from the same
+            // parse of the same line; the fleet only copies columns.
+            match (ndjson_tenant(&line), parse_ndjson_record(&line)) {
+                (Ok(tenant), Ok(record)) => {
+                    let tenant = tenant.unwrap_or(0);
+                    if tenant >= tenants {
+                        unknown += 1;
+                    } else {
+                        tagged.push_record(TenantId(tenant), &record);
+                    }
+                }
+                _ => malformed += 1,
+            }
+        }
+        let flush = eof || tagged.len() >= RECORDS_PER_PUSH;
+        if flush && !tagged.is_empty() {
+            fleet
+                .try_push_tagged(&tagged, totals)
+                .map_err(|e| e.to_string())?;
+            tagged.clear();
+            publish(fleet, totals, malformed, publisher, scratch);
+        }
+        let done = eof
+            || stop.load(Ordering::Acquire)
+            || (config.max_bins > 0 && totals.reports >= config.max_bins);
+        if done {
+            fleet.finish(totals);
+            publish(fleet, totals, malformed, publisher, scratch);
+            return Ok((malformed, unknown));
+        }
+    }
+}
+
+fn finalize(fleet: &Fleet, totals: &Totals, malformed: u64, unknown: u64) -> FleetFinal {
+    let mut summary = FleetFinal {
+        tenants: fleet.tenant_count(),
+        windows: fleet.windows(),
+        reports: totals.reports,
+        evictions: totals.evictions,
+        malformed_skipped: malformed,
+        unknown_tenant_skipped: unknown,
+        ..FleetFinal::default()
+    };
+    for stats in fleet.tenant_stats() {
+        summary.packets += stats.packets;
+    }
+    summary
+}
+
+/// Renders and publishes the fleet snapshot: totals plus the busiest
+/// tenants by packet count.
+fn publish(
+    fleet: &Fleet,
+    totals: &Totals,
+    malformed: u64,
+    publisher: &SnapshotPublisher,
+    scratch: &mut String,
+) {
+    let mut stats: Vec<TenantStats> = fleet.tenant_stats().collect();
+    let packets: u64 = stats.iter().map(|s| s.packets).sum();
+    stats.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.tenant.cmp(&b.tenant)));
+    stats.truncate(5);
+    scratch.clear();
+    let _ = write!(
+        scratch,
+        "{{\"fleet\":{{\"tenants\":{},\"windows\":{},\"packets\":{packets},\"reports\":{},\"evictions\":{},\"malformed_skipped\":{malformed},\"busiest\":[",
+        fleet.tenant_count(),
+        fleet.windows(),
+        totals.reports,
+        totals.evictions,
+    );
+    for (i, tenant) in stats.iter().enumerate() {
+        if i > 0 {
+            scratch.push(',');
+        }
+        let _ = write!(
+            scratch,
+            "{{\"tenant\":{},\"packets\":{},\"reports\":{},\"evictions\":{}}}",
+            tenant.tenant.0, tenant.packets, tenant.reports, tenant.evictions
+        );
+    }
+    scratch.push_str("]}}");
+    publisher.publish(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_config(extra: &str) -> ServeConfig {
+        ServeConfig::parse(&format!(
+            "tenants = 3\nrates = 0.2\nruns = 1\nwindow_ms = 0\n{extra}"
+        ))
+        .expect("config parses")
+    }
+
+    #[test]
+    fn replay_fleet_runs_to_completion_and_publishes() {
+        let config = fleet_config("");
+        let publisher = SnapshotPublisher::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let summary = run_fleet(&config, stop, &publisher).expect("fleet run");
+        assert_eq!(summary.tenants, 3);
+        assert!(summary.packets > 0 && summary.reports > 0, "{summary:?}");
+        let poll = publisher.render_poll();
+        assert!(poll.contains("\"fleet\":{\"tenants\":3"), "{poll}");
+        assert!(poll.contains("\"busiest\":[{\"tenant\":"), "{poll}");
+    }
+
+    #[test]
+    fn record_path_tags_skips_and_demuxes_in_one_pass() {
+        let config = fleet_config("source = ndjson\n");
+        let record = |ts: f64, tenant: &str| {
+            format!(
+                "{{\"ts\":{ts},\"src\":\"10.0.0.1\",\"dst\":\"10.0.0.2\",\"sport\":1,\"dport\":2,\"len\":99,\"proto\":\"udp\"{tenant}}}\n"
+            )
+        };
+        let input = format!(
+            "{}{}{}not json\n{}",
+            record(1.0, ",\"tenant\":1"),
+            record(2.0, ""),              // untagged → tenant 0
+            record(3.0, ",\"tenant\":9"), // outside the slab → skipped
+            record(4.0, ",\"tenant\":2"),
+        );
+        let mut fleet = build_fleet(&config);
+        let publisher = SnapshotPublisher::new();
+        let mut totals = Totals::default();
+        let mut scratch = String::new();
+        let stop = AtomicBool::new(false);
+        let (malformed, unknown) = drive_records(
+            &mut fleet,
+            input.as_bytes(),
+            &mut totals,
+            &config,
+            &stop,
+            &publisher,
+            &mut scratch,
+        )
+        .expect("record drive");
+        assert_eq!(malformed, 1);
+        assert_eq!(unknown, 1);
+        let per_tenant: Vec<u64> = fleet.tenant_stats().map(|s| s.packets).collect();
+        assert_eq!(per_tenant, vec![1, 1, 1]);
+        assert!(totals.reports >= 3, "each tenant closes its final bin");
+    }
+
+    #[test]
+    fn fleet_mode_rejects_sources_without_a_tenant_path() {
+        // The config layer is the gate: tail and socket are single-monitor
+        // sources, so fleet configs naming them never validate.
+        for source in ["source = tail\npcap = x.pcap\n", "source = socket\n"] {
+            let error = ServeConfig::parse(&format!("tenants = 2\n{source}"))
+                .expect_err("single-monitor source in fleet mode");
+            assert!(error.to_string().contains("replay or ndjson"), "{error}");
+        }
+    }
+
+    #[test]
+    fn max_bins_bounds_a_fleet_replay() {
+        let config = fleet_config("max_bins = 2\n");
+        let publisher = SnapshotPublisher::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let summary = run_fleet(&config, stop, &publisher).expect("fleet run");
+        // The final finish() still closes every tenant's last bin, so the
+        // bound is `max_bins` pushed-window bins plus at most one per
+        // tenant.
+        assert!(summary.reports >= 2, "{summary:?}");
+        assert!(summary.windows < 200, "stopped early: {summary:?}");
+    }
+}

@@ -21,6 +21,13 @@
 //!   JSON, and served to pollers over a tiny HTTP endpoint that reports the
 //!   snapshot's age (the source-starvation watchdog: a growing `age_s`
 //!   under traffic means the source stopped delivering).
+//! * [`socket`] — `source = socket`: a live TCP ndjson listener feeding a
+//!   non-blocking [`ChannelSource`](flowrank_monitor::ChannelSource), with
+//!   the same wire format and malformed-record contract as the stdin path.
+//! * [`fleet_host`] — `tenants = N`: host a whole
+//!   [`Fleet`](flowrank_fleet::Fleet) of tenant monitors from one config
+//!   file, over the synthetic fleet scenario or tenant-tagged ndjson
+//!   records, publishing a fleet-wide snapshot.
 //!
 //! The binary (`flowrank-serve --config <file>`) wires the three to
 //! [`Monitor::try_drive`](flowrank_monitor::Monitor::try_drive) over one of
@@ -36,9 +43,12 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod fleet_host;
 #[allow(unsafe_code)]
 pub mod signal;
 pub mod snapshot;
+pub mod socket;
 
 pub use config::{ConfigError, OutputKind, ServeConfig, SourceKind};
+pub use fleet_host::{build_fleet, run_fleet, FleetFinal};
 pub use snapshot::{PublishSink, SnapshotPublisher};

@@ -73,6 +73,10 @@ fn run(config: &ServeConfig) -> Result<(), String> {
         eprintln!("flowrank-serve: snapshot endpoint on http://{bound}/");
     }
 
+    if config.tenants > 0 {
+        return run_fleet_mode(config, stop, &publisher);
+    }
+
     let mut monitor = config.monitor();
     let publish = PublishSink::new(config.retain_bins, publisher.clone())
         .stop_after(config.max_bins, Arc::clone(&stop));
@@ -107,6 +111,14 @@ fn run(config: &ServeConfig) -> Result<(), String> {
             let mut source = StopGate::new(NdjsonRecordSource::new(stdin.lock()), stop);
             drive(&mut monitor, &mut source, &mut sink)?
         }
+        SourceKind::Socket => {
+            let (bound, socket) =
+                flowrank_serve::socket::listen(config.listen.as_str(), Arc::clone(&stop))
+                    .map_err(|e| format!("cannot bind record listener {}: {e}", config.listen))?;
+            eprintln!("flowrank-serve: record listener on {bound}");
+            let mut source = StopGate::new(socket, stop);
+            drive(&mut monitor, &mut source, &mut sink)?
+        }
     };
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -126,6 +138,34 @@ fn run(config: &ServeConfig) -> Result<(), String> {
         stats.idle_polls,
         stats.malformed_skipped,
         stats.sink_retries,
+    );
+    Ok(())
+}
+
+/// Fleet mode: host `tenants` monitors behind one slab and print the
+/// fleet-shaped final line.
+fn run_fleet_mode(
+    config: &ServeConfig,
+    stop: Arc<AtomicBool>,
+    publisher: &flowrank_serve::SnapshotPublisher,
+) -> Result<(), String> {
+    let started = Instant::now();
+    let summary = flowrank_serve::run_fleet(config, stop, publisher)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let throughput = if elapsed > 0.0 {
+        summary.packets as f64 / elapsed
+    } else {
+        0.0
+    };
+    println!(
+        "{{\"serve\":\"final\",\"fleet\":true,\"tenants\":{},\"windows\":{},\"bins\":{},\"packets\":{},\"evictions\":{},\"malformed_skipped\":{},\"unknown_tenant_skipped\":{},\"elapsed_s\":{elapsed:.3},\"throughput_pps\":{throughput:.0}}}",
+        summary.tenants,
+        summary.windows,
+        summary.reports,
+        summary.packets,
+        summary.evictions,
+        summary.malformed_skipped,
+        summary.unknown_tenant_skipped,
     );
     Ok(())
 }

@@ -1,0 +1,177 @@
+//! `source = socket`: a live TCP ndjson listener.
+//!
+//! The stdin ndjson source covers pipelines (`exporter | flowrank-serve`),
+//! but a daemon on a monitoring host receives records over the network.
+//! [`listen`] binds a TCP port and pumps newline-delimited JSON records
+//! from accepted connections into a
+//! [`ChannelSource`] — the non-blocking
+//! packet source whose `poll_chunk`/`Pending` contract lets the drive loop
+//! idle politely (counted idle polls, stall detection) while the socket is
+//! quiet.
+//!
+//! The pump reuses the exact per-line parser of
+//! [`NdjsonRecordSource`](flowrank_monitor::NdjsonRecordSource)
+//! ([`parse_ndjson_record`]), so the wire format and the malformed-record
+//! contract are identical to the stdin path: a bad line is forwarded as a
+//! recoverable [`SourceError::Malformed`] and counted/skipped by the
+//! daemon's resilient [`DrivePolicy`](flowrank_monitor::DrivePolicy).
+//!
+//! Connections are served one at a time, each to EOF — the model is one
+//! exporter streaming records, reconnecting if it restarts. The accept
+//! loop polls the stop flag between connections and drops the channel
+//! sender when it is raised, which ends the stream cleanly on the drive
+//! side; a pump blocked mid-connection ends with the process instead.
+
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowrank_monitor::{parse_ndjson_record, ChannelSource, SourceError};
+use flowrank_net::{NetError, PacketBatch};
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Binds `addr` and returns the bound address plus a [`ChannelSource`]
+/// fed by a background pump thread for the rest of the process. Pass port
+/// `0` to pick a free port (the daemon prints it on startup).
+pub fn listen(
+    addr: impl ToSocketAddrs,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<(SocketAddr, ChannelSource)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    // Non-blocking accepts keep the stop flag honored while idle.
+    listener.set_nonblocking(true)?;
+    let (sender, source) = ChannelSource::channel();
+    std::thread::Builder::new()
+        .name("flowrank-serve-socket".to_string())
+        .spawn(move || pump(listener, sender, stop))?;
+    Ok((bound, source))
+}
+
+/// The accept loop: one connection at a time, records forwarded line by
+/// line. Returns (dropping the sender, ending the stream) when the stop
+/// flag rises or the drive side hangs up.
+fn pump(
+    listener: TcpListener,
+    sender: Sender<Result<PacketBatch, SourceError>>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Within a connection reads block: records arrive when the
+                // exporter sends them, and the drive side idles on
+                // `Pending` meanwhile.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if !pump_connection(stream, &sender) {
+                    return;
+                }
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Forwards one connection's records until EOF. Returns `false` when the
+/// drive side hung up (the pump should exit).
+fn pump_connection(
+    stream: std::net::TcpStream,
+    sender: &Sender<Result<PacketBatch, SourceError>>,
+) -> bool {
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return true, // EOF: exporter done, accept the next one.
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // One record per chunk, exactly like NdjsonRecordSource.
+                let message = match parse_ndjson_record(&line) {
+                    Ok(record) => {
+                        let mut batch = PacketBatch::new();
+                        batch.push_record(&record);
+                        Ok(batch)
+                    }
+                    Err(reason) => Err(SourceError::Malformed(NetError::InvalidField {
+                        field: "ndjson record",
+                        reason,
+                    })),
+                };
+                if sender.send(message).is_err() {
+                    return false;
+                }
+            }
+            Err(_) => return true, // Connection died mid-line: drop it.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrank_monitor::{PacketSource, SourcePoll};
+    use std::io::Write;
+
+    fn poll_until<T>(
+        source: &mut ChannelSource,
+        mut check: impl FnMut(&mut ChannelSource) -> Option<T>,
+    ) -> T {
+        for _ in 0..400 {
+            if let Some(value) = check(source) {
+                return value;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("socket source never delivered");
+    }
+
+    #[test]
+    fn records_flow_from_a_tcp_client_to_the_source() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr, mut source) = listen("127.0.0.1:0", Arc::clone(&stop)).expect("bind");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client
+            .write_all(
+                b"{\"ts\":1.0,\"src\":\"10.0.0.1\",\"dst\":\"10.0.0.2\",\"sport\":1,\"dport\":2,\"len\":100,\"proto\":\"udp\"}\n",
+            )
+            .expect("send record");
+        client.flush().expect("flush");
+        let packets = poll_until(&mut source, |source| match source.poll_chunk() {
+            Ok(SourcePoll::Chunk(batch)) => Some(batch.len()),
+            Ok(SourcePoll::Pending) => None,
+            other => panic!("unexpected poll: {other:?}"),
+        });
+        assert_eq!(packets, 1);
+        // A malformed line surfaces as a recoverable error, stream intact.
+        client.write_all(b"not json\n").expect("send junk");
+        client.flush().expect("flush");
+        let error = poll_until(&mut source, |source| match source.poll_chunk() {
+            Ok(SourcePoll::Pending) => None,
+            Err(error) => Some(error),
+            other => panic!("unexpected poll: {other:?}"),
+        });
+        assert!(error.is_recoverable(), "{error:?}");
+        // Raising stop ends the stream once the pump notices.
+        drop(client);
+        stop.store(true, Ordering::Release);
+        let ended = poll_until(&mut source, |source| match source.poll_chunk() {
+            Ok(SourcePoll::End) => Some(true),
+            Ok(SourcePoll::Pending) => None,
+            other => panic!("unexpected poll: {other:?}"),
+        });
+        assert!(ended);
+    }
+}

@@ -62,7 +62,7 @@ pub use engine::{run_bin, BinResult};
 pub use experiment::{ExperimentConfig, ExperimentResult, TraceExperiment};
 pub use faults::{FaultPlan, FaultySink, FaultySource, InjectedFaults, SinkFault, SourceFault};
 pub use scenarios::{
-    abilene_experiment, sprint_experiment, sprint_experiment_with_sampler,
+    abilene_experiment, sprint_experiment, sprint_experiment_with_sampler, workload_builder,
     workload_controlled_monitor, workload_experiment, workload_monitor, workload_rate_curve,
 };
 

@@ -111,6 +111,21 @@ pub fn workload_monitor(
     sampler: SamplerSpec,
     threads: usize,
 ) -> Monitor {
+    workload_builder(flow_definition, bin_seconds, runs, seed, sampler, threads).build()
+}
+
+/// The [`MonitorBuilder`] behind [`workload_monitor`], unbuilt — the
+/// template a multi-tenant fleet clones per tenant (each tenant then gets
+/// its own derived seed and a serial engine) and the single-monitor path
+/// builds directly.
+pub fn workload_builder(
+    flow_definition: FlowDefinition,
+    bin_seconds: f64,
+    runs: usize,
+    seed: u64,
+    sampler: SamplerSpec,
+    threads: usize,
+) -> MonitorBuilder {
     MonitorBuilder::new()
         .flow_definition(flow_definition)
         .sampler(sampler)
@@ -120,7 +135,6 @@ pub fn workload_monitor(
         .seed(seed)
         .bin_length(Timestamp::from_secs_f64(bin_seconds))
         .threads(threads)
-        .build()
 }
 
 /// [`workload_monitor`] with a closed-loop rate controller attached: the
@@ -136,15 +150,7 @@ pub fn workload_controlled_monitor(
     threads: usize,
     controller: flowrank_monitor::ControllerSpec,
 ) -> Monitor {
-    MonitorBuilder::new()
-        .flow_definition(flow_definition)
-        .sampler(sampler)
-        .rates(&SPRINT_RATES)
-        .runs(runs)
-        .top_t(10)
-        .seed(seed)
-        .bin_length(Timestamp::from_secs_f64(bin_seconds))
-        .threads(threads)
+    workload_builder(flow_definition, bin_seconds, runs, seed, sampler, threads)
         .controller(controller)
         .build()
 }

@@ -35,6 +35,9 @@
 //! * [`workloads`] — the deterministic scenario catalog (heavy-tail α, flash
 //!   crowd, DDoS flood, port scan, rank churn, mixed) that stresses the
 //!   pipeline with traffic shapes beyond the Sprint/Abilene models.
+//! * [`fleet`] — the multi-tenant fleet scenario: N tenants with
+//!   heterogeneous catalog mixes and diurnal intensity envelopes, merged
+//!   into one tenant-tagged stream for the `flowrank-fleet` layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod abilene;
 pub mod addressing;
 pub mod arrivals;
 pub mod export;
+pub mod fleet;
 pub mod flow_record;
 pub mod generator;
 pub mod replay;
@@ -53,6 +57,7 @@ pub mod synthesis;
 pub mod workloads;
 
 pub use abilene::AbileneModel;
+pub use fleet::{FleetScenario, FleetStream};
 pub use flow_record::FlowRecord;
 pub use generator::{FlowPopulationConfig, SizeModel};
 pub use replay::{PacedReplay, ReplayTick};

@@ -61,6 +61,19 @@ for t in ${BENCH_THREAD_SWEEP:-1 2 4}; do
     BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench scaling -- --threads "$t"
 done
 
+# Multi-tenant leg: the fleet scenario holds aggregate load constant while
+# the tenant count grows (override with BENCH_TENANT_SWEEP="1 10 100"), so
+# flat `melem_per_s` across the sweep demonstrates per-tenant overhead
+# shrinking as 1/N. Each invocation also appends a `fleet_peak_rss_*` line
+# (VmHWM of the bench process), keeping the memory axis of the per-tenant
+# budget contract in the same trajectory. Bench names carry the tenant
+# count: extract the sweep with e.g.
+# `jq '.results[] | select(.group == "fleet_scaling")
+#      | {name, melem_per_s, peak_rss_kib}' BENCH_throughput.json`.
+for n in ${BENCH_TENANT_SWEEP:-1 100 1000}; do
+    BENCH_JSON="$tmp" cargo bench -p flowrank-bench --bench fleet_scaling -- --tenants "$n"
+done
+
 # Serving leg: the flowrank-serve daemon end to end — unpaced scenario
 # replay through the monitor into the rolling-snapshot sink, the whole
 # daemon path minus wall-clock pacing. The binary's final line is

@@ -2,6 +2,7 @@
 # Regenerates the committed golden digests:
 #   tests/goldens/scenario_conformance.txt    (conformance matrix)
 #   tests/goldens/controller_convergence.txt  (closed-loop decision traces)
+#   tests/goldens/fleet_eviction.txt          (budgeted fleet eviction digests)
 #
 # Golden digests pin the *results* of the scenario × sampler × top-k
 # conformance matrix and of the rate controllers' per-bin decision traces,
@@ -26,6 +27,7 @@ fi
 
 REGEN_GOLDENS=1 cargo test -p flowrank-tests --test scenario_conformance -- --nocapture
 REGEN_GOLDENS=1 cargo test --release -p flowrank-tests --test controller_convergence -- --nocapture
+REGEN_GOLDENS=1 cargo test -p flowrank-tests --test fleet_conformance -- --nocapture
 
 if git diff --quiet -- tests/goldens/; then
     echo "goldens unchanged — the matrix still digests to the committed values"
